@@ -1,0 +1,148 @@
+// Ablation (DESIGN.md §5): when should per-client VMs exist?
+//   pre-boot      — one VM per registered client, always running (memory for
+//                   everyone, no first-packet penalty);
+//   on-demand     — boot when the first packet arrives (§5's mechanism:
+//                   memory only for the *active* set, ~30-100 ms first-packet
+//                   penalty);
+//   on-demand + idle suspend — additionally park guests idle for 60 s, so
+//                   long-lived-but-quiet tenants cost suspended-image memory
+//                   and a ~100 ms resume instead of a running guest.
+// The workload is MAWI-like: 2,000 registered clients, ~400 active at once.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/platform/platform.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace {
+
+using namespace innet;
+using platform::InNetPlatform;
+using platform::VmCostModel;
+using platform::VmKind;
+
+constexpr int kClients = 2000;
+constexpr int kActive = 400;
+constexpr double kWindowSec = 300;
+constexpr const char* kConfig =
+    "FromNetfront() -> IPFilter(allow udp, allow tcp) -> ToNetfront();";
+
+enum class Strategy { kPreBoot, kOnDemand, kOnDemandIdleSuspend };
+
+struct Result {
+  double peak_memory_gb = 0;
+  double running_vms_at_end = 0;
+  double first_packet_ms_mean = 0;
+  double later_packet_loss = 0;
+};
+
+Ipv4Address ClientAddr(int i) {
+  return Ipv4Address(Ipv4Address::MustParse("172.16.0.0").value() + 10 +
+                     static_cast<uint32_t>(i));
+}
+
+Result Run(Strategy strategy) {
+  Result result;
+  sim::EventQueue clock;
+  InNetPlatform platform(&clock, VmCostModel{}, 64ull << 30);
+  std::string error;
+
+  if (strategy == Strategy::kPreBoot) {
+    for (int i = 0; i < kClients; ++i) {
+      if (platform.Install(ClientAddr(i), kConfig, &error) == 0) {
+        std::fprintf(stderr, "install failed: %s\n", error.c_str());
+        std::exit(1);
+      }
+    }
+  } else {
+    for (int i = 0; i < kClients; ++i) {
+      platform.RegisterOnDemand(ClientAddr(i), kConfig, VmKind::kClickOs,
+                                /*per_flow=*/false);
+    }
+    if (strategy == Strategy::kOnDemandIdleSuspend) {
+      platform.EnableIdleSuspend(sim::FromSeconds(60));
+    }
+  }
+
+  // Active clients send a packet every ~2 s; each active slot rotates to a
+  // new client every ~50 s (churn). First-packet latency = send-to-egress.
+  sim::Rng rng(5);
+  sim::Samples first_packet_ms;
+  std::vector<sim::TimeNs> sent_at(kClients, 0);
+  std::vector<bool> saw_first(kClients, false);
+  platform.SetEgressHandler([&](Packet& packet) {
+    int client = static_cast<int>(packet.ip_dst().value() -
+                                  Ipv4Address::MustParse("172.16.0.0").value() - 10);
+    if (client >= 0 && client < kClients && !saw_first[static_cast<size_t>(client)]) {
+      saw_first[static_cast<size_t>(client)] = true;
+      first_packet_ms.Add(sim::ToMillis(clock.now() - sent_at[static_cast<size_t>(client)]));
+    }
+  });
+
+  std::vector<int> active(kActive);
+  for (int slot = 0; slot < kActive; ++slot) {
+    active[static_cast<size_t>(slot)] = slot;
+  }
+  int next_client = kActive;
+  uint64_t peak_memory = 0;
+  for (double t = 1; t < kWindowSec; t += 2) {
+    clock.ScheduleAt(sim::FromSeconds(t), [&, t] {
+      for (int slot = 0; slot < kActive; ++slot) {
+        // Churn: replace this slot's client occasionally.
+        if (rng.Bernoulli(2.0 / 50.0)) {
+          active[static_cast<size_t>(slot)] = next_client;
+          next_client = (next_client + 1) % kClients;
+        }
+        int client = active[static_cast<size_t>(slot)];
+        if (sent_at[static_cast<size_t>(client)] == 0) {
+          sent_at[static_cast<size_t>(client)] = clock.now();
+        }
+        Packet p = Packet::MakeUdp(Ipv4Address::MustParse("9.9.9.9"), ClientAddr(client),
+                                   5000, 80, 64);
+        platform.HandlePacket(p);
+      }
+      peak_memory = std::max(peak_memory, platform.vms().memory_used());
+    });
+  }
+  clock.RunUntil(sim::FromSeconds(kWindowSec));
+
+  result.peak_memory_gb = static_cast<double>(peak_memory) / (1ull << 30);
+  result.running_vms_at_end = static_cast<double>(platform.vms().running_count());
+  result.first_packet_ms_mean = first_packet_ms.Mean();
+  return result;
+}
+
+const char* Name(Strategy s) {
+  switch (s) {
+    case Strategy::kPreBoot:
+      return "pre-boot all";
+    case Strategy::kOnDemand:
+      return "on-demand";
+    case Strategy::kOnDemandIdleSuspend:
+      return "on-demand + idle-suspend";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: VM provisioning strategy (2,000 registered, ~400 active)");
+  std::printf("%-28s %-18s %-16s %-22s\n", "strategy", "peak mem (GB)", "running VMs",
+              "first-packet (ms)");
+  bench::PrintRule();
+  for (Strategy strategy :
+       {Strategy::kPreBoot, Strategy::kOnDemand, Strategy::kOnDemandIdleSuspend}) {
+    Result r = Run(strategy);
+    std::printf("%-28s %-18.2f %-16.0f %-22.1f\n", Name(strategy), r.peak_memory_gb,
+                r.running_vms_at_end, r.first_packet_ms_mean);
+  }
+  std::printf("\n(the ablation shows why §5 needs BOTH mechanisms: under client churn,\n"
+              " on-demand boot alone converges to pre-boot's footprint — every client\n"
+              " eventually activates and its guest lingers. Idle suspend is what bounds\n"
+              " the running set near active-clients + churn*timeout, paying a ~100 ms\n"
+              " resume on reactivation)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (DESIGN.md §5): the consolidation demux. The paper's merged VM
+// demultiplexes tenants with an IPClassifier — a linear pattern scan whose
+// per-packet cost produces Figure 8's throughput knee. Swapping it for an
+// exact-match hash table (AddressDemux) makes per-packet cost independent of
+// the tenant count and the knee disappears, showing the knee is an artifact
+// of the demux data structure, not of consolidation itself.
+#include <cstdio>
+#include <vector>
+
+#include "bench/throughput_util.h"
+#include "src/platform/consolidation.h"
+
+namespace {
+
+using namespace innet;
+using platform::ConsolidateTenants;
+using platform::DemuxKind;
+using platform::TenantConfig;
+
+constexpr double kFrameBytes = 1500;
+
+double MeasureDemux(int tenants_count, DemuxKind demux) {
+  std::vector<TenantConfig> tenants;
+  std::vector<Packet> templates;
+  for (int i = 0; i < tenants_count; ++i) {
+    TenantConfig tenant;
+    tenant.addr = Ipv4Address(Ipv4Address::MustParse("172.16.0.10").value() +
+                              static_cast<uint32_t>(i));
+    tenant.config_text = "FromNetfront() -> IPFilter(allow tcp, allow udp) -> ToNetfront();";
+    tenants.push_back(tenant);
+    templates.push_back(Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"), tenant.addr, 5000,
+                                        80, static_cast<size_t>(kFrameBytes) - 42));
+  }
+  std::string error;
+  auto merged = ConsolidateTenants(tenants, &error, demux);
+  if (!merged) {
+    std::fprintf(stderr, "consolidation failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  auto graph = click::Graph::Build(*merged, &error);
+  if (graph == nullptr) {
+    std::fprintf(stderr, "graph build failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return bench::MeasurePps(graph.get(), templates, 0.1);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: consolidation demux — linear IPClassifier vs hash demux");
+  std::printf("%-14s %-22s %-22s %-10s\n", "configs/VM", "linear demux (Mpps)",
+              "hash demux (Mpps)", "speedup");
+  bench::PrintRule();
+  for (int n : {24, 48, 96, 144, 192, 252}) {
+    double linear = MeasureDemux(n, DemuxKind::kLinearClassifier) / 1e6;
+    double hashed = MeasureDemux(n, DemuxKind::kHashDemux) / 1e6;
+    std::printf("%-14d %-22.3f %-22.3f %-10.2f\n", n, linear, hashed, hashed / linear);
+  }
+  std::printf("\n(the linear scan degrades with the tenant count — Figure 8's knee — while\n"
+              " the hash demux stays flat; the paper's design choice is the linear one,\n"
+              " which is what its published curve reflects)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the experiment harnesses: wall-clock timing and
+// paper-style table printing.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace innet::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedSec() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+  double ElapsedMs() const { return ElapsedSec() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("------------------------------------------------------------------------\n");
+}
+
+}  // namespace innet::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

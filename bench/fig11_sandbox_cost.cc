@@ -1,0 +1,100 @@
+// Reproduces Figure 11: "Cost of sandboxing in an In-Net platform."
+// RX throughput (Mpps) by packet size for three configurations:
+//   1. no sandbox — the module receives traffic directly;
+//   2. in-config ChangeEnforcer (paper: -1/3 at 64 B, -1/5 at 128 B, no
+//      measurable drop at larger sizes where the NIC line rate binds);
+//   3. the enforcer in a separate VM — every packet crosses the VM boundary
+//      twice; we emulate the boundary with a real worker-thread handoff, so
+//      the context-switch cost is genuine (paper: throughput drops ~70%).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/throughput_util.h"
+#include "src/platform/sandbox.h"
+
+namespace {
+
+using namespace innet;
+
+// Traffic from many distinct outside peers, as a real RX path sees — the
+// enforcer tracks per-peer authorization state, so peer diversity is what
+// gives it a realistic footprint.
+std::vector<Packet> PeerTemplates(double frame_bytes) {
+  std::vector<Packet> templates;
+  templates.reserve(4096);
+  for (uint32_t peer = 0; peer < 4096; ++peer) {
+    templates.push_back(Packet::MakeUdp(
+        Ipv4Address(Ipv4Address::MustParse("8.8.0.0").value() + peer * 97),
+        Ipv4Address::MustParse("172.16.3.10"), static_cast<uint16_t>(5000 + (peer & 0xFF)),
+        80, static_cast<size_t>(frame_bytes) - 42));
+  }
+  return templates;
+}
+
+double MeasureConfigMpps(const std::string& config_text, double frame_bytes) {
+  std::string error;
+  auto graph = click::Graph::FromText(config_text, &error);
+  if (graph == nullptr) {
+    std::fprintf(stderr, "bad config: %s\n", error.c_str());
+    std::exit(1);
+  }
+  std::vector<Packet> templates = PeerTemplates(frame_bytes);
+  double best = 0;
+  for (int run = 0; run < 3; ++run) {
+    best = std::max(best, bench::MeasurePps(graph.get(), templates, 0.1));
+  }
+  return best / 1e6;
+}
+
+// The separate-VM sandbox: packets cross the VM boundary in vhost-style
+// rings; we emulate each crossing with a real thread handoff per 32-packet
+// batch, so the synchronization cost is genuine.
+double MeasureSeparateVmMpps(double frame_bytes) {
+  platform::SeparateVmSandbox sandbox({Ipv4Address::MustParse("172.16.3.10")});
+  constexpr size_t kBatch = 32;
+  std::vector<Packet> batch(
+      kBatch, Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"),
+                              Ipv4Address::MustParse("172.16.3.10"), 5000, 80,
+                              static_cast<size_t>(frame_bytes) - 42));
+  bool admitted[kBatch];
+  bench::WallTimer timer;
+  uint64_t sent = 0;
+  while (timer.ElapsedSec() < 0.15) {
+    sandbox.FilterBatch(0, batch.data(), kBatch, admitted);
+    sent += kBatch;
+  }
+  return static_cast<double>(sent) / timer.ElapsedSec() / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 11: RX throughput with and without sandboxing (CPU-bound Mpps)");
+  std::printf("%-10s %-12s %-14s %-14s %-12s %-14s %-12s\n", "frame(B)", "base", "in-config",
+              "separate-VM", "in-cfg/base", "sep-VM/base", "line Mpps");
+  bench::PrintRule();
+
+  const char* kBase =
+      "FromNetfront() -> CheckIPHeader() -> Counter() -> ToNetfront();";
+  // The enforcer inline on the receive path (inbound side records peers).
+  const char* kInline =
+      "src :: FromNetfront(); enf :: ChangeEnforcer(ALLOW 172.16.3.10);"
+      "sink :: ToNetfront();"
+      "src -> CheckIPHeader() -> enf; enf[0] -> Counter() -> sink;";
+
+  for (double frame : {64.0, 128.0, 256.0, 512.0, 1024.0, 1472.0}) {
+    double base = MeasureConfigMpps(kBase, frame);
+    double inline_enf = MeasureConfigMpps(kInline, frame);
+    double separate = MeasureSeparateVmMpps(frame);
+    std::printf("%-10.0f %-12.3f %-14.3f %-14.3f %-12.2f %-14.2f %-12.2f\n", frame, base,
+                inline_enf, separate, inline_enf / base, separate / base,
+                bench::LineRatePps(frame) / 1e6);
+  }
+  std::printf("\n(paper, on a 2013 Xeon E3: the in-config enforcer costs ~1/3 of throughput\n"
+              " at 64 B and ~1/5 at 128 B; above that the NIC line rate binds and the\n"
+              " difference vanishes (compare the CPU-bound columns with the line-rate\n"
+              " column). The separate-VM enforcer drops throughput much further (~70%%)\n"
+              " because every packet crosses the VM boundary; here the boundary is a real\n"
+              " worker-thread ring handoff.)\n");
+  return 0;
+}

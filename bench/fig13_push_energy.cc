@@ -1,0 +1,82 @@
+// Reproduces Figure 13 ("Mobiles save energy when an In-Net platform batches
+// push traffic into larger intervals") plus the §8 HTTP-vs-HTTPS energy
+// table. The batcher is the paper's Figure 4 module running for real: UDP
+// notifications arrive every 30 s and a TimedUnqueue releases them at the
+// configured interval; the device radio model integrates the wake-ups.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/click/elements.h"
+#include "src/click/graph.h"
+#include "src/energy/radio_model.h"
+
+namespace {
+
+using namespace innet;
+
+// Runs the batcher module in simulated time and returns the instants at
+// which batched notifications reach the device.
+std::vector<double> DeviceWakeups(double batch_interval_sec, double window_sec) {
+  sim::EventQueue clock;
+  std::string error;
+  std::string config =
+      "FromNetfront() ->"
+      "IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0)"
+      "-> TimedUnqueue(" +
+      std::to_string(batch_interval_sec) +
+      ",100)"
+      "-> dst :: ToNetfront();";
+  auto graph = click::Graph::FromText(config, &error, &clock);
+  if (graph == nullptr) {
+    std::fprintf(stderr, "bad config: %s\n", error.c_str());
+    std::exit(1);
+  }
+  std::vector<double> wakeups;
+  graph->FindAs<click::ToNetfront>("dst")->set_handler([&clock, &wakeups](Packet&) {
+    // Batched packets released together count as one radio wake-up.
+    double now = sim::ToSeconds(clock.now());
+    if (wakeups.empty() || now - wakeups.back() > 1.0) {
+      wakeups.push_back(now);
+    }
+  });
+  // One 1 KB notification every 30 s, as in §8.
+  for (double t = 0; t < window_sec; t += 30) {
+    clock.ScheduleAt(sim::FromSeconds(t), [&graph] {
+      Packet note = Packet::MakeUdp(Ipv4Address::MustParse("5.5.5.5"),
+                                    Ipv4Address::MustParse("172.16.3.10"), 4000, 1500, 1024);
+      graph->InjectAtSource(note);
+    });
+  }
+  clock.RunUntil(sim::FromSeconds(window_sec));
+  return wakeups;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kWindowSec = 3600;
+  energy::RadioEnergyModel radio;
+
+  bench::PrintHeader("Figure 13: average device power vs batching interval");
+  std::printf("%-20s %-16s %-18s\n", "batch interval (s)", "wake-ups/hour",
+              "avg power (mW)");
+  bench::PrintRule();
+  for (double interval : {30.0, 60.0, 120.0, 240.0}) {
+    std::vector<double> wakeups = DeviceWakeups(interval, kWindowSec);
+    double power = radio.AveragePowerMw(wakeups, kWindowSec);
+    std::printf("%-20.0f %-16zu %-18.1f\n", interval, wakeups.size(), power);
+  }
+  std::printf("(paper: ~240 mW at 30 s down to ~140 mW at 240 s — batching at the In-Net\n"
+              " platform trades notification delay for device battery)\n");
+
+  bench::PrintHeader("Sec 8: HTTP vs HTTPS download energy (8 Mb/s over WiFi)");
+  double http = radio.DownloadPowerMw(8e6, /*https=*/false);
+  double https = radio.DownloadPowerMw(8e6, /*https=*/true);
+  std::printf("HTTP: %.0f mW    HTTPS: %.0f mW    (+%.0f%%)\n", http, https,
+              (https / http - 1) * 100);
+  std::printf("(paper: 570 mW vs 650 mW, ~15%% more for TLS decryption — the incentive for\n"
+              " the payload-invariant request that makes plain HTTP safe to use)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 14: "SCTP performance when tunneling over TCP and UDP"
+// on an emulated 100 Mb/s, 20 ms-RTT WAN path with 0-5% random loss.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/transport/tunnel_experiment.h"
+
+int main() {
+  using namespace innet;
+  using transport::RunSctpTunnelExperiment;
+  using transport::TunnelMode;
+  using transport::TunnelParams;
+
+  bench::PrintHeader("Figure 14: SCTP goodput over UDP vs TCP tunnels (100 Mb/s, 20 ms RTT)");
+  std::printf("%-10s %-14s %-14s %-8s %-24s\n", "loss (%)", "UDP (Mb/s)", "TCP (Mb/s)",
+              "ratio", "tunnel retx (TCP mode)");
+  bench::PrintRule();
+
+  for (double loss : {0.0, 0.01, 0.02, 0.03, 0.04, 0.05}) {
+    TunnelParams params;
+    params.loss_rate = loss;
+    params.duration_sec = 20;
+    params.seed_repeats = 8;
+    transport::TunnelResult udp = RunSctpTunnelExperiment(TunnelMode::kUdp, params);
+    transport::TunnelResult tcp = RunSctpTunnelExperiment(TunnelMode::kTcp, params);
+    std::printf("%-10.0f %-14.2f %-14.2f %-8.2f %-24llu\n", loss * 100, udp.goodput_mbps,
+                tcp.goodput_mbps,
+                tcp.goodput_mbps > 0 ? udp.goodput_mbps / tcp.goodput_mbps : 0.0,
+                static_cast<unsigned long long>(tcp.tunnel_retransmits));
+  }
+  std::printf("\n(paper: at 1-5%% loss, SCTP over a TCP tunnel achieves 2-5x less throughput\n"
+              " than over UDP — nested congestion control plus head-of-line blocking. The\n"
+              " In-Net fix: a ~200 ms reachability query tells the client whether UDP works\n"
+              " before committing, instead of waiting out SCTP's 3 s initial timeout.)\n");
+  return 0;
+}

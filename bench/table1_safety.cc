@@ -1,0 +1,135 @@
+// Reproduces Table 1: "Running SYMNET to check middlebox safety gives
+// accurate results." Twelve middlebox configurations are checked for each
+// requester class; the expected verdicts are the paper's (X = rejected,
+// OK = safe, OK(s) = runs sandboxed).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/controller/security.h"
+#include "src/controller/stock_modules.h"
+
+namespace {
+
+using namespace innet;
+using namespace innet::controller;
+
+struct Row {
+  std::string name;
+  std::string config;
+  Verdict expected_third_party;
+  Verdict expected_client;
+  Verdict expected_operator;
+};
+
+const char* Cell(Verdict v) {
+  switch (v) {
+    case Verdict::kSafe:
+      return "  OK ";
+    case Verdict::kNeedsSandbox:
+      return "OK(s)";
+    case Verdict::kRejected:
+      return "  X  ";
+  }
+  return "  ?  ";
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 1: SymNet middlebox safety checking");
+  std::printf("(paper: X = request denied, OK = safe, OK(s) = needs runtime sandbox)\n\n");
+
+  const Ipv4Address module_addr = Ipv4Address::MustParse("172.16.3.10");
+  const Ipv4Address client_addr = Ipv4Address::MustParse("10.10.0.5");
+  const Ipv4Address replica_addr = Ipv4Address::MustParse("10.10.0.6");
+  const Ipv4Address origin = Ipv4Address::MustParse("5.5.5.5");
+  const Ipv4Address tunnel_remote = Ipv4Address::MustParse("7.7.7.7");
+  const Ipv4Prefix owned = Ipv4Prefix::MustParse("10.10.0.0/24");
+
+  std::vector<Row> rows;
+  rows.push_back({"IP Router",
+                  "src :: FromNetfront(); rt :: LinearIPLookup(0.0.0.0/1 0, 128.0.0.0/1 1);"
+                  "a :: ToNetfront(); b :: ToNetfront(); src -> rt; rt[0] -> a; rt[1] -> b;",
+                  Verdict::kRejected, Verdict::kRejected, Verdict::kSafe});
+  rows.push_back({"DPI",
+                  "src :: FromNetfront(); dpi :: ContentMatch(EXPLOIT);"
+                  "pass :: ToNetfront(); alert :: Discard();"
+                  "src -> dpi; dpi[0] -> pass; dpi[1] -> alert;",
+                  Verdict::kRejected, Verdict::kRejected, Verdict::kSafe});
+  rows.push_back({"NAT",
+                  "outb :: FromNetfront(); inb :: FromNetfront();"
+                  "nat :: NatRewriter(PUBLIC 172.16.3.10);"
+                  "wan :: ToNetfront(); lan :: ToNetfront();"
+                  "outb -> nat; nat[0] -> wan; inb -> [1]nat; nat[1] -> lan;",
+                  Verdict::kRejected, Verdict::kRejected, Verdict::kSafe});
+  rows.push_back({"Transparent Proxy",
+                  "FromNetfront() -> TransparentProxy() -> ToNetfront();",
+                  Verdict::kRejected, Verdict::kRejected, Verdict::kSafe});
+  rows.push_back({"Flow meter",
+                  "FromNetfront() -> FlowMeter() ->"
+                  "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();",
+                  Verdict::kSafe, Verdict::kSafe, Verdict::kSafe});
+  rows.push_back({"Rate limiter",
+                  "FromNetfront() -> RateLimiter(8000000) ->"
+                  "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();",
+                  Verdict::kSafe, Verdict::kSafe, Verdict::kSafe});
+  rows.push_back({"Firewall",
+                  "FromNetfront() -> IPFilter(allow udp dst port 1500) ->"
+                  "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();",
+                  Verdict::kSafe, Verdict::kSafe, Verdict::kSafe});
+  rows.push_back({"Tunnel", SubstituteSelf(StockTunnel(tunnel_remote, owned), module_addr),
+                  Verdict::kNeedsSandbox, Verdict::kSafe, Verdict::kSafe});
+  rows.push_back({"Multicast",
+                  "src :: FromNetfront(); t :: Tee(2);"
+                  "a :: ToNetfront(); b :: ToNetfront();"
+                  "src -> t; t[0] -> SetIPDst(10.10.0.5) -> a;"
+                  "t[1] -> SetIPDst(10.10.0.6) -> b;",
+                  Verdict::kSafe, Verdict::kSafe, Verdict::kSafe});
+  rows.push_back({"DNS Server (stock)", SubstituteSelf(StockDnsServer(), module_addr),
+                  Verdict::kSafe, Verdict::kSafe, Verdict::kSafe});
+  rows.push_back({"Reverse proxy (stock)",
+                  SubstituteSelf(StockReverseProxy(origin), module_addr), Verdict::kSafe,
+                  Verdict::kSafe, Verdict::kSafe});
+  rows.push_back({"x86 VM", StockX86Vm(), Verdict::kNeedsSandbox, Verdict::kNeedsSandbox,
+                  Verdict::kSafe});
+
+  std::printf("%-24s %-12s %-12s %-12s  match?\n", "Functionality", "Third-party", "Client",
+              "Operator");
+  innet::bench::PrintRule();
+
+  int mismatches = 0;
+  for (const Row& row : rows) {
+    std::string error;
+    auto config = click::ConfigGraph::Parse(row.config, &error);
+    if (!config) {
+      std::printf("%-24s PARSE ERROR: %s\n", row.name.c_str(), error.c_str());
+      ++mismatches;
+      continue;
+    }
+    Verdict verdicts[3];
+    RequesterClass classes[3] = {RequesterClass::kThirdParty, RequesterClass::kClient,
+                                 RequesterClass::kOperator};
+    for (int i = 0; i < 3; ++i) {
+      SecurityOptions options;
+      options.requester = classes[i];
+      options.module_addr = module_addr;
+      options.whitelist = {client_addr, replica_addr, origin, tunnel_remote};
+      options.owned_prefixes = {owned};
+      verdicts[i] = CheckModuleSecurity(*config, options, &error).verdict;
+    }
+    bool match = verdicts[0] == row.expected_third_party &&
+                 verdicts[1] == row.expected_client && verdicts[2] == row.expected_operator;
+    if (!match) {
+      ++mismatches;
+    }
+    std::printf("%-24s %-12s %-12s %-12s  %s\n", row.name.c_str(), Cell(verdicts[0]),
+                Cell(verdicts[1]), Cell(verdicts[2]), match ? "yes" : "NO");
+  }
+
+  innet::bench::PrintRule();
+  std::printf("Rows matching the paper's Table 1: %zu/%zu\n", rows.size() - mismatches,
+              rows.size());
+  return mismatches == 0 ? 0 : 1;
+}

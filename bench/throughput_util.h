@@ -1,0 +1,80 @@
+// Helpers for the packet-throughput experiments (Figures 8, 9, 11, 12):
+// drive real Click graphs with prepared packets, measure packets/second on
+// this machine, and cap the reported rate at the paper's 10 GbE line rate —
+// the substrate is a different CPU, but who saturates the NIC first is what
+// the figures are about.
+#ifndef BENCH_THROUGHPUT_UTIL_H_
+#define BENCH_THROUGHPUT_UTIL_H_
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/click/elements.h"
+#include "src/click/graph.h"
+
+namespace innet::bench {
+
+inline constexpr double kLineRateBps = 10e9;
+// Ethernet overhead per frame beyond the visible bytes: preamble (8) +
+// inter-frame gap (12) + CRC (4).
+inline constexpr double kWireOverheadBytes = 24;
+
+inline double LineRatePps(double frame_bytes) {
+  return kLineRateBps / ((frame_bytes + kWireOverheadBytes) * 8.0);
+}
+
+// Pushes copies of `templates` round-robin into `graph`'s first source for
+// `duration_sec` of wall time; returns achieved packets/second.
+inline double MeasurePps(click::Graph* graph, const std::vector<Packet>& templates,
+                         double duration_sec = 0.15) {
+  // Warm-up.
+  for (const Packet& t : templates) {
+    Packet p = t;
+    graph->InjectAtSource(p);
+  }
+  WallTimer timer;
+  uint64_t sent = 0;
+  size_t cursor = 0;
+  while (true) {
+    for (int burst = 0; burst < 256; ++burst) {
+      Packet p = templates[cursor];
+      graph->InjectAtSource(p);
+      ++sent;
+      cursor = cursor + 1 == templates.size() ? 0 : cursor + 1;
+    }
+    if (timer.ElapsedSec() >= duration_sec) {
+      break;
+    }
+  }
+  return static_cast<double>(sent) / timer.ElapsedSec();
+}
+
+// Round-robin across several graphs (one per VM), all sharing one core —
+// the Figure 9 / Figure 12 setup.
+inline double MeasureAggregatePps(const std::vector<click::Graph*>& graphs,
+                                  const std::vector<std::vector<Packet>>& templates,
+                                  double duration_sec = 0.15) {
+  WallTimer timer;
+  uint64_t sent = 0;
+  std::vector<size_t> cursors(graphs.size(), 0);
+  while (true) {
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      const std::vector<Packet>& batch = templates[g];
+      size_t& cursor = cursors[g];
+      for (int burst = 0; burst < 32; ++burst) {
+        Packet p = batch[cursor];
+        graphs[g]->InjectAtSource(p);
+        ++sent;
+        cursor = cursor + 1 == batch.size() ? 0 : cursor + 1;
+      }
+    }
+    if (timer.ElapsedSec() >= duration_sec) {
+      break;
+    }
+  }
+  return static_cast<double>(sent) / timer.ElapsedSec();
+}
+
+}  // namespace innet::bench
+
+#endif  // BENCH_THROUGHPUT_UTIL_H_

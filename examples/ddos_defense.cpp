@@ -1,0 +1,70 @@
+// The §8 DoS-protection use case: a content provider under a Slowloris
+// attack instantiates reverse-proxy processing modules at In-Net platforms
+// and diverts traffic to them. This example walks the control-plane side:
+// what the provider submits, what the controller verifies, and why the
+// proxies are safe to run unsandboxed.
+//
+//   $ ./build/examples/ddos_defense
+#include <cstdio>
+
+#include "src/controller/controller.h"
+#include "src/controller/stock_modules.h"
+#include "src/topology/network.h"
+
+using namespace innet;
+
+int main() {
+  controller::Controller ctrl(topology::Network::MakeFigure3());
+  const Ipv4Address origin = Ipv4Address::MustParse("5.5.5.5");
+
+  std::printf("Slowloris detected at the origin %s: deploying In-Net reverse proxies\n\n",
+              origin.ToString().c_str());
+
+  for (int i = 0; i < 3; ++i) {
+    controller::ClientRequest request;
+    request.client_id = "victim-proxy" + std::to_string(i);
+    request.requester = controller::RequesterClass::kThirdParty;
+    request.click_config = controller::StockReverseProxy(origin);
+    // Explicit authorization: the provider registers its origin, so the
+    // proxies' fetch traffic is allowed by default-off.
+    request.whitelist = {origin};
+    // The proxy must answer web clients: traffic from anywhere on TCP 80
+    // must reach the proxy element and a response must reach the Internet.
+    request.requirements = "reach from internet tcp dst port 80 -> module:proxy -> internet";
+
+    controller::DeployOutcome outcome = ctrl.Deploy(request);
+    if (!outcome.accepted) {
+      std::printf("proxy %d rejected: %s\n", i, outcome.reason.c_str());
+      continue;
+    }
+    std::printf("proxy %d: %s on %s  security=%s  (checked in %.1f ms)\n", i,
+                outcome.module_addr.ToString().c_str(), outcome.platform.c_str(),
+                outcome.sandboxed ? "sandboxed" : "statically safe",
+                outcome.model_build_ms + outcome.check_ms);
+    std::printf("         -> update DNS: www.victim.example A %s\n",
+                outcome.module_addr.ToString().c_str());
+  }
+
+  std::printf("\nWhy the static check passes (Table 1's reverse-proxy row): every egress\n"
+              "flow either answers the requester (implicit authorization) or fetches from\n"
+              "the whitelisted origin — no sandbox needed, full forwarding performance.\n");
+
+  std::printf("\nContrast: the same provider asking for a *transparent* proxy is refused:\n");
+  controller::ClientRequest bad;
+  bad.client_id = "victim-transparent";
+  bad.requester = controller::RequesterClass::kThirdParty;
+  bad.click_config = "FromNetfront() -> TransparentProxy() -> ToNetfront();";
+  controller::DeployOutcome refused = ctrl.Deploy(bad);
+  std::printf("  -> %s (%s)\n", refused.accepted ? "ACCEPTED?!" : "rejected",
+              refused.reason.c_str());
+  std::printf("  transparent proxies relay attacker-addressed transit traffic — exactly the\n"
+              "  DDoS amplifier default-off exists to prevent (§2.1, §7).\n");
+
+  std::printf("\nAttack over: the provider kills the proxies.\n");
+  while (!ctrl.deployments().empty()) {
+    std::string id = ctrl.deployments().front().module_id;
+    ctrl.Kill(id);
+    std::printf("  killed %s\n", id.c_str());
+  }
+  return 0;
+}

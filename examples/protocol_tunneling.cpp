@@ -1,0 +1,70 @@
+// The §8 "Protocol Tunneling" use case: an application wants to run SCTP
+// across the Internet. Middleboxes force a tunnel — UDP performs far better,
+// but some firewalls drop non-DNS UDP. Instead of burning SCTP's 3-second
+// initial timeout probing, the client asks the In-Net controller a ~ms-scale
+// reachability question and picks the right tunnel immediately.
+//
+//   $ ./build/examples/protocol_tunneling
+#include <cstdio>
+
+#include "src/controller/controller.h"
+#include "src/topology/network.h"
+#include "src/transport/tunnel_experiment.h"
+
+using namespace innet;
+
+namespace {
+
+// Asks the operator whether plain UDP from this client reaches the Internet
+// with the payload intact (the Figure 1 check).
+bool UdpWorks(controller::Controller* ctrl) {
+  std::string error;
+  symexec::SymGraph graph = ctrl->BuildVerificationGraph(nullptr, &error);
+  policy::ReachChecker checker(&graph, ctrl->MakeResolver(nullptr));
+  auto spec =
+      policy::ReachSpec::Parse("reach from client udp -> internet const payload", &error);
+  if (!spec) {
+    return false;
+  }
+  return checker.Check(*spec).satisfied;
+}
+
+}  // namespace
+
+int main() {
+  controller::Controller ctrl(topology::Network::MakeFigure3());
+
+  std::printf("Asking the operator: does plain UDP reach the Internet unmodified?\n");
+  bool udp_ok = UdpWorks(&ctrl);
+  std::printf("  -> %s\n\n", udp_ok ? "yes (stateful firewall allows outbound UDP)"
+                                    : "no (fall back to a TCP tunnel)");
+
+  transport::TunnelMode mode =
+      udp_ok ? transport::TunnelMode::kUdp : transport::TunnelMode::kTcp;
+  std::printf("Tunneling SCTP over %s on a 100 Mb/s, 20 ms-RTT path:\n",
+              udp_ok ? "UDP" : "TCP");
+  std::printf("%-10s %-16s\n", "loss (%)", "goodput (Mb/s)");
+  for (double loss : {0.0, 0.02, 0.05}) {
+    transport::TunnelParams params;
+    params.loss_rate = loss;
+    params.duration_sec = 10;
+    params.seed_repeats = 3;
+    auto result = transport::RunSctpTunnelExperiment(mode, params);
+    std::printf("%-10.0f %-16.2f\n", loss * 100, result.goodput_mbps);
+  }
+
+  std::printf("\nThe road not taken (what the wrong choice would have cost at 2%% loss):\n");
+  transport::TunnelParams params;
+  params.loss_rate = 0.02;
+  params.duration_sec = 10;
+  params.seed_repeats = 3;
+  auto udp_result = transport::RunSctpTunnelExperiment(transport::TunnelMode::kUdp, params);
+  auto tcp_result = transport::RunSctpTunnelExperiment(transport::TunnelMode::kTcp, params);
+  std::printf("  SCTP over UDP: %.1f Mb/s   over TCP: %.1f Mb/s  (%.1fx)\n",
+              udp_result.goodput_mbps, tcp_result.goodput_mbps,
+              udp_result.goodput_mbps / tcp_result.goodput_mbps);
+  std::printf("\n(§8: the In-Net reachability query takes ~200 ms end to end, versus the\n"
+              " 3 s SCTP spec timeout a blind UDP probe would risk — and it also proves\n"
+              " the payload survives, which probing cannot.)\n");
+  return 0;
+}

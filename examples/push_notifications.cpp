@@ -1,0 +1,88 @@
+// The paper's unifying example (§4.5) end to end: a mobile customer deploys
+// a push-notification batcher, the operator's controller verifies and places
+// it, the platform runs it on a simulated clock, and the radio energy model
+// quantifies the battery savings (Figure 13's use case).
+//
+//   $ ./build/examples/push_notifications
+#include <cstdio>
+#include <vector>
+
+#include "src/click/elements.h"
+#include "src/controller/controller.h"
+#include "src/energy/radio_model.h"
+#include "src/platform/platform.h"
+#include "src/topology/network.h"
+
+using namespace innet;
+
+int main() {
+  // --- Control plane: request -> verification -> placement ---------------------
+  controller::Controller ctrl(topology::Network::MakeFigure3());
+  controller::ClientRequest request;
+  request.client_id = "phone";
+  request.requester = controller::RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() ->"
+      "IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0)"
+      "-> TimedUnqueue(120,100)"
+      "-> dst :: ToNetfront();";
+  request.requirements = "reach from internet udp -> client dst port 1500 const payload";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+
+  controller::DeployOutcome outcome = ctrl.Deploy(request);
+  if (!outcome.accepted) {
+    std::printf("rejected: %s\n", outcome.reason.c_str());
+    return 1;
+  }
+  std::printf("controller placed the batcher on %s at %s (verified in %.1f ms)\n",
+              outcome.platform.c_str(), outcome.module_addr.ToString().c_str(),
+              outcome.model_build_ms + outcome.check_ms);
+
+  // --- Data plane: the platform boots a ClickOS VM and batches traffic ----------
+  sim::EventQueue clock;
+  platform::InNetPlatform box(&clock);
+  std::string error;
+  if (box.Install(outcome.module_addr, ctrl.deployments()[0].config_text, &error) == 0) {
+    std::printf("install failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<double> wakeup_times;
+  box.SetEgressHandler([&clock, &wakeup_times](Packet& p) {
+    double now = sim::ToSeconds(clock.now());
+    if (wakeup_times.empty() || now - wakeup_times.back() > 1.0) {
+      wakeup_times.push_back(now);
+      std::printf("  t=%6.0f s: batch delivered to the phone (%s)\n", now,
+                  p.Describe().c_str());
+    }
+  });
+
+  // An app server pushes one 1 KB notification every 30 s for 20 minutes.
+  constexpr double kWindowSec = 1200;
+  for (double t = 1; t < kWindowSec; t += 30) {
+    clock.ScheduleAt(sim::FromSeconds(t), [&box, &outcome] {
+      Packet note = Packet::MakeUdp(Ipv4Address::MustParse("5.5.5.5"), outcome.module_addr,
+                                    4000, 1500, 1024);
+      Packet p = note;
+      box.HandlePacket(p);
+    });
+  }
+  clock.RunUntil(sim::FromSeconds(kWindowSec));
+
+  // --- Energy: batching vs direct delivery ---------------------------------------
+  energy::RadioEnergyModel radio;
+  std::vector<double> unbatched;
+  for (double t = 1; t < kWindowSec; t += 30) {
+    unbatched.push_back(t);
+  }
+  double direct_mw = radio.AveragePowerMw(unbatched, kWindowSec);
+  double batched_mw = radio.AveragePowerMw(wakeup_times, kWindowSec);
+  std::printf("\nradio wake-ups: %zu direct vs %zu batched\n", unbatched.size(),
+              wakeup_times.size());
+  std::printf("average device power: %.0f mW direct vs %.0f mW batched (%.0f%% saved)\n",
+              direct_mw, batched_mw, (1 - batched_mw / direct_mw) * 100);
+  std::printf("(the client trades up to 120 s of notification delay for battery — §4.5)\n");
+  return 0;
+}

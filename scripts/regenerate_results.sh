@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, and regenerates every paper
+# table/figure plus the ablations, recording the outputs at the repo root.
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
+done 2>&1 | tee bench_output.txt

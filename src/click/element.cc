@@ -1,0 +1,45 @@
+#include "src/click/element.h"
+
+namespace innet::click {
+namespace {
+
+PacketTraceHook& GlobalTraceHook() {
+  static PacketTraceHook hook;
+  return hook;
+}
+
+}  // namespace
+
+void SetPacketTraceHook(PacketTraceHook hook) {
+  GlobalTraceHook() = std::move(hook);
+  Element::trace_enabled_ = static_cast<bool>(GlobalTraceHook());
+}
+
+void Element::Trace(int out_port, const Packet& packet) const {
+  const PacketTraceHook& hook = GlobalTraceHook();
+  if (hook) {
+    hook(*this, out_port, packet);
+  }
+}
+
+bool Element::Configure(const std::string& args, std::string* error) {
+  if (!args.empty()) {
+    *error = std::string(class_name()) + " takes no configuration, got '" + args + "'";
+    return false;
+  }
+  return true;
+}
+
+void Element::ConnectOutput(int out_port, Element* target, int target_port) {
+  if (out_port >= 0 && static_cast<size_t>(out_port) < outputs_.size()) {
+    outputs_[static_cast<size_t>(out_port)] = PortTarget{target, target_port};
+  }
+}
+
+void Element::SetPorts(int inputs, int outputs) {
+  n_inputs_ = inputs;
+  n_outputs_ = outputs;
+  outputs_.assign(static_cast<size_t>(outputs < 0 ? 0 : outputs), PortTarget{});
+}
+
+}  // namespace innet::click

@@ -1,0 +1,115 @@
+// The Click-style element framework: small units of packet processing wired
+// into a directed graph by a configuration (src/click/config_parser.h).
+//
+// The engine is push-based: upstream elements call Output(port).Push(packet),
+// and packets are modified in place. Elements that hold packets (queues,
+// batchers) copy them; Packet is a value type.
+#ifndef SRC_CLICK_ELEMENT_H_
+#define SRC_CLICK_ELEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/netcore/packet.h"
+#include "src/sim/event_queue.h"
+
+namespace innet::click {
+
+class Element;
+
+// Where an element's output port points.
+struct PortTarget {
+  Element* element = nullptr;
+  int port = 0;
+  bool connected() const { return element != nullptr; }
+};
+
+// Per-graph services elements may use. Timed elements (TimedUnqueue) need a
+// clock; elements that expire state (ChangeEnforcer) read it lazily.
+struct ElementContext {
+  sim::EventQueue* clock = nullptr;
+};
+
+// Optional process-wide packet tracing: when set, every inter-element
+// forward invokes the hook. Used by debugging tools (tools/innet_run); the
+// fast path pays a single pointer test when disabled.
+using PacketTraceHook = std::function<void(const Element& from, int out_port,
+                                           const Packet& packet)>;
+void SetPacketTraceHook(PacketTraceHook hook);
+// RAII enabling of the hook for a scope.
+class ScopedPacketTrace {
+ public:
+  explicit ScopedPacketTrace(PacketTraceHook hook) { SetPacketTraceHook(std::move(hook)); }
+  ~ScopedPacketTrace() { SetPacketTraceHook(nullptr); }
+  ScopedPacketTrace(const ScopedPacketTrace&) = delete;
+  ScopedPacketTrace& operator=(const ScopedPacketTrace&) = delete;
+};
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  // Class name, e.g. "IPFilter".
+  virtual std::string_view class_name() const = 0;
+
+  // Number of input/output ports. Determined after Configure().
+  int n_inputs() const { return n_inputs_; }
+  int n_outputs() const { return n_outputs_; }
+
+  // Parses the configuration string. Returns false and fills *error on
+  // failure. Default: accepts only an empty configuration.
+  virtual bool Configure(const std::string& args, std::string* error);
+
+  // Handles a packet arriving on `port`. Elements forward with ForwardTo().
+  virtual void Push(int port, Packet& packet) = 0;
+
+  // Called once after the graph is wired, before any packet flows.
+  virtual void Initialize(ElementContext* context) { context_ = context; }
+
+  // --- Wiring (used by Graph) -------------------------------------------------
+  void ConnectOutput(int out_port, Element* target, int target_port);
+  const PortTarget& output(int port) const { return outputs_[port]; }
+
+  // Instance name from the configuration ("batcher" in "batcher :: ...").
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  uint64_t drops() const { return drops_; }
+
+ protected:
+  void SetPorts(int inputs, int outputs);
+
+  // Forwards to the element connected at `out_port`; drops if unconnected.
+  void ForwardTo(int out_port, Packet& packet) {
+    if (trace_enabled_) {
+      Trace(out_port, packet);
+    }
+    const PortTarget& target = outputs_[static_cast<size_t>(out_port)];
+    if (target.connected()) {
+      target.element->Push(target.port, packet);
+    } else {
+      ++drops_;
+    }
+  }
+
+  void CountDrop() { ++drops_; }
+  sim::EventQueue* clock() const { return context_ != nullptr ? context_->clock : nullptr; }
+
+ private:
+  friend void SetPacketTraceHook(PacketTraceHook hook);
+  void Trace(int out_port, const Packet& packet) const;
+  static inline bool trace_enabled_ = false;
+
+  std::string name_;
+  int n_inputs_ = 1;
+  int n_outputs_ = 1;
+  std::vector<PortTarget> outputs_{1};
+  uint64_t drops_ = 0;
+  ElementContext* context_ = nullptr;
+};
+
+}  // namespace innet::click
+
+#endif  // SRC_CLICK_ELEMENT_H_

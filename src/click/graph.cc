@@ -1,0 +1,88 @@
+#include "src/click/graph.h"
+
+namespace innet::click {
+
+std::unique_ptr<Graph> Graph::Build(const ConfigGraph& config, std::string* error,
+                                    const Registry& registry, sim::EventQueue* clock) {
+  auto graph = std::unique_ptr<Graph>(new Graph());
+  graph->config_ = config;
+  graph->context_.clock = clock;
+
+  for (const ElementDecl& decl : config.elements) {
+    std::unique_ptr<Element> element = registry.Create(decl.class_name, decl.args, error);
+    if (element == nullptr) {
+      *error = "element '" + decl.name + "': " + *error;
+      return nullptr;
+    }
+    element->set_name(decl.name);
+    graph->by_name_[decl.name] = element.get();
+    if (graph->default_source_ == nullptr && element->class_name() == "FromNetfront") {
+      graph->default_source_ = element.get();
+    }
+    graph->elements_.push_back(std::move(element));
+  }
+
+  for (const Connection& conn : config.connections) {
+    Element* from = graph->Find(conn.from);
+    Element* to = graph->Find(conn.to);
+    if (from == nullptr || to == nullptr) {
+      *error = "connection references unknown element '" +
+               (from == nullptr ? conn.from : conn.to) + "'";
+      return nullptr;
+    }
+    if (conn.from_port < 0 || conn.from_port >= from->n_outputs()) {
+      *error = "output port " + std::to_string(conn.from_port) + " out of range on '" +
+               conn.from + "' (" + std::to_string(from->n_outputs()) + " outputs)";
+      return nullptr;
+    }
+    if (conn.to_port < 0 || conn.to_port >= to->n_inputs()) {
+      *error = "input port " + std::to_string(conn.to_port) + " out of range on '" + conn.to +
+               "' (" + std::to_string(to->n_inputs()) + " inputs)";
+      return nullptr;
+    }
+    from->ConnectOutput(conn.from_port, to, conn.to_port);
+  }
+
+  for (auto& element : graph->elements_) {
+    element->Initialize(&graph->context_);
+  }
+  return graph;
+}
+
+std::unique_ptr<Graph> Graph::FromText(const std::string& text, std::string* error,
+                                       sim::EventQueue* clock) {
+  auto config = ConfigGraph::Parse(text, error);
+  if (!config) {
+    return nullptr;
+  }
+  return Build(*config, error, Registry::Global(), clock);
+}
+
+Element* Graph::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Element* Graph::FindByClass(std::string_view class_name) const {
+  for (const auto& element : elements_) {
+    if (element->class_name() == class_name) {
+      return element.get();
+    }
+  }
+  return nullptr;
+}
+
+void Graph::Inject(const std::string& name, Packet& packet) {
+  Element* element = Find(name);
+  if (element != nullptr) {
+    element->Push(0, packet);
+  }
+}
+
+void Graph::InjectAtSource(Packet& packet) {
+  if (default_source_ != nullptr) {
+    default_source_->Push(0, packet);
+  }
+}
+
+}  // namespace innet::click

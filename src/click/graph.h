@@ -1,0 +1,57 @@
+// Graph: an instantiated, wired, runnable Click configuration.
+#ifndef SRC_CLICK_GRAPH_H_
+#define SRC_CLICK_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/click/config_parser.h"
+#include "src/click/element.h"
+#include "src/click/registry.h"
+
+namespace innet::click {
+
+class Graph {
+ public:
+  // Instantiates every declared element against `registry`, wires the
+  // connections, and calls Initialize(). Returns nullptr and fills *error on
+  // unknown classes, bad configurations, or out-of-range ports.
+  static std::unique_ptr<Graph> Build(const ConfigGraph& config, std::string* error,
+                                      const Registry& registry = Registry::Global(),
+                                      sim::EventQueue* clock = nullptr);
+
+  // Convenience: parse + build in one step.
+  static std::unique_ptr<Graph> FromText(const std::string& text, std::string* error,
+                                         sim::EventQueue* clock = nullptr);
+
+  Element* Find(const std::string& name) const;
+  // First element of the given class, or nullptr.
+  Element* FindByClass(std::string_view class_name) const;
+  template <typename T>
+  T* FindAs(const std::string& name) const {
+    return dynamic_cast<T*>(Find(name));
+  }
+
+  // Injects a packet at the named element (typically a FromNetfront).
+  void Inject(const std::string& name, Packet& packet);
+  // Injects at the first FromNetfront.
+  void InjectAtSource(Packet& packet);
+
+  const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
+  const ConfigGraph& config() const { return config_; }
+
+ private:
+  Graph() = default;
+
+  ConfigGraph config_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::unordered_map<std::string, Element*> by_name_;
+  Element* default_source_ = nullptr;
+  ElementContext context_;
+};
+
+}  // namespace innet::click
+
+#endif  // SRC_CLICK_GRAPH_H_

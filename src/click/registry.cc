@@ -1,0 +1,99 @@
+#include "src/click/registry.h"
+
+#include "src/click/elements.h"
+#include "src/click/elements_switching.h"
+
+namespace innet::click {
+namespace {
+
+template <typename T>
+ElementFactory MakeFactory() {
+  return [] { return std::make_unique<T>(); };
+}
+
+}  // namespace
+
+Registry::Registry() {
+  Register("FromNetfront", MakeFactory<FromNetfront>());
+  Register("FromDevice", MakeFactory<FromNetfront>());  // alias
+  Register("ToNetfront", MakeFactory<ToNetfront>());
+  Register("ToDevice", MakeFactory<ToNetfront>());  // alias
+  Register("Discard", MakeFactory<Discard>());
+  Register("Counter", MakeFactory<Counter>());
+  Register("Tee", MakeFactory<Tee>());
+  Register("IPFilter", MakeFactory<IPFilter>());
+  Register("IPClassifier", MakeFactory<IPClassifier>());
+  Register("Classifier", MakeFactory<Classifier>());
+  Register("IPRewriter", MakeFactory<IPRewriter>());
+  Register("SetIPSrc", MakeFactory<SetIPSrc>());
+  Register("SetIPDst", MakeFactory<SetIPDst>());
+  Register("DecIPTTL", MakeFactory<DecIPTTL>());
+  Register("CheckIPHeader", MakeFactory<CheckIPHeader>());
+  Register("TimedUnqueue", MakeFactory<TimedUnqueue>());
+  Register("Queue", MakeFactory<Queue>());
+  Register("ChangeEnforcer", MakeFactory<ChangeEnforcer>());
+  Register("FlowMeter", MakeFactory<FlowMeter>());
+  Register("RateLimiter", MakeFactory<RateLimiter>());
+  Register("ContentMatch", MakeFactory<ContentMatch>());
+  Register("UDPTunnelEncap", MakeFactory<UDPTunnelEncap>());
+  Register("UDPTunnelDecap", MakeFactory<UDPTunnelDecap>());
+  Register("LinearIPLookup", MakeFactory<LinearIPLookup>());
+  Register("NatRewriter", MakeFactory<NatRewriter>());
+  Register("DnsGeoServer", MakeFactory<DnsGeoServer>());
+  Register("ReverseProxy", MakeFactory<ReverseProxy>());
+  Register("X86Vm", MakeFactory<X86Vm>());
+  Register("TransparentProxy", MakeFactory<TransparentProxy>());
+  Register("Paint", MakeFactory<Paint>());
+  Register("PaintSwitch", MakeFactory<PaintSwitch>());
+  Register("RoundRobinSwitch", MakeFactory<RoundRobinSwitch>());
+  Register("HashSwitch", MakeFactory<HashSwitch>());
+  Register("RandomSample", MakeFactory<RandomSample>());
+  Register("SetTTL", MakeFactory<SetTTL>());
+  Register("ICMPPingResponder", MakeFactory<ICMPPingResponder>());
+  Register("ExplicitProxy", MakeFactory<ExplicitProxy>());
+  Register("AddressDemux", MakeFactory<AddressDemux>());
+}
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::Register(const std::string& class_name, ElementFactory factory) {
+  factories_.emplace_back(class_name, std::move(factory));
+}
+
+bool Registry::Contains(const std::string& class_name) const {
+  for (const auto& [name, factory] : factories_) {
+    if (name == class_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Element> Registry::Create(const std::string& class_name, const std::string& args,
+                                          std::string* error) const {
+  for (const auto& [name, factory] : factories_) {
+    if (name == class_name) {
+      std::unique_ptr<Element> element = factory();
+      if (!element->Configure(args, error)) {
+        return nullptr;
+      }
+      return element;
+    }
+  }
+  *error = "unknown element class '" + class_name + "'";
+  return nullptr;
+}
+
+std::vector<std::string> Registry::KnownClasses() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace innet::click

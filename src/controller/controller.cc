@@ -1,0 +1,429 @@
+#include "src/controller/controller.h"
+
+#include <algorithm>
+#include <climits>
+#include <chrono>
+
+#include "src/controller/stock_modules.h"
+#include "src/symexec/click_models.h"
+
+namespace innet::controller {
+
+using policy::ReachChecker;
+using policy::ReachSpec;
+using symexec::SymGraph;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Controller::Controller(topology::Network network) : network_(std::move(network)) {}
+
+bool Controller::AddOperatorPolicy(const std::string& reach_statement, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  auto spec = ReachSpec::Parse(reach_statement, error);
+  if (!spec) {
+    return false;
+  }
+  operator_policies_.push_back(std::move(*spec));
+  return true;
+}
+
+std::optional<Ipv4Address> Controller::NextAddress(const topology::Node& platform) const {
+  // Addresses .10 upward in the platform pool; skip those already assigned.
+  for (uint32_t offset = 10; offset < 250; ++offset) {
+    Ipv4Address candidate(platform.address_pool.base().value() + offset);
+    bool taken = false;
+    for (const Deployment& dep : deployments_) {
+      if (dep.addr == candidate) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+symexec::SymGraph Controller::BuildVerificationGraph(const Deployment* trial,
+                                                     std::string* error) {
+  // Attach every committed module plus the trial one, then build and merge.
+  network_.ClearAttachments();
+  network_.ClearFirewallPinholes();
+  std::vector<const Deployment*> all;
+  for (const Deployment& dep : deployments_) {
+    all.push_back(&dep);
+  }
+  if (trial != nullptr) {
+    all.push_back(trial);
+  }
+  for (const Deployment* dep : all) {
+    for (const FlowSpec& pinhole : dep->pinholes) {
+      network_.AddFirewallPinhole(pinhole);
+    }
+  }
+  for (const Deployment* dep : all) {
+    std::vector<std::string> sources = symexec::ModuleSources(dep->config);
+    std::vector<std::string> sinks = symexec::ModuleSinks(dep->config);
+    topology::Network::ModuleAttachment att;
+    att.platform = dep->platform;
+    att.addr = dep->addr;
+    att.entry_node = sources.empty() ? "" : dep->module_id + "/" + sources[0];
+    att.exit_node = sinks.empty() ? "" : dep->module_id + "/" + sinks[0];
+    network_.AttachModule(std::move(att));
+  }
+
+  SymGraph graph = network_.BuildSymGraph();
+  for (const Deployment* dep : all) {
+    auto module_graph = symexec::BuildClickModel(dep->config, error, /*embedded=*/true);
+    if (!module_graph) {
+      continue;  // committed deployments were validated before; trial caller checks *error
+    }
+    graph.Merge(*module_graph, dep->module_id);
+
+    // Wire the platform switch to the module. The platform's module ports
+    // start after its physical links, in attachment order.
+    const topology::Node* platform = network_.Find(dep->platform);
+    int platform_id = graph.FindNode(dep->platform);
+    if (platform == nullptr || platform_id < 0) {
+      continue;
+    }
+    int module_port = static_cast<int>(platform->neighbors.size());
+    for (const auto& att : network_.attachments()) {
+      if (att.platform == dep->platform) {
+        if (att.addr == dep->addr) {
+          break;
+        }
+        ++module_port;
+      }
+    }
+    std::vector<std::string> sources = symexec::ModuleSources(dep->config);
+    std::vector<std::string> sinks = symexec::ModuleSinks(dep->config);
+    if (!sources.empty()) {
+      int entry = graph.FindNode(dep->module_id + "/" + sources[0]);
+      if (entry >= 0) {
+        graph.Connect(platform_id, module_port, entry, 0);
+      }
+    }
+    // Every module egress returns to the platform on the module's port.
+    for (const std::string& sink : sinks) {
+      int exit = graph.FindNode(dep->module_id + "/" + sink);
+      if (exit >= 0) {
+        graph.Connect(exit, 0, platform_id, module_port);
+      }
+    }
+  }
+  network_.ClearAttachments();
+  return graph;
+}
+
+policy::NodeResolver Controller::MakeResolver(const Deployment* trial) const {
+  // Capture by value what we need; the resolver outlives this call.
+  std::string module_id = trial != nullptr ? trial->module_id : "";
+  Ipv4Address module_addr = trial != nullptr ? trial->addr : Ipv4Address();
+  const topology::Network* net = &network_;
+  // Per committed deployment: (address, module id, element node names).
+  struct DeployedRef {
+    Ipv4Address addr;
+    std::string id;
+    std::vector<std::string> nodes;
+  };
+  std::vector<DeployedRef> deployed_addrs;
+  for (const Deployment& dep : deployments_) {
+    DeployedRef ref;
+    ref.addr = dep.addr;
+    ref.id = dep.module_id;
+    for (const click::ElementDecl& decl : dep.config.elements) {
+      ref.nodes.push_back(dep.module_id + "/" + decl.name);
+    }
+    deployed_addrs.push_back(std::move(ref));
+  }
+
+  return [net, module_id, module_addr, deployed_addrs,
+          trial_config = trial != nullptr ? trial->config : click::ConfigGraph()](
+             const std::string& spec) -> std::vector<std::string> {
+    if (spec == "internet") {
+      std::vector<std::string> names;
+      for (const topology::Node& node : net->nodes()) {
+        if (node.kind == topology::NodeKind::kInternet) {
+          names.push_back(node.name);
+        }
+      }
+      return names;
+    }
+    if (spec == "client" || spec == "clients") {
+      std::vector<std::string> names;
+      for (const topology::Node& node : net->nodes()) {
+        if (node.kind == topology::NodeKind::kClientSubnet) {
+          names.push_back(node.name);
+        }
+      }
+      return names;
+    }
+    // Sentinel: any element of the module under deployment.
+    if (spec == "__module_any__") {
+      std::vector<std::string> names;
+      if (!module_id.empty()) {
+        for (const click::ElementDecl& decl : trial_config.elements) {
+          names.push_back(module_id + "/" + decl.name);
+        }
+      }
+      return names;
+    }
+    // Fully-qualified graph node names ("module-id/element") pass through
+    // untouched — but "10.3.0.0/16" is a prefix, handled below.
+    if (spec.find('/') != std::string::npos && !Ipv4Prefix::Parse(spec).has_value()) {
+      return {spec};
+    }
+    // Module element reference "module:element[:port]". The first segment
+    // may name a committed module id; otherwise it denotes the module under
+    // deployment.
+    size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+      std::string owner = spec.substr(0, colon);
+      std::string element = spec.substr(colon + 1);
+      size_t colon2 = element.find(':');
+      if (colon2 != std::string::npos) {
+        element = element.substr(0, colon2);  // the trailing :port is accepted and ignored
+      }
+      for (const DeployedRef& ref : deployed_addrs) {
+        if (ref.id == owner) {
+          return {ref.id + "/" + element};
+        }
+      }
+      if (!module_id.empty()) {
+        return {module_id + "/" + element};
+      }
+      return {};
+    }
+    // IP address or prefix: the owning endpoint, or a deployed module (any
+    // of whose elements counts as a waypoint hit).
+    if (auto addr = Ipv4Address::Parse(spec)) {
+      if (!module_id.empty() && *addr == module_addr) {
+        std::vector<std::string> names;
+        for (const click::ElementDecl& decl : trial_config.elements) {
+          names.push_back(module_id + "/" + decl.name);
+        }
+        return names;
+      }
+      for (const DeployedRef& ref : deployed_addrs) {
+        if (*addr == ref.addr) {
+          return ref.nodes;
+        }
+      }
+      if (const topology::Node* owner = net->OwnerOf(*addr)) {
+        return {owner->name};
+      }
+      return {};
+    }
+    if (auto prefix = Ipv4Prefix::Parse(spec)) {
+      for (const topology::Node& node : net->nodes()) {
+        if (node.kind == topology::NodeKind::kClientSubnet &&
+            node.subnet.Overlaps(*prefix)) {
+          return {node.name};
+        }
+      }
+      return {};
+    }
+    // A bare element name of the trial module, or a topology node name.
+    if (!module_id.empty() && trial_config.FindElement(spec) != nullptr) {
+      return {module_id + "/" + spec};
+    }
+    if (net->Find(spec) != nullptr) {
+      return {spec};
+    }
+    return {};
+  };
+}
+
+bool Controller::CheckAllRequirements(const SymGraph& graph, const Deployment& trial,
+                                      const std::vector<ReachSpec>& specs, std::string* failure,
+                                      uint64_t* steps, bool via_module) const {
+  symexec::EngineOptions options;
+  // Long middlebox chains (the Figure 10 scaling topologies) need path
+  // budgets proportional to the network diameter.
+  options.max_hops =
+      std::max(256, static_cast<int>(graph.node_count()) * 2 + 64);
+  ReachChecker checker(&graph, MakeResolver(&trial), options);
+  for (const ReachSpec& spec : specs) {
+    ReachSpec effective = spec;
+    if (via_module) {
+      // A client requirement is about *its* processing: the flow must pass
+      // through the module being deployed (this is what makes unreachable
+      // platforms — Figure 3's platforms 1 and 2 for the UDP batcher — fail).
+      policy::ReachNode module_waypoint;
+      module_waypoint.spec = "__module_any__";
+      effective.waypoints.insert(effective.waypoints.begin(), std::move(module_waypoint));
+    }
+    policy::ReachCheckResult result = checker.Check(effective);
+    *steps += result.engine_steps;
+    if (!result.satisfied) {
+      *failure = spec.ToString() + ": " + result.explanation;
+      return false;
+    }
+  }
+  return true;
+}
+
+DeployOutcome Controller::Deploy(const ClientRequest& request) {
+  DeployOutcome outcome;
+  auto t_start = std::chrono::steady_clock::now();
+
+  // Parse the client's requirements once.
+  std::vector<ReachSpec> client_specs;
+  for (const std::string& statement : policy::SplitReachStatements(request.requirements)) {
+    std::string error;
+    auto spec = ReachSpec::Parse(statement, &error);
+    if (!spec) {
+      outcome.reason = "bad requirement: " + error;
+      return outcome;
+    }
+    client_specs.push_back(std::move(*spec));
+  }
+
+  std::vector<const topology::Node*> platforms = network_.Platforms();
+  if (platforms.empty()) {
+    outcome.reason = "no processing platforms available";
+    return outcome;
+  }
+
+  // Geolocation-style placement: prefer platforms close (in hops) to the
+  // traffic sources the client's requirements name — the mechanism behind
+  // the CDN/DNS use cases (§8). Ties and requirement-free requests keep the
+  // declaration order.
+  {
+    policy::NodeResolver resolver = MakeResolver(nullptr);
+    std::vector<std::string> anchors;
+    for (const ReachSpec& spec : client_specs) {
+      for (const std::string& node : resolver(spec.from.spec)) {
+        anchors.push_back(node);
+      }
+    }
+    if (!anchors.empty()) {
+      auto distance = [&](const topology::Node* platform) {
+        int best = INT_MAX;
+        for (const std::string& anchor : anchors) {
+          int d = network_.HopDistance(anchor, platform->name);
+          if (d >= 0 && d < best) {
+            best = d;
+          }
+        }
+        return best;
+      };
+      std::stable_sort(platforms.begin(), platforms.end(),
+                       [&](const topology::Node* a, const topology::Node* b) {
+                         return distance(a) < distance(b);
+                       });
+    }
+  }
+
+  std::string last_failure = "no platform satisfied the request";
+  for (const topology::Node* platform : platforms) {
+    std::optional<Ipv4Address> addr = NextAddress(*platform);
+    if (!addr) {
+      continue;  // pool exhausted
+    }
+
+    // "Compilation": parse the configuration and build its model.
+    auto t_build = std::chrono::steady_clock::now();
+    std::string config_text = SubstituteSelf(request.click_config, *addr);
+    std::string error;
+    auto config = click::ConfigGraph::Parse(config_text, &error);
+    if (!config) {
+      outcome.reason = "bad configuration: " + error;
+      return outcome;
+    }
+    Deployment trial;
+    trial.module_id = request.client_id + "-m" + std::to_string(next_module_seq_);
+    trial.client_id = request.client_id;
+    trial.platform = platform->name;
+    trial.addr = *addr;
+    trial.config = *config;
+    trial.config_text = config_text;
+    // Symbolic execution tells the controller exactly which flows the module
+    // emits; it opens firewall pinholes for precisely those (and only when
+    // the destination explicitly authorized them via the whitelist).
+    for (FlowSpec& pinhole : DeriveEgressPinholes(*config, &error)) {
+      bool authorized = false;
+      for (const AddrPredicate& pred : pinhole.addr_predicates()) {
+        for (Ipv4Address owned : request.whitelist) {
+          if (pred.prefix.Contains(owned)) {
+            authorized = true;
+          }
+        }
+      }
+      if (authorized) {
+        trial.pinholes.push_back(std::move(pinhole));
+      }
+    }
+    SymGraph graph = BuildVerificationGraph(&trial, &error);
+    outcome.model_build_ms += MillisSince(t_build);
+
+    // Checking: security rules, then operator policy, then client
+    // requirements — all on this candidate placement.
+    auto t_check = std::chrono::steady_clock::now();
+    SecurityOptions sec_options;
+    sec_options.requester = request.requester;
+    sec_options.module_addr = *addr;
+    sec_options.whitelist = request.whitelist;
+    sec_options.owned_prefixes = request.owned_prefixes;
+    SecurityReport security = CheckModuleSecurity(*config, sec_options, &error);
+    outcome.security = security;
+    if (security.verdict == Verdict::kRejected) {
+      outcome.check_ms += MillisSince(t_check);
+      last_failure = "security: " + security.Summary();
+      continue;
+    }
+
+    std::string failure;
+    bool ok = CheckAllRequirements(graph, trial, operator_policies_, &failure,
+                                   &outcome.engine_steps, /*via_module=*/false);
+    if (ok) {
+      ok = CheckAllRequirements(graph, trial, client_specs, &failure, &outcome.engine_steps,
+                                /*via_module=*/true);
+    }
+    outcome.check_ms += MillisSince(t_check);
+    if (!ok) {
+      last_failure = "on " + platform->name + ": " + failure;
+      continue;
+    }
+
+    // Commit.
+    trial.sandboxed = security.verdict == Verdict::kNeedsSandbox;
+    outcome.accepted = true;
+    outcome.module_id = trial.module_id;
+    outcome.platform = trial.platform;
+    outcome.module_addr = trial.addr;
+    outcome.sandboxed = trial.sandboxed;
+    outcome.reason = "deployed";
+    deployments_.push_back(std::move(trial));
+    ++next_module_seq_;
+    (void)t_start;
+    return outcome;
+  }
+
+  outcome.reason = last_failure;
+  return outcome;
+}
+
+bool Controller::Kill(const std::string& module_id) {
+  for (size_t i = 0; i < deployments_.size(); ++i) {
+    if (deployments_[i].module_id == module_id) {
+      deployments_.erase(deployments_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace innet::controller

@@ -1,0 +1,101 @@
+// The In-Net controller (§4.3): receives client requests, statically
+// verifies them against a snapshot of the operator network (security rules,
+// operator policy, the client's own requirements), picks a platform, and
+// records the deployment.
+#ifndef SRC_CONTROLLER_CONTROLLER_H_
+#define SRC_CONTROLLER_CONTROLLER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/click/config_parser.h"
+#include "src/controller/security.h"
+#include "src/policy/reach_checker.h"
+#include "src/policy/reach_spec.h"
+#include "src/topology/network.h"
+
+namespace innet::controller {
+
+struct ClientRequest {
+  std::string client_id;
+  RequesterClass requester = RequesterClass::kThirdParty;
+  // Click configuration text (may contain $SELF); see also stock_modules.h.
+  std::string click_config;
+  // Reach statements, one or more, as in Figure 4.
+  std::string requirements;
+  // Destinations this client explicitly authorizes (addresses it owns).
+  std::vector<Ipv4Address> whitelist;
+  // Prefixes the client registered as its own source addresses.
+  std::vector<Ipv4Prefix> owned_prefixes;
+};
+
+struct Deployment {
+  std::string module_id;
+  std::string client_id;
+  std::string platform;
+  Ipv4Address addr;
+  bool sandboxed = false;
+  click::ConfigGraph config;
+  std::string config_text;
+  // Firewall pinholes installed with this deployment: inbound flows to the
+  // client's registered addresses (explicit authorization, §2.1).
+  std::vector<FlowSpec> pinholes;
+};
+
+struct DeployOutcome {
+  bool accepted = false;
+  std::string module_id;
+  std::string platform;
+  Ipv4Address module_addr;
+  bool sandboxed = false;
+  std::string reason;  // why rejected, or which check failed last
+  SecurityReport security;
+  // Timing split, mirroring Figure 10's compilation-vs-checking breakdown.
+  double model_build_ms = 0;
+  double check_ms = 0;
+  uint64_t engine_steps = 0;
+};
+
+class Controller {
+ public:
+  explicit Controller(topology::Network network);
+
+  // Registers an operator policy statement that must hold after every
+  // deployment. Returns false on parse errors.
+  bool AddOperatorPolicy(const std::string& reach_statement, std::string* error = nullptr);
+
+  // Processes a deployment request: tries every platform, returns the first
+  // placement satisfying security + operator policy + client requirements.
+  DeployOutcome Deploy(const ClientRequest& request);
+
+  // Stops a deployed module. Returns false for unknown ids.
+  bool Kill(const std::string& module_id);
+
+  const std::vector<Deployment>& deployments() const { return deployments_; }
+  const topology::Network& network() const { return network_; }
+
+  // Builds the verification graph for the current network plus all committed
+  // deployments (and optionally one trial module). Exposed for tests.
+  symexec::SymGraph BuildVerificationGraph(const Deployment* trial, std::string* error);
+
+  // Resolves reach-language node specs against the current graph; `trial`
+  // names the module whose elements "module:element" refs resolve into.
+  policy::NodeResolver MakeResolver(const Deployment* trial) const;
+
+ private:
+  std::optional<Ipv4Address> NextAddress(const topology::Node& platform) const;
+  bool CheckAllRequirements(const symexec::SymGraph& graph, const Deployment& trial,
+                            const std::vector<policy::ReachSpec>& specs, std::string* failure,
+                            uint64_t* steps, bool via_module) const;
+
+  topology::Network network_;
+  std::vector<Deployment> deployments_;
+  std::vector<policy::ReachSpec> operator_policies_;
+  uint64_t next_module_seq_ = 1;
+};
+
+}  // namespace innet::controller
+
+#endif  // SRC_CONTROLLER_CONTROLLER_H_

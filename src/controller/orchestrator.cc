@@ -1,0 +1,129 @@
+#include "src/controller/orchestrator.h"
+
+#include "src/platform/consolidation.h"
+
+namespace innet::controller {
+
+using platform::InNetPlatform;
+using platform::TenantConfig;
+using platform::Vm;
+
+Orchestrator::Orchestrator(topology::Network network, sim::EventQueue* clock,
+                           platform::VmCostModel cost_model)
+    : controller_(std::move(network)), clock_(clock) {
+  for (const topology::Node* node : controller_.network().Platforms()) {
+    PlatformState state;
+    state.box = std::make_unique<InNetPlatform>(clock_, cost_model);
+    platforms_.emplace(node->name, std::move(state));
+  }
+}
+
+InNetPlatform* Orchestrator::platform(const std::string& name) {
+  auto it = platforms_.find(name);
+  return it == platforms_.end() ? nullptr : it->second.box.get();
+}
+
+size_t Orchestrator::ConsolidatedTenantCount(const std::string& platform_name) const {
+  auto it = platforms_.find(platform_name);
+  return it == platforms_.end() ? 0 : it->second.consolidated.size();
+}
+
+Vm::VmId Orchestrator::RebuildSharedVm(PlatformState* state, std::string* error) {
+  Vm::VmId old_vm = state->shared_vm;
+  if (state->consolidated.empty()) {
+    if (old_vm != 0) {
+      state->box->UninstallVm(old_vm);
+      state->shared_vm = 0;
+    }
+    return 0;
+  }
+  Vm::VmId new_vm = state->box->InstallConsolidated(state->consolidated, error);
+  if (new_vm == 0) {
+    return 0;
+  }
+  if (old_vm != 0) {
+    state->box->UninstallVm(old_vm);
+  }
+  state->shared_vm = new_vm;
+  return new_vm;
+}
+
+OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
+  OrchestratedDeploy result;
+  result.outcome = controller_.Deploy(request);
+  if (!result.outcome.accepted) {
+    return result;
+  }
+  auto it = platforms_.find(result.outcome.platform);
+  if (it == platforms_.end()) {
+    result.outcome.accepted = false;
+    result.outcome.reason = "platform has no data-plane instance";
+    controller_.Kill(result.outcome.module_id);
+    return result;
+  }
+  PlatformState& state = it->second;
+  const Deployment& deployment = controller_.deployments().back();
+
+  std::string error;
+  bool stateless = platform::IsStatelessConfig(deployment.config);
+  if (stateless && !result.outcome.sandboxed) {
+    // Consolidate: static checking already proved the module safe in
+    // isolation; merging adds only the explicit-addressing demux.
+    state.consolidated.push_back(TenantConfig{deployment.addr, deployment.config_text});
+    state.consolidated_module_ids.push_back(deployment.module_id);
+    Vm::VmId vm = RebuildSharedVm(&state, &error);
+    if (vm == 0) {
+      state.consolidated.pop_back();
+      state.consolidated_module_ids.pop_back();
+      controller_.Kill(result.outcome.module_id);
+      result.outcome.accepted = false;
+      result.outcome.reason = "consolidation failed: " + error;
+      return result;
+    }
+    result.consolidated = true;
+    result.vm_id = vm;
+    placements_[result.outcome.module_id] = {result.outcome.platform, 0};
+    return result;
+  }
+
+  // Dedicated VM, sandboxed when the verdict requires it.
+  Vm::VmId vm = state.box->Install(deployment.addr, deployment.config_text, &error,
+                                   platform::VmKind::kClickOs, result.outcome.sandboxed,
+                                   request.whitelist);
+  if (vm == 0) {
+    controller_.Kill(result.outcome.module_id);
+    result.outcome.accepted = false;
+    result.outcome.reason = "platform install failed: " + error;
+    return result;
+  }
+  result.vm_id = vm;
+  placements_[result.outcome.module_id] = {result.outcome.platform, vm};
+  return result;
+}
+
+bool Orchestrator::Kill(const std::string& module_id) {
+  auto placement = placements_.find(module_id);
+  if (placement == placements_.end()) {
+    return false;
+  }
+  const auto& [platform_name, vm_id] = placement->second;
+  PlatformState& state = platforms_.at(platform_name);
+  if (vm_id != 0) {
+    state.box->UninstallVm(vm_id);
+  } else {
+    for (size_t i = 0; i < state.consolidated_module_ids.size(); ++i) {
+      if (state.consolidated_module_ids[i] == module_id) {
+        state.consolidated.erase(state.consolidated.begin() + static_cast<ptrdiff_t>(i));
+        state.consolidated_module_ids.erase(state.consolidated_module_ids.begin() +
+                                            static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    std::string error;
+    RebuildSharedVm(&state, &error);
+  }
+  placements_.erase(placement);
+  return controller_.Kill(module_id);
+}
+
+}  // namespace innet::controller

@@ -1,0 +1,75 @@
+// Orchestrator: the full In-Net deployment flow, control plane to data
+// plane. The controller verifies a request (security + policy + client
+// requirements, §4); the orchestrator then realizes it on the chosen
+// platform, applying §5's scalability tactics:
+//
+//   - statically-safe, stateless modules are *consolidated* into one shared
+//     ClickOS VM per platform (the merge is provably isolation-preserving:
+//     the checker verified each config alone, configs share no elements, and
+//     the demux enforces explicit addressing);
+//   - stateful or sandbox-verdict modules get their own VM, wrapped with a
+//     ChangeEnforcer when required.
+#ifndef SRC_CONTROLLER_ORCHESTRATOR_H_
+#define SRC_CONTROLLER_ORCHESTRATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/controller/controller.h"
+#include "src/platform/platform.h"
+
+namespace innet::controller {
+
+struct OrchestratedDeploy {
+  DeployOutcome outcome;      // the controller's verification result
+  bool consolidated = false;  // true when placed into the shared VM
+  platform::Vm::VmId vm_id = 0;
+};
+
+class Orchestrator {
+ public:
+  // Creates one InNetPlatform per platform node in the network.
+  Orchestrator(topology::Network network, sim::EventQueue* clock,
+               platform::VmCostModel cost_model = {});
+
+  bool AddOperatorPolicy(const std::string& reach_statement, std::string* error = nullptr) {
+    return controller_.AddOperatorPolicy(reach_statement, error);
+  }
+
+  // Verify + realize. On rejection, `outcome.accepted` is false and nothing
+  // is instantiated.
+  OrchestratedDeploy Deploy(const ClientRequest& request);
+
+  // Stops a module: removes its VM or rebuilds the shared VM without it.
+  bool Kill(const std::string& module_id);
+
+  Controller& controller() { return controller_; }
+  platform::InNetPlatform* platform(const std::string& name);
+
+  // Tenants currently sharing the consolidated VM on `platform`.
+  size_t ConsolidatedTenantCount(const std::string& platform_name) const;
+
+ private:
+  struct PlatformState {
+    std::unique_ptr<platform::InNetPlatform> box;
+    std::vector<platform::TenantConfig> consolidated;      // shared-VM tenants
+    std::vector<std::string> consolidated_module_ids;      // parallel to the above
+    platform::Vm::VmId shared_vm = 0;
+  };
+
+  // Rebuilds `state`'s shared VM from its current tenant list. Returns 0 and
+  // fills *error on failure (the old VM is kept in that case).
+  platform::Vm::VmId RebuildSharedVm(PlatformState* state, std::string* error);
+
+  Controller controller_;
+  sim::EventQueue* clock_;
+  std::unordered_map<std::string, PlatformState> platforms_;
+  // module id -> (platform name, dedicated VM id or 0 when consolidated)
+  std::unordered_map<std::string, std::pair<std::string, platform::Vm::VmId>> placements_;
+};
+
+}  // namespace innet::controller
+
+#endif  // SRC_CONTROLLER_ORCHESTRATOR_H_

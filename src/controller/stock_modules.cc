@@ -1,0 +1,56 @@
+#include "src/controller/stock_modules.h"
+
+namespace innet::controller {
+
+std::string StockDnsServer() {
+  return "FromNetfront() -> server :: DnsGeoServer() -> ToNetfront();\n";
+}
+
+std::string StockReverseProxy(Ipv4Address origin) {
+  return "proxy :: ReverseProxy(SELF $SELF, ORIGIN " + origin.ToString() +
+         ");\n"
+         "FromNetfront() -> proxy;\n"
+         "proxy[0] -> ToNetfront();\n"
+         "proxy[1] -> ToNetfront();\n";
+}
+
+std::string StockTunnel(Ipv4Address remote, const Ipv4Prefix& owned) {
+  // Inbound tunneled traffic is decapsulated; the inner source must belong to
+  // the requester's registered prefix (this is what makes the client variant
+  // fully safe in Table 1). The reverse direction encapsulates toward the
+  // tunnel remote, which the controller whitelists.
+  return "decap :: UDPTunnelDecap();\n"
+         "FromNetfront() -> IPClassifier(udp dst port 4789, -) -> decap;\n"
+         "decap -> IPFilter(allow src net " +
+         owned.ToString() +
+         ") -> ToNetfront();\n"
+         "encap :: UDPTunnelEncap($SELF, " +
+         remote.ToString() +
+         ", 4789);\n"
+         "back :: FromNetfront();\n"
+         "back -> encap -> ToNetfront();\n";
+}
+
+std::string StockX86Vm() {
+  return "FromNetfront() -> X86Vm() -> ToNetfront();\n";
+}
+
+std::string SubstituteSelf(const std::string& config, Ipv4Address addr) {
+  std::string out;
+  out.reserve(config.size());
+  const std::string token = "$SELF";
+  size_t pos = 0;
+  while (true) {
+    size_t hit = config.find(token, pos);
+    if (hit == std::string::npos) {
+      out.append(config, pos, std::string::npos);
+      break;
+    }
+    out.append(config, pos, hit - pos);
+    out.append(addr.ToString());
+    pos = hit + token.size();
+  }
+  return out;
+}
+
+}  // namespace innet::controller

@@ -1,0 +1,34 @@
+// Pre-defined "stock" processing modules the platform offers (§4.1): a
+// geolocation DNS server, a reverse HTTP proxy, an explicit tunnel endpoint,
+// and an arbitrary x86 VM. Each helper returns Click configuration text; the
+// token $SELF is replaced with the module's controller-assigned address at
+// deployment time.
+#ifndef SRC_CONTROLLER_STOCK_MODULES_H_
+#define SRC_CONTROLLER_STOCK_MODULES_H_
+
+#include <string>
+
+#include "src/netcore/ip.h"
+
+namespace innet::controller {
+
+// DNS server that resolves queries to nearby replicas.
+std::string StockDnsServer();
+
+// Reverse HTTP proxy (squid-style) caching for `origin`.
+std::string StockReverseProxy(Ipv4Address origin);
+
+// UDP tunnel endpoint decapsulating client traffic toward the Internet and
+// encapsulating the reverse direction toward `remote`. `owned` restricts the
+// inner source addresses to the requester's registered prefix.
+std::string StockTunnel(Ipv4Address remote, const Ipv4Prefix& owned);
+
+// An arbitrary x86 virtual machine (always sandboxed for non-operators).
+std::string StockX86Vm();
+
+// Replaces every "$SELF" in `config` with `addr`.
+std::string SubstituteSelf(const std::string& config, Ipv4Address addr);
+
+}  // namespace innet::controller
+
+#endif  // SRC_CONTROLLER_STOCK_MODULES_H_

@@ -1,0 +1,61 @@
+#include "src/energy/radio_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace innet::energy {
+
+double RadioEnergyModel::AveragePowerMw(const std::vector<double>& activity_times_sec,
+                                        double window_sec) const {
+  if (window_sec <= 0) {
+    return 0;
+  }
+  std::vector<double> times = activity_times_sec;
+  std::sort(times.begin(), times.end());
+
+  // Walk the timeline accumulating energy; each activity restarts the
+  // DCH tail, after which the radio decays through FACH to idle.
+  double energy_mj = 0;  // mW * s
+  double cursor = 0;
+  auto account = [&](double until, double power_mw) {
+    if (until > cursor) {
+      energy_mj += (until - cursor) * power_mw;
+      cursor = until;
+    }
+  };
+
+  for (size_t i = 0; i < times.size(); ++i) {
+    double t = std::clamp(times[i], 0.0, window_sec);
+    account(t, params_.idle_mw);  // idle until this activity (gaps already
+                                  // covered by previous tails below)
+    double dch_until = std::min(t + params_.dch_tail_sec, window_sec);
+    double fach_until = std::min(dch_until + params_.fach_tail_sec, window_sec);
+    // A later activity may arrive inside the tails; stop accounting there.
+    double next = i + 1 < times.size() ? std::clamp(times[i + 1], 0.0, window_sec)
+                                       : window_sec;
+    account(std::min(dch_until, next), params_.dch_mw);
+    account(std::min(fach_until, next), params_.fach_mw);
+  }
+  account(window_sec, params_.idle_mw);
+  return energy_mj / window_sec;
+}
+
+double RadioEnergyModel::PeriodicActivityPowerMw(double interval_sec,
+                                                 double window_sec) const {
+  std::vector<double> times;
+  for (double t = 0; t < window_sec; t += interval_sec) {
+    times.push_back(t);
+  }
+  return AveragePowerMw(times, window_sec);
+}
+
+double RadioEnergyModel::DownloadPowerMw(double rate_bps, bool https) const {
+  double power = params_.idle_mw + params_.wifi_active_mw;
+  if (https) {
+    double bytes_per_sec = rate_bps / 8.0;
+    power += bytes_per_sec * params_.crypto_nj_per_byte * 1e-6;  // nJ/s -> mW
+  }
+  return power;
+}
+
+}  // namespace innet::energy

@@ -1,0 +1,43 @@
+#include "src/netcore/checksum.h"
+
+namespace innet {
+
+uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t initial) {
+  uint64_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < len) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint32_t>(sum);
+}
+
+uint16_t Checksum(const uint8_t* data, size_t len, uint32_t initial) {
+  return static_cast<uint16_t>(~ChecksumPartial(data, len, initial) & 0xFFFF);
+}
+
+uint16_t Ipv4HeaderChecksum(const uint8_t* header, size_t header_len) {
+  return Checksum(header, header_len);
+}
+
+uint16_t TransportChecksum(uint32_t src_host_order, uint32_t dst_host_order, uint8_t protocol,
+                           const uint8_t* segment, size_t segment_len) {
+  uint32_t pseudo = 0;
+  pseudo += src_host_order >> 16;
+  pseudo += src_host_order & 0xFFFF;
+  pseudo += dst_host_order >> 16;
+  pseudo += dst_host_order & 0xFFFF;
+  pseudo += protocol;
+  pseudo += static_cast<uint32_t>(segment_len);
+  while (pseudo >> 16) {
+    pseudo = (pseudo & 0xFFFF) + (pseudo >> 16);
+  }
+  return Checksum(segment, segment_len, pseudo);
+}
+
+}  // namespace innet

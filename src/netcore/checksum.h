@@ -1,0 +1,27 @@
+// RFC 1071 Internet checksum helpers.
+#ifndef SRC_NETCORE_CHECKSUM_H_
+#define SRC_NETCORE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace innet {
+
+// Sums 16-bit big-endian words with end-around carry. `initial` lets callers
+// chain pseudo-header sums. Returns the folded, *uncomplemented* sum.
+uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t initial = 0);
+
+// Final one's-complement checksum of a buffer (already in network byte order).
+uint16_t Checksum(const uint8_t* data, size_t len, uint32_t initial = 0);
+
+// Computes the IPv4 header checksum; the header's checksum field must be
+// zeroed by the caller beforehand (or the result will be garbage).
+uint16_t Ipv4HeaderChecksum(const uint8_t* header, size_t header_len);
+
+// TCP/UDP checksum with IPv4 pseudo-header. Addresses in host byte order.
+uint16_t TransportChecksum(uint32_t src_host_order, uint32_t dst_host_order, uint8_t protocol,
+                           const uint8_t* segment, size_t segment_len);
+
+}  // namespace innet
+
+#endif  // SRC_NETCORE_CHECKSUM_H_

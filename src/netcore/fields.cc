@@ -1,0 +1,60 @@
+#include "src/netcore/fields.h"
+
+namespace innet {
+
+std::string_view HeaderFieldName(HeaderField field) {
+  switch (field) {
+    case HeaderField::kIpSrc:
+      return "src host";
+    case HeaderField::kIpDst:
+      return "dst host";
+    case HeaderField::kProto:
+      return "proto";
+    case HeaderField::kTtl:
+      return "ttl";
+    case HeaderField::kSrcPort:
+      return "src port";
+    case HeaderField::kDstPort:
+      return "dst port";
+    case HeaderField::kPayload:
+      return "payload";
+    case HeaderField::kFirewallTag:
+      return "firewall_tag";
+    case HeaderField::kPaint:
+      return "paint";
+  }
+  return "?";
+}
+
+std::optional<HeaderField> ParseHeaderField(std::string_view text) {
+  if (text == "src host" || text == "src" || text == "ip_src") {
+    return HeaderField::kIpSrc;
+  }
+  if (text == "dst host" || text == "dst" || text == "ip_dst") {
+    return HeaderField::kIpDst;
+  }
+  if (text == "proto" || text == "protocol") {
+    return HeaderField::kProto;
+  }
+  if (text == "ttl") {
+    return HeaderField::kTtl;
+  }
+  if (text == "src port") {
+    return HeaderField::kSrcPort;
+  }
+  if (text == "dst port" || text == "port") {
+    return HeaderField::kDstPort;
+  }
+  if (text == "payload" || text == "data") {
+    return HeaderField::kPayload;
+  }
+  if (text == "firewall_tag") {
+    return HeaderField::kFirewallTag;
+  }
+  if (text == "paint") {
+    return HeaderField::kPaint;
+  }
+  return std::nullopt;
+}
+
+}  // namespace innet

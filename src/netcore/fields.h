@@ -1,0 +1,40 @@
+// Canonical header-field identifiers shared by the runtime engine, the
+// symbolic execution engine, and the policy language.
+#ifndef SRC_NETCORE_FIELDS_H_
+#define SRC_NETCORE_FIELDS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace innet {
+
+// The fields a symbolic packet tracks. This is the SymNet-style abstraction:
+// a handful of header fields plus an opaque payload handle and the soft
+// firewall tag from the paper's Figure 2 model.
+enum class HeaderField : uint8_t {
+  kIpSrc = 0,
+  kIpDst,
+  kProto,
+  kTtl,
+  kSrcPort,
+  kDstPort,
+  kPayload,
+  kFirewallTag,
+  // Click's paint annotation: per-packet metadata set by Paint and read by
+  // PaintSwitch; never leaves the box.
+  kPaint,
+};
+
+inline constexpr int kNumHeaderFields = 9;
+
+// Human-readable name, matching the tcpdump-ish tokens the API uses.
+std::string_view HeaderFieldName(HeaderField field);
+
+// Parses names like "proto", "dst port", "src host", "payload".
+std::optional<HeaderField> ParseHeaderField(std::string_view text);
+
+}  // namespace innet
+
+#endif  // SRC_NETCORE_FIELDS_H_

@@ -1,0 +1,247 @@
+#include "src/netcore/flowspec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace innet {
+namespace {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+std::optional<uint8_t> ProtoByName(const std::string& name) {
+  if (name == "tcp") {
+    return kProtoTcp;
+  }
+  if (name == "udp") {
+    return kProtoUdp;
+  }
+  if (name == "icmp") {
+    return kProtoIcmp;
+  }
+  if (name == "sctp") {
+    return kProtoSctp;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> ParseUint(const std::string& s, uint32_t max) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > max) {
+      return std::nullopt;
+    }
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+std::optional<FlowSpec> FlowSpec::Parse(std::string_view text) {
+  FlowSpec spec;
+  std::vector<std::string> tokens = Tokenize(text);
+  size_t i = 0;
+  auto has = [&](size_t n) { return i + n < tokens.size(); };
+
+  while (i < tokens.size()) {
+    const std::string& tok = tokens[i];
+    if (tok == "and" || tok == "&&") {
+      ++i;
+      continue;
+    }
+    if (tok == "ip") {
+      ++i;
+      continue;  // "ip" matches everything we model.
+    }
+    if (auto proto = ProtoByName(tok)) {
+      if (spec.proto_ && *spec.proto_ != *proto) {
+        return std::nullopt;  // contradictory protocols
+      }
+      spec.proto_ = proto;
+      ++i;
+      continue;
+    }
+
+    Direction dir = Direction::kEither;
+    if (tok == "src" || tok == "dst") {
+      dir = tok == "src" ? Direction::kSrc : Direction::kDst;
+      ++i;
+      if (i >= tokens.size()) {
+        return std::nullopt;
+      }
+    }
+    const std::string& kind = tokens[i];
+    if (kind == "port") {
+      if (!has(0) || i + 1 >= tokens.size()) {
+        return std::nullopt;
+      }
+      const std::string& val = tokens[i + 1];
+      size_t dash = val.find('-');
+      PortPredicate pred;
+      pred.dir = dir;
+      if (dash == std::string::npos) {
+        auto port = ParseUint(val, 65535);
+        if (!port) {
+          return std::nullopt;
+        }
+        pred.lo = pred.hi = static_cast<uint16_t>(*port);
+      } else {
+        auto lo = ParseUint(val.substr(0, dash), 65535);
+        auto hi = ParseUint(val.substr(dash + 1), 65535);
+        if (!lo || !hi || *lo > *hi) {
+          return std::nullopt;
+        }
+        pred.lo = static_cast<uint16_t>(*lo);
+        pred.hi = static_cast<uint16_t>(*hi);
+      }
+      spec.port_preds_.push_back(pred);
+      i += 2;
+      continue;
+    }
+    if (kind == "ttl") {
+      if (i + 1 >= tokens.size()) {
+        return std::nullopt;
+      }
+      auto ttl = ParseUint(tokens[i + 1], 255);
+      if (!ttl) {
+        return std::nullopt;
+      }
+      spec.ttl_ = static_cast<uint8_t>(*ttl);
+      i += 2;
+      continue;
+    }
+    // "host <addr>", "net <prefix>", or a bare address/prefix.
+    std::string addr_text;
+    if (kind == "host" || kind == "net") {
+      if (i + 1 >= tokens.size()) {
+        return std::nullopt;
+      }
+      addr_text = tokens[i + 1];
+      i += 2;
+    } else {
+      addr_text = kind;
+      ++i;
+    }
+    auto prefix = Ipv4Prefix::Parse(addr_text);
+    if (!prefix) {
+      return std::nullopt;
+    }
+    spec.addr_preds_.push_back({dir, *prefix});
+  }
+  return spec;
+}
+
+FlowSpec FlowSpec::MustParse(std::string_view text) {
+  auto spec = Parse(text);
+  if (!spec) {
+    std::fprintf(stderr, "FlowSpec::MustParse: bad expression '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *spec;
+}
+
+bool FlowSpec::Matches(const Packet& packet) const {
+  if (proto_ && packet.protocol() != *proto_) {
+    return false;
+  }
+  if (ttl_ && packet.ttl() != *ttl_) {
+    return false;
+  }
+  for (const AddrPredicate& pred : addr_preds_) {
+    bool src_ok = pred.prefix.Contains(packet.ip_src());
+    bool dst_ok = pred.prefix.Contains(packet.ip_dst());
+    bool ok = pred.dir == Direction::kSrc   ? src_ok
+              : pred.dir == Direction::kDst ? dst_ok
+                                            : (src_ok || dst_ok);
+    if (!ok) {
+      return false;
+    }
+  }
+  for (const PortPredicate& pred : port_preds_) {
+    bool src_ok = packet.src_port() >= pred.lo && packet.src_port() <= pred.hi;
+    bool dst_ok = packet.dst_port() >= pred.lo && packet.dst_port() <= pred.hi;
+    bool ok = pred.dir == Direction::kSrc   ? src_ok
+              : pred.dir == Direction::kDst ? dst_ok
+                                            : (src_ok || dst_ok);
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlowSpec::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) {
+      out << " ";
+    }
+    first = false;
+  };
+  if (proto_) {
+    sep();
+    out << (*proto_ == kProtoTcp    ? "tcp"
+            : *proto_ == kProtoUdp  ? "udp"
+            : *proto_ == kProtoIcmp ? "icmp"
+            : *proto_ == kProtoSctp ? "sctp"
+                                    : "ip");
+  }
+  for (const AddrPredicate& pred : addr_preds_) {
+    sep();
+    if (pred.dir == Direction::kSrc) {
+      out << "src ";
+    } else if (pred.dir == Direction::kDst) {
+      out << "dst ";
+    }
+    if (pred.prefix.length() == 32) {
+      out << "host " << pred.prefix.base().ToString();
+    } else {
+      out << "net " << pred.prefix.ToString();
+    }
+  }
+  for (const PortPredicate& pred : port_preds_) {
+    sep();
+    if (pred.dir == Direction::kSrc) {
+      out << "src ";
+    } else if (pred.dir == Direction::kDst) {
+      out << "dst ";
+    }
+    out << "port " << pred.lo;
+    if (pred.hi != pred.lo) {
+      out << "-" << pred.hi;
+    }
+  }
+  if (ttl_) {
+    sep();
+    out << "ttl " << static_cast<int>(*ttl_);
+  }
+  return out.str();
+}
+
+}  // namespace innet

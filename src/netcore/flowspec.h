@@ -1,0 +1,72 @@
+// A tcpdump-subset flow specification, used both as the policy API's flow
+// language (§4.2) and as IPFilter / IPClassifier patterns in the Click engine.
+//
+// Supported grammar (tokens are whitespace-separated; "and"/"&&" are
+// optional separators):
+//
+//   proto      := "ip" | "tcp" | "udp" | "icmp" | "sctp"
+//   addr-pred  := ["src"|"dst"] ["host"|"net"] <addr>[/len]
+//   port-pred  := ["src"|"dst"] "port" <num>[-<num>]
+//   ttl-pred   := "ttl" <num>
+//   expr       := (proto | addr-pred | port-pred | ttl-pred)*
+//
+// An empty expression matches everything. Direction-less predicates match
+// either direction ("host 10.0.0.1" = src or dst).
+#ifndef SRC_NETCORE_FLOWSPEC_H_
+#define SRC_NETCORE_FLOWSPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/netcore/ip.h"
+#include "src/netcore/packet.h"
+
+namespace innet {
+
+enum class Direction : uint8_t { kSrc, kDst, kEither };
+
+struct AddrPredicate {
+  Direction dir = Direction::kEither;
+  Ipv4Prefix prefix;
+};
+
+struct PortPredicate {
+  Direction dir = Direction::kEither;
+  uint16_t lo = 0;
+  uint16_t hi = 0;  // inclusive
+};
+
+class FlowSpec {
+ public:
+  FlowSpec() = default;
+
+  // Parses the expression; returns nullopt on syntax errors.
+  static std::optional<FlowSpec> Parse(std::string_view text);
+  static FlowSpec MustParse(std::string_view text);
+
+  bool Matches(const Packet& packet) const;
+
+  // True when this spec has no predicates (matches everything).
+  bool IsWildcard() const {
+    return !proto_ && addr_preds_.empty() && port_preds_.empty() && !ttl_;
+  }
+
+  const std::optional<uint8_t>& proto() const { return proto_; }
+  const std::vector<AddrPredicate>& addr_predicates() const { return addr_preds_; }
+  const std::vector<PortPredicate>& port_predicates() const { return port_preds_; }
+  const std::optional<uint8_t>& ttl() const { return ttl_; }
+
+  std::string ToString() const;
+
+ private:
+  std::optional<uint8_t> proto_;
+  std::vector<AddrPredicate> addr_preds_;
+  std::vector<PortPredicate> port_preds_;
+  std::optional<uint8_t> ttl_;
+};
+
+}  // namespace innet
+
+#endif  // SRC_NETCORE_FLOWSPEC_H_

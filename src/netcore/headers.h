@@ -1,0 +1,89 @@
+// Wire-format header layouts (network byte order) and byte-order helpers.
+#ifndef SRC_NETCORE_HEADERS_H_
+#define SRC_NETCORE_HEADERS_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace innet {
+
+// Byte-order helpers. We avoid <arpa/inet.h> so the wire formats stay
+// self-contained and constexpr-friendly.
+constexpr uint16_t HostToNet16(uint16_t v) {
+  return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+constexpr uint16_t NetToHost16(uint16_t v) { return HostToNet16(v); }
+constexpr uint32_t HostToNet32(uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) | ((v & 0x00FF0000u) >> 8) |
+         ((v & 0xFF000000u) >> 24);
+}
+constexpr uint32_t NetToHost32(uint32_t v) { return HostToNet32(v); }
+
+#pragma pack(push, 1)
+
+struct EthernetHeader {
+  uint8_t dst[6];
+  uint8_t src[6];
+  uint16_t ether_type;  // network order; 0x0800 for IPv4
+};
+static_assert(sizeof(EthernetHeader) == 14);
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+
+struct Ipv4Header {
+  uint8_t version_ihl;    // 0x45 for a 20-byte header
+  uint8_t tos;
+  uint16_t total_length;  // network order
+  uint16_t id;            // network order
+  uint16_t frag_off;      // network order
+  uint8_t ttl;
+  uint8_t protocol;
+  uint16_t checksum;      // network order
+  uint32_t src;           // network order
+  uint32_t dst;           // network order
+
+  int HeaderLength() const { return (version_ihl & 0x0F) * 4; }
+};
+static_assert(sizeof(Ipv4Header) == 20);
+
+struct UdpHeader {
+  uint16_t src_port;  // network order
+  uint16_t dst_port;  // network order
+  uint16_t length;    // network order
+  uint16_t checksum;  // network order
+};
+static_assert(sizeof(UdpHeader) == 8);
+
+struct TcpHeader {
+  uint16_t src_port;   // network order
+  uint16_t dst_port;   // network order
+  uint32_t seq;        // network order
+  uint32_t ack;        // network order
+  uint8_t data_off;    // upper 4 bits: header length in 32-bit words
+  uint8_t flags;       // FIN=0x01 SYN=0x02 RST=0x04 PSH=0x08 ACK=0x10
+  uint16_t window;     // network order
+  uint16_t checksum;   // network order
+  uint16_t urg_ptr;    // network order
+};
+static_assert(sizeof(TcpHeader) == 20);
+
+inline constexpr uint8_t kTcpFin = 0x01;
+inline constexpr uint8_t kTcpSyn = 0x02;
+inline constexpr uint8_t kTcpRst = 0x04;
+inline constexpr uint8_t kTcpPsh = 0x08;
+inline constexpr uint8_t kTcpAck = 0x10;
+
+struct IcmpHeader {
+  uint8_t type;       // 8 = echo request, 0 = echo reply
+  uint8_t code;
+  uint16_t checksum;  // network order
+  uint16_t id;        // network order
+  uint16_t seq;       // network order
+};
+static_assert(sizeof(IcmpHeader) == 8);
+
+#pragma pack(pop)
+
+}  // namespace innet
+
+#endif  // SRC_NETCORE_HEADERS_H_

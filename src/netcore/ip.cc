@@ -1,0 +1,107 @@
+#include "src/netcore/ip.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace innet {
+namespace {
+
+// Parses a decimal integer in [0, max] from the front of `text`, advancing it.
+std::optional<uint32_t> EatNumber(std::string_view& text, uint32_t max) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+    if (value > max) {
+      return std::nullopt;
+    }
+    ++i;
+  }
+  text.remove_prefix(i);
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  uint32_t addr = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text[0] != '.') {
+        return std::nullopt;
+      }
+      text.remove_prefix(1);
+    }
+    auto part = EatNumber(text, 255);
+    if (!part) {
+      return std::nullopt;
+    }
+    addr = (addr << 8) | *part;
+  }
+  if (!text.empty()) {
+    return std::nullopt;
+  }
+  return Ipv4Address(addr);
+}
+
+Ipv4Address Ipv4Address::MustParse(std::string_view text) {
+  auto addr = Parse(text);
+  if (!addr) {
+    std::fprintf(stderr, "Ipv4Address::MustParse: bad address '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *addr;
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_ >> 24) & 0xFF, (addr_ >> 16) & 0xFF,
+                (addr_ >> 8) & 0xFF, addr_ & 0xFF);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address base, int length)
+    : length_(length < 0 ? 0 : (length > 32 ? 32 : length)) {
+  base_ = Ipv4Address(base.value() & mask());
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = Ipv4Address::Parse(text);
+    if (!addr) {
+      return std::nullopt;
+    }
+    return Ipv4Prefix(*addr, 32);
+  }
+  auto addr = Ipv4Address::Parse(text.substr(0, slash));
+  if (!addr) {
+    return std::nullopt;
+  }
+  std::string_view len_text = text.substr(slash + 1);
+  auto len = EatNumber(len_text, 32);
+  if (!len || !len_text.empty()) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*addr, static_cast<int>(*len));
+}
+
+Ipv4Prefix Ipv4Prefix::MustParse(std::string_view text) {
+  auto prefix = Parse(text);
+  if (!prefix) {
+    std::fprintf(stderr, "Ipv4Prefix::MustParse: bad prefix '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *prefix;
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return base_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace innet

@@ -1,0 +1,109 @@
+// IPv4 addressing primitives shared by every In-Net module.
+//
+// Addresses are held in host byte order; conversion to network order happens
+// only at the wire boundary (src/netcore/headers.h).
+#ifndef SRC_NETCORE_IP_H_
+#define SRC_NETCORE_IP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace innet {
+
+// An IPv4 address. Value type, totally ordered, hashable.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : addr_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) | uint32_t{d}) {}
+
+  // Parses dotted-quad notation ("10.0.0.1"). Returns nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  // Parses or aborts; for literals in tests and benchmark setup code.
+  static Ipv4Address MustParse(std::string_view text);
+
+  constexpr uint32_t value() const { return addr_; }
+  std::string ToString() const;
+
+  constexpr bool IsUnspecified() const { return addr_ == 0; }
+  constexpr bool IsMulticast() const { return (addr_ >> 28) == 0xE; }
+  constexpr bool IsLoopback() const { return (addr_ >> 24) == 127; }
+  // RFC 1918 private space.
+  constexpr bool IsPrivate() const {
+    return (addr_ >> 24) == 10 || (addr_ >> 20) == ((172u << 4) | 1) ||
+           (addr_ >> 16) == ((192u << 8) | 168);
+  }
+
+  friend constexpr bool operator==(Ipv4Address a, Ipv4Address b) { return a.addr_ == b.addr_; }
+  friend constexpr bool operator!=(Ipv4Address a, Ipv4Address b) { return a.addr_ != b.addr_; }
+  friend constexpr bool operator<(Ipv4Address a, Ipv4Address b) { return a.addr_ < b.addr_; }
+  friend constexpr bool operator<=(Ipv4Address a, Ipv4Address b) { return a.addr_ <= b.addr_; }
+  friend constexpr bool operator>(Ipv4Address a, Ipv4Address b) { return a.addr_ > b.addr_; }
+  friend constexpr bool operator>=(Ipv4Address a, Ipv4Address b) { return a.addr_ >= b.addr_; }
+
+ private:
+  uint32_t addr_ = 0;
+};
+
+// An IPv4 prefix (address + mask length), e.g. "10.1.0.0/16".
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  // `length` is clamped to [0, 32]; host bits of `base` are zeroed.
+  Ipv4Prefix(Ipv4Address base, int length);
+
+  // Parses "a.b.c.d/len"; a bare address parses as a /32.
+  static std::optional<Ipv4Prefix> Parse(std::string_view text);
+  static Ipv4Prefix MustParse(std::string_view text);
+
+  constexpr Ipv4Address base() const { return base_; }
+  constexpr int length() const { return length_; }
+  constexpr uint32_t mask() const {
+    return length_ == 0 ? 0 : ~uint32_t{0} << (32 - length_);
+  }
+  // First and last address covered by the prefix.
+  constexpr Ipv4Address first() const { return base_; }
+  constexpr Ipv4Address last() const { return Ipv4Address(base_.value() | ~mask()); }
+
+  constexpr bool Contains(Ipv4Address addr) const {
+    return (addr.value() & mask()) == base_.value();
+  }
+  constexpr bool Contains(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && Contains(other.base_);
+  }
+  // True when the two prefixes share at least one address.
+  constexpr bool Overlaps(const Ipv4Prefix& other) const {
+    return Contains(other.base_) || other.Contains(base_);
+  }
+
+  std::string ToString() const;
+
+  friend constexpr bool operator==(const Ipv4Prefix& a, const Ipv4Prefix& b) {
+    return a.base_ == b.base_ && a.length_ == b.length_;
+  }
+
+ private:
+  Ipv4Address base_;
+  int length_ = 0;
+};
+
+// IP protocol numbers used throughout the code base.
+inline constexpr uint8_t kProtoIcmp = 1;
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+inline constexpr uint8_t kProtoSctp = 132;
+
+}  // namespace innet
+
+template <>
+struct std::hash<innet::Ipv4Address> {
+  size_t operator()(innet::Ipv4Address a) const noexcept {
+    return std::hash<uint32_t>{}(a.value());
+  }
+};
+
+#endif  // SRC_NETCORE_IP_H_

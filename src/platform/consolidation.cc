@@ -1,0 +1,114 @@
+#include "src/platform/consolidation.h"
+
+#include <unordered_set>
+
+namespace innet::platform {
+
+namespace {
+
+bool IsSource(const std::string& class_name) {
+  return class_name == "FromNetfront" || class_name == "FromDevice";
+}
+bool IsSink(const std::string& class_name) {
+  return class_name == "ToNetfront" || class_name == "ToDevice";
+}
+
+}  // namespace
+
+bool IsStatelessConfig(const click::ConfigGraph& config) {
+  // Elements that keep per-flow or per-peer state.
+  static const std::unordered_set<std::string> kStateful = {
+      "ChangeEnforcer", "NatRewriter", "FlowMeter", "TimedUnqueue", "Queue", "X86Vm",
+  };
+  for (const click::ElementDecl& decl : config.elements) {
+    if (kStateful.count(decl.class_name) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<click::ConfigGraph> ConsolidateTenants(const std::vector<TenantConfig>& tenants,
+                                                     std::string* error, DemuxKind demux) {
+  click::ConfigGraph merged;
+  merged.elements.push_back({"src", "FromNetfront", ""});
+
+  // Demux: one branch per tenant, keyed on destination address.
+  std::string patterns;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    if (i > 0) {
+      patterns += ", ";
+    }
+    if (demux == DemuxKind::kLinearClassifier) {
+      patterns += "dst host " + tenants[i].addr.ToString();
+    } else {
+      patterns += tenants[i].addr.ToString();
+    }
+  }
+  merged.elements.push_back(
+      {"demux", demux == DemuxKind::kLinearClassifier ? "IPClassifier" : "AddressDemux",
+       patterns});
+  merged.elements.push_back({"out", "ToNetfront", ""});
+  merged.connections.push_back({"src", 0, "demux", 0});
+
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    std::string prefix = "t" + std::to_string(i) + "_";
+    auto config = click::ConfigGraph::Parse(tenants[i].config_text, error);
+    if (!config) {
+      *error = "tenant " + std::to_string(i) + ": " + *error;
+      return std::nullopt;
+    }
+    if (!IsStatelessConfig(*config)) {
+      *error = "tenant " + std::to_string(i) + ": stateful configurations cannot be "
+               "consolidated";
+      return std::nullopt;
+    }
+
+    std::string source_name;
+    std::string sink_name;
+    for (const click::ElementDecl& decl : config->elements) {
+      if (IsSource(decl.class_name)) {
+        if (source_name.empty()) {
+          source_name = decl.name;
+        }
+        continue;  // replaced by the demux branch
+      }
+      if (IsSink(decl.class_name)) {
+        if (sink_name.empty()) {
+          sink_name = decl.name;
+        }
+        continue;  // replaced by the shared egress
+      }
+      merged.elements.push_back({prefix + decl.name, decl.class_name, decl.args});
+    }
+    if (source_name.empty() || sink_name.empty()) {
+      *error = "tenant " + std::to_string(i) + ": configuration needs FromNetfront and "
+               "ToNetfront";
+      return std::nullopt;
+    }
+
+    for (const click::Connection& conn : config->connections) {
+      std::string from = conn.from;
+      int from_port = conn.from_port;
+      std::string to = conn.to;
+      int to_port = conn.to_port;
+      if (from == source_name) {
+        // The demux branch replaces the tenant's own ingress.
+        from = "demux";
+        from_port = static_cast<int>(i);
+      } else {
+        from = prefix + from;
+      }
+      if (to == sink_name) {
+        to = "out";
+        to_port = 0;
+      } else {
+        to = prefix + to;
+      }
+      merged.connections.push_back({from, from_port, to, to_port});
+    }
+  }
+  return merged;
+}
+
+}  // namespace innet::platform

@@ -1,0 +1,47 @@
+// Consolidation (§5, Figure 8): merges many tenants' stateless Click
+// configurations into one VM image. The merged graph demultiplexes by
+// destination address with an IPClassifier, runs each tenant's elements on
+// its own branch (no shared element instances, no cross-links), and funnels
+// every tenant's egress to a single ToNetfront — exactly the structure whose
+// per-packet demux cost produces Figure 8's throughput knee past ~150
+// configurations.
+#ifndef SRC_PLATFORM_CONSOLIDATION_H_
+#define SRC_PLATFORM_CONSOLIDATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/click/config_parser.h"
+#include "src/netcore/ip.h"
+
+namespace innet::platform {
+
+struct TenantConfig {
+  Ipv4Address addr;         // the tenant module's address (demux key)
+  std::string config_text;  // the tenant's Click configuration
+};
+
+// How the merged configuration demultiplexes tenants:
+//   kLinearClassifier — an IPClassifier pattern scan, O(#tenants) per packet
+//     (the paper's setup, whose cost produces Figure 8's knee);
+//   kHashDemux — an AddressDemux exact-match table, O(1) per packet (the
+//     ablation alternative).
+enum class DemuxKind { kLinearClassifier, kHashDemux };
+
+// Builds the merged configuration. Element names are prefixed "t<i>_" so
+// tenants can never collide. Returns nullopt + *error when a tenant config
+// fails to parse, lacks a FromNetfront/ToNetfront, or uses stateful elements
+// (which the paper's prototype refuses to consolidate).
+std::optional<click::ConfigGraph> ConsolidateTenants(
+    const std::vector<TenantConfig>& tenants, std::string* error,
+    DemuxKind demux = DemuxKind::kLinearClassifier);
+
+// True when the configuration only uses stateless elements and is therefore
+// safe to consolidate (§5: "our prototype takes the simpler option of not
+// consolidating clients running stateful processing").
+bool IsStatelessConfig(const click::ConfigGraph& config);
+
+}  // namespace innet::platform
+
+#endif  // SRC_PLATFORM_CONSOLIDATION_H_

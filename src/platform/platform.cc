@@ -1,0 +1,247 @@
+#include "src/platform/platform.h"
+
+namespace innet::platform {
+
+Vm::VmId InNetPlatform::Install(Ipv4Address addr, const std::string& config_text,
+                                std::string* error, VmKind kind, bool sandbox,
+                                const std::vector<Ipv4Address>& sandbox_whitelist) {
+  std::string effective = config_text;
+  if (sandbox) {
+    auto parsed = click::ConfigGraph::Parse(config_text, error);
+    if (!parsed) {
+      return 0;
+    }
+    auto wrapped = WrapWithEnforcer(*parsed, sandbox_whitelist, 60.0, error);
+    if (!wrapped) {
+      return 0;
+    }
+    effective = wrapped->ToString();
+  }
+  Vm* vm = vms_.Create(kind, effective,
+                       [this](Vm* ready) {
+                         AttachEgress(ready);
+                         // Traffic that arrived during the boot was buffered
+                         // by the stalled handler.
+                         FlushStalled(ready->id());
+                       },
+                       error);
+  if (vm == nullptr) {
+    return 0;
+  }
+  switch_.AddAddressRule(addr, vm->id());
+  installed_[addr.value()] = vm->id();
+  return vm->id();
+}
+
+Vm::VmId InNetPlatform::InstallConsolidated(const std::vector<TenantConfig>& tenants,
+                                            std::string* error) {
+  auto merged = ConsolidateTenants(tenants, error);
+  if (!merged) {
+    return 0;
+  }
+  Vm* vm = vms_.Create(VmKind::kClickOs, merged->ToString(),
+                       [this](Vm* ready) {
+                         AttachEgress(ready);
+                         FlushStalled(ready->id());
+                       },
+                       error);
+  if (vm == nullptr) {
+    return 0;
+  }
+  for (const TenantConfig& tenant : tenants) {
+    switch_.AddAddressRule(tenant.addr, vm->id());
+    installed_[tenant.addr.value()] = vm->id();
+  }
+  return vm->id();
+}
+
+bool InNetPlatform::UninstallVm(Vm::VmId vm_id) {
+  bool found = false;
+  for (auto it = installed_.begin(); it != installed_.end();) {
+    if (it->second == vm_id) {
+      switch_.RemoveAddressRule(Ipv4Address(it->first));
+      it = installed_.erase(it);
+      found = true;
+    } else {
+      ++it;
+    }
+  }
+  stalled_buffers_.erase(vm_id);
+  return vms_.Destroy(vm_id) || found;
+}
+
+bool InNetPlatform::Uninstall(Ipv4Address addr) {
+  auto it = installed_.find(addr.value());
+  if (it == installed_.end()) {
+    return false;
+  }
+  switch_.RemoveAddressRule(addr);
+  vms_.Destroy(it->second);
+  installed_.erase(it);
+  return true;
+}
+
+void InNetPlatform::RegisterOnDemand(Ipv4Address addr, const std::string& config_text,
+                                     VmKind kind, bool per_flow) {
+  OnDemandEntry entry;
+  entry.config_text = config_text;
+  entry.kind = kind;
+  entry.per_flow = per_flow;
+  ondemand_[addr.value()] = std::move(entry);
+}
+
+void InNetPlatform::HandlePacket(Packet& packet) {
+  packet.set_timestamp_ns(clock_->now());
+  switch_.Deliver(packet);
+}
+
+void InNetPlatform::EnableIdleSuspend(sim::TimeNs idle_timeout) {
+  idle_timeout_ = idle_timeout;
+  if (!idle_sweeper_armed_ && idle_timeout_ > 0) {
+    idle_sweeper_armed_ = true;
+    clock_->ScheduleAfter(idle_timeout_ / 2, [this] { IdleSweep(); });
+  }
+}
+
+void InNetPlatform::IdleSweep() {
+  if (idle_timeout_ == 0) {
+    idle_sweeper_armed_ = false;
+    return;
+  }
+  // Collect candidates first: Suspend() mutates state.
+  std::vector<Vm::VmId> idle;
+  for (const auto& [addr, vm_id] : installed_) {
+    Vm* vm = vms_.Find(vm_id);
+    if (vm != nullptr && vm->state() == VmState::kRunning &&
+        clock_->now() - vm->last_activity_ns() >= idle_timeout_) {
+      idle.push_back(vm_id);
+    }
+  }
+  for (Vm::VmId vm_id : idle) {
+    ++idle_suspends_;
+    vms_.Suspend(vm_id, [this, vm_id] {
+      // Traffic may have arrived while the suspend was in flight: resume
+      // immediately rather than dropping the flow.
+      if (stalled_buffers_.count(vm_id) != 0) {
+        vms_.Resume(vm_id, [this, vm_id] { FlushStalled(vm_id); });
+      }
+    });
+  }
+  clock_->ScheduleAfter(idle_timeout_ / 2, [this] { IdleSweep(); });
+}
+
+void InNetPlatform::OnStalled(Packet& packet, Vm::VmId vm_id) {
+  stalled_buffers_[vm_id].push_back(packet);
+  ++buffered_;
+  Vm* vm = vms_.Find(vm_id);
+  if (vm != nullptr && vm->state() == VmState::kSuspended) {
+    ++resumes_on_traffic_;
+    vms_.Resume(vm_id, [this, vm_id] { FlushStalled(vm_id); });
+  }
+  // kBooting / kSuspending / kResuming: a completion callback already queued
+  // (boot ready, the suspend-done check above, or an earlier resume) will
+  // flush the buffer.
+}
+
+void InNetPlatform::FlushStalled(Vm::VmId vm_id) {
+  auto it = stalled_buffers_.find(vm_id);
+  if (it == stalled_buffers_.end()) {
+    return;
+  }
+  std::deque<Packet> buffer = std::move(it->second);
+  stalled_buffers_.erase(it);
+  Vm* vm = vms_.Find(vm_id);
+  if (vm == nullptr) {
+    return;
+  }
+  for (Packet& packet : buffer) {
+    vm->Inject(packet);
+  }
+}
+
+size_t InNetPlatform::suspended_count() const {
+  size_t count = 0;
+  for (const auto& [addr, vm_id] : installed_) {
+    const Vm* vm = const_cast<VmManager&>(vms_).Find(vm_id);
+    if (vm != nullptr && vm->state() == VmState::kSuspended) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void InNetPlatform::AttachEgress(Vm* vm) {
+  vm->SetEgressHandler([this](Packet& packet) {
+    if (egress_) {
+      egress_(packet);
+    }
+  });
+}
+
+void InNetPlatform::OnMiss(Packet& packet) {
+  auto entry_it = ondemand_.find(packet.ip_dst().value());
+  if (entry_it == ondemand_.end()) {
+    return;  // genuinely unknown traffic: dropped at the controller port
+  }
+  OnDemandEntry& entry = entry_it->second;
+
+  if (!entry.per_flow) {
+    uint32_t addr = packet.ip_dst().value();
+    auto pending = pending_addrs_.find(addr);
+    if (pending != pending_addrs_.end()) {
+      pending->second.buffer.push_back(packet);
+      ++buffered_;
+      return;
+    }
+    // First packet for this tenant: boot the shared VM and buffer.
+    pending_addrs_[addr].buffer.push_back(packet);
+    ++buffered_;
+    ++ondemand_boots_;
+    std::string error;
+    vms_.Create(entry.kind, entry.config_text,
+                [this, addr](Vm* vm) {
+                  AttachEgress(vm);
+                  switch_.AddAddressRule(Ipv4Address(addr), vm->id());
+                  ondemand_[addr].shared_vm = vm->id();
+                  installed_[addr] = vm->id();  // idle management covers it
+                  auto flushed = pending_addrs_.find(addr);
+                  if (flushed != pending_addrs_.end()) {
+                    for (Packet& buffered : flushed->second.buffer) {
+                      vm->Inject(buffered);
+                    }
+                    pending_addrs_.erase(flushed);
+                  }
+                },
+                &error);
+    return;
+  }
+
+  // Per-flow instantiation: a new flow = TCP SYN or any UDP/ICMP packet for
+  // an unknown 5-tuple (§5's switch-controller heuristic).
+  uint64_t key = packet.FlowKey();
+  auto pending = pending_flows_.find(key);
+  if (pending != pending_flows_.end()) {
+    pending->second.buffer.push_back(packet);
+    ++buffered_;
+    return;
+  }
+  pending_flows_[key].buffer.push_back(packet);
+  ++buffered_;
+  ++ondemand_boots_;
+  std::string error;
+  vms_.Create(entry.kind, entry.config_text,
+              [this, key](Vm* vm) {
+                AttachEgress(vm);
+                switch_.AddFlowRule(key, vm->id());
+                auto flushed = pending_flows_.find(key);
+                if (flushed != pending_flows_.end()) {
+                  for (Packet& buffered : flushed->second.buffer) {
+                    vm->Inject(buffered);
+                  }
+                  pending_flows_.erase(flushed);
+                }
+              },
+              &error);
+}
+
+}  // namespace innet::platform

@@ -1,0 +1,123 @@
+// InNetPlatform: the full processing platform (§5) — VM manager + software
+// switch + switch controller. Supports static module installation and
+// on-the-fly instantiation: when the first packet of a new flow arrives for
+// an on-demand tenant, the controller boots a ClickOS VM, buffers the flow's
+// packets, and reroutes once the guest is up (Figure 5's mechanism).
+#ifndef SRC_PLATFORM_PLATFORM_H_
+#define SRC_PLATFORM_PLATFORM_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/platform/consolidation.h"
+#include "src/platform/sandbox.h"
+#include "src/platform/software_switch.h"
+#include "src/platform/vm.h"
+
+namespace innet::platform {
+
+class InNetPlatform {
+ public:
+  using EgressHandler = std::function<void(Packet&)>;
+
+  InNetPlatform(sim::EventQueue* clock, VmCostModel cost_model = {},
+                uint64_t total_memory_bytes = 16ull << 30)
+      : clock_(clock), vms_(clock, cost_model, total_memory_bytes), switch_(&vms_) {
+    switch_.SetMissHandler([this](Packet& packet) { OnMiss(packet); });
+    switch_.SetStalledHandler(
+        [this](Packet& packet, Vm::VmId vm_id) { OnStalled(packet, vm_id); });
+  }
+
+  // --- Static installation ------------------------------------------------------
+  // Boots a VM for `config_text` and routes dst==addr traffic to it once up.
+  // With `sandbox` set, the configuration is wrapped with a ChangeEnforcer
+  // first (in-config sandboxing; the tenant pays for it).
+  // Returns the VM id, or 0 + *error.
+  Vm::VmId Install(Ipv4Address addr, const std::string& config_text, std::string* error,
+                   VmKind kind = VmKind::kClickOs, bool sandbox = false,
+                   const std::vector<Ipv4Address>& sandbox_whitelist = {});
+
+  // Removes a module and its switch rules.
+  bool Uninstall(Ipv4Address addr);
+
+  // Consolidation (§5): boots one ClickOS VM running the merged
+  // configuration of all `tenants` and routes each tenant address to it.
+  // Returns the VM id, or 0 + *error.
+  Vm::VmId InstallConsolidated(const std::vector<TenantConfig>& tenants, std::string* error);
+
+  // Tears down a VM and every switch rule pointing at it (used to replace a
+  // consolidated VM when its tenant set changes).
+  bool UninstallVm(Vm::VmId vm_id);
+
+  // --- On-the-fly instantiation ----------------------------------------------------
+  // Registers a tenant whose processing boots when traffic first arrives.
+  // With per_flow set, every new 5-tuple gets its own VM (the Figure 5/6
+  // experiment); otherwise one VM serves the address once booted.
+  void RegisterOnDemand(Ipv4Address addr, const std::string& config_text,
+                        VmKind kind = VmKind::kClickOs, bool per_flow = true);
+
+  // --- Idle management (§5 suspend/resume) ---------------------------------------
+  // Periodically suspends running guests that saw no traffic for
+  // `idle_timeout`; arriving traffic resumes them transparently, with
+  // packets buffered across the ~100 ms resume. This is what lets stateful
+  // per-client processing scale past the concurrent-VM limit without
+  // breaking flows.
+  void EnableIdleSuspend(sim::TimeNs idle_timeout);
+
+  size_t suspended_count() const;
+  uint64_t idle_suspends() const { return idle_suspends_; }
+  uint64_t resumes_on_traffic() const { return resumes_on_traffic_; }
+
+  // --- Data path ---------------------------------------------------------------------
+  // Entry point: a packet arriving at the platform NIC.
+  void HandlePacket(Packet& packet);
+  // All packets leaving tenant modules end up here.
+  void SetEgressHandler(EgressHandler handler) { egress_ = std::move(handler); }
+
+  VmManager& vms() { return vms_; }
+  SoftwareSwitch& software_switch() { return switch_; }
+
+  uint64_t buffered_count() const { return buffered_; }
+  uint64_t ondemand_boots() const { return ondemand_boots_; }
+
+ private:
+  struct OnDemandEntry {
+    std::string config_text;
+    VmKind kind = VmKind::kClickOs;
+    bool per_flow = true;
+    Vm::VmId shared_vm = 0;  // per_flow == false: the single VM once booted
+  };
+  struct PendingFlow {
+    std::deque<Packet> buffer;
+  };
+
+  void OnMiss(Packet& packet);
+  void OnStalled(Packet& packet, Vm::VmId vm_id);
+  void FlushStalled(Vm::VmId vm_id);
+  void IdleSweep();
+  void AttachEgress(Vm* vm);
+
+  sim::EventQueue* clock_;
+  VmManager vms_;
+  SoftwareSwitch switch_;
+  EgressHandler egress_;
+  std::unordered_map<uint32_t, OnDemandEntry> ondemand_;
+  std::unordered_map<uint64_t, PendingFlow> pending_flows_;   // per-flow boots
+  std::unordered_map<uint32_t, PendingFlow> pending_addrs_;   // shared-VM boots
+  std::unordered_map<uint32_t, Vm::VmId> installed_;
+  std::unordered_map<Vm::VmId, std::deque<Packet>> stalled_buffers_;
+  sim::TimeNs idle_timeout_ = 0;  // 0 = idle suspend disabled
+  bool idle_sweeper_armed_ = false;
+  uint64_t buffered_ = 0;
+  uint64_t ondemand_boots_ = 0;
+  uint64_t idle_suspends_ = 0;
+  uint64_t resumes_on_traffic_ = 0;
+};
+
+}  // namespace innet::platform
+
+#endif  // SRC_PLATFORM_PLATFORM_H_

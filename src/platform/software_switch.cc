@@ -1,0 +1,45 @@
+#include "src/platform/software_switch.h"
+
+namespace innet::platform {
+
+void SoftwareSwitch::Deliver(Packet& packet) {
+  Vm* stalled_vm = nullptr;
+  auto flow_it = flow_rules_.find(packet.FlowKey());
+  if (flow_it != flow_rules_.end()) {
+    Vm* vm = vms_->Find(flow_it->second);
+    if (vm != nullptr) {
+      if (vm->state() == VmState::kRunning) {
+        ++delivered_;
+        vm->Inject(packet);
+        return;
+      }
+      stalled_vm = vm;
+    }
+  }
+  auto addr_it = address_rules_.find(packet.ip_dst().value());
+  if (addr_it != address_rules_.end()) {
+    Vm* vm = vms_->Find(addr_it->second);
+    if (vm != nullptr) {
+      if (vm->state() == VmState::kRunning) {
+        ++delivered_;
+        vm->Inject(packet);
+        return;
+      }
+      if (stalled_vm == nullptr) {
+        stalled_vm = vm;
+      }
+    }
+  }
+  if (stalled_vm != nullptr && stalled_) {
+    stalled_(packet, stalled_vm->id());
+    return;
+  }
+  if (miss_) {
+    ++missed_;
+    miss_(packet);
+    return;
+  }
+  ++dropped_;
+}
+
+}  // namespace innet::platform

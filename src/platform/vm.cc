@@ -1,0 +1,152 @@
+#include "src/platform/vm.h"
+
+namespace innet::platform {
+
+void Vm::Inject(Packet& packet) {
+  if (state_ != VmState::kRunning) {
+    return;
+  }
+  ++injected_count_;
+  if (clock_ != nullptr) {
+    last_activity_ns_ = clock_->now();
+  }
+  graph_->InjectAtSource(packet);
+}
+
+void Vm::SetEgressHandler(EgressHandler handler) {
+  egress_ = std::move(handler);
+  for (const auto& element : graph_->elements()) {
+    if (auto* sink = dynamic_cast<click::ToNetfront*>(element.get())) {
+      sink->set_handler([this](Packet& packet) {
+        if (egress_) {
+          egress_(packet);
+        }
+      });
+    }
+  }
+}
+
+Vm* VmManager::Create(VmKind kind, const std::string& config_text, ReadyCallback on_ready,
+                      std::string* error) {
+  uint64_t needed = cost_model_.MemoryBytes(kind);
+  if (memory_used_ + needed > memory_total_) {
+    *error = "platform out of guest memory";
+    return nullptr;
+  }
+  auto graph = click::Graph::FromText(config_text, error, clock_);
+  if (graph == nullptr) {
+    return nullptr;
+  }
+
+  auto vm = std::unique_ptr<Vm>(new Vm());
+  vm->id_ = next_id_++;
+  vm->kind_ = kind;
+  vm->state_ = VmState::kBooting;
+  vm->graph_ = std::move(graph);
+  vm->clock_ = clock_;
+  Vm* raw = vm.get();
+  memory_used_ += needed;
+
+  // Boot cost scales with every guest holding resources (running or in
+  // transition): the Xen toolstack and backend switch touch all of them
+  // (Figure 5's slope). Suspended-to-disk guests do not participate.
+  sim::TimeNs boot = cost_model_.BootTime(kind, non_suspended_count());
+  vms_.emplace(raw->id_, std::move(vm));
+  clock_->ScheduleAfter(boot, [this, id = raw->id_, cb = std::move(on_ready)] {
+    Vm* target = Find(id);
+    if (target == nullptr || target->state_ != VmState::kBooting) {
+      return;
+    }
+    target->state_ = VmState::kRunning;
+    target->last_activity_ns_ = clock_->now();
+    if (cb) {
+      cb(target);
+    }
+  });
+  return raw;
+}
+
+bool VmManager::Suspend(Vm::VmId id, std::function<void()> done) {
+  Vm* vm = Find(id);
+  if (vm == nullptr || vm->state_ != VmState::kRunning) {
+    return false;
+  }
+  vm->state_ = VmState::kSuspending;
+  clock_->ScheduleAfter(cost_model_.SuspendTime(vm_count()),
+                        [this, id, cb = std::move(done)] {
+                          Vm* target = Find(id);
+                          if (target != nullptr && target->state_ == VmState::kSuspending) {
+                            target->state_ = VmState::kSuspended;
+                            // Suspend-to-disk releases the guest's RAM.
+                            memory_used_ -= cost_model_.MemoryBytes(target->kind_);
+                          }
+                          if (cb) {
+                            cb();
+                          }
+                        });
+  return true;
+}
+
+bool VmManager::Resume(Vm::VmId id, std::function<void()> done) {
+  Vm* vm = Find(id);
+  if (vm == nullptr || vm->state_ != VmState::kSuspended) {
+    return false;
+  }
+  uint64_t needed = cost_model_.MemoryBytes(vm->kind_);
+  if (memory_used_ + needed > memory_total_) {
+    return false;  // no RAM to restore into; the guest stays parked
+  }
+  memory_used_ += needed;
+  vm->state_ = VmState::kResuming;
+  clock_->ScheduleAfter(cost_model_.ResumeTime(vm_count()),
+                        [this, id, cb = std::move(done)] {
+                          Vm* target = Find(id);
+                          if (target != nullptr && target->state_ == VmState::kResuming) {
+                            target->state_ = VmState::kRunning;
+                          }
+                          if (cb) {
+                            cb();
+                          }
+                        });
+  return true;
+}
+
+bool VmManager::Destroy(Vm::VmId id) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    return false;
+  }
+  if (it->second->state_ != VmState::kSuspended) {
+    memory_used_ -= cost_model_.MemoryBytes(it->second->kind_);  // suspended guests hold none
+  }
+  it->second->state_ = VmState::kDestroyed;
+  vms_.erase(it);
+  return true;
+}
+
+Vm* VmManager::Find(Vm::VmId id) {
+  auto it = vms_.find(id);
+  return it == vms_.end() ? nullptr : it->second.get();
+}
+
+size_t VmManager::running_count() const {
+  size_t count = 0;
+  for (const auto& [id, vm] : vms_) {
+    if (vm->state_ == VmState::kRunning) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t VmManager::non_suspended_count() const {
+  size_t count = 0;
+  for (const auto& [id, vm] : vms_) {
+    if (vm->state_ != VmState::kSuspended) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace innet::platform

@@ -1,0 +1,105 @@
+// Vm + VmManager: the ClickOS guest lifecycle simulator. A Vm hosts a live
+// Click graph (real packet processing); its lifecycle transitions (boot,
+// suspend, resume) take simulated time from the cost model, scheduled on the
+// event queue.
+#ifndef SRC_PLATFORM_VM_H_
+#define SRC_PLATFORM_VM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/click/elements.h"
+#include "src/click/graph.h"
+#include "src/platform/cost_model.h"
+#include "src/sim/event_queue.h"
+
+namespace innet::platform {
+
+enum class VmState { kBooting, kRunning, kSuspending, kSuspended, kResuming, kDestroyed };
+
+class Vm {
+ public:
+  using VmId = uint64_t;
+  using EgressHandler = std::function<void(Packet&)>;
+
+  VmId id() const { return id_; }
+  VmKind kind() const { return kind_; }
+  VmState state() const { return state_; }
+  click::Graph* graph() const { return graph_.get(); }
+
+  // Feeds a packet to the guest's first FromNetfront. Silently drops when
+  // the VM is not running (as a real guest with a detached netfront would).
+  void Inject(Packet& packet);
+  // Called for every packet the guest emits on any ToNetfront.
+  void SetEgressHandler(EgressHandler handler);
+
+  uint64_t injected_count() const { return injected_count_; }
+
+  // Simulated time of the last packet handled (or of becoming ready); drives
+  // the platform's idle-suspend policy.
+  sim::TimeNs last_activity_ns() const { return last_activity_ns_; }
+
+ private:
+  friend class VmManager;
+  friend class InNetPlatform;
+  Vm() = default;
+
+  VmId id_ = 0;
+  VmKind kind_ = VmKind::kClickOs;
+  VmState state_ = VmState::kBooting;
+  std::unique_ptr<click::Graph> graph_;
+  EgressHandler egress_;
+  uint64_t injected_count_ = 0;
+  sim::TimeNs last_activity_ns_ = 0;
+  sim::EventQueue* clock_ = nullptr;
+};
+
+class VmManager {
+ public:
+  using ReadyCallback = std::function<void(Vm*)>;
+
+  VmManager(sim::EventQueue* clock, VmCostModel cost_model, uint64_t total_memory_bytes)
+      : clock_(clock), cost_model_(cost_model), memory_total_(total_memory_bytes) {}
+
+  // Starts booting a VM running `config_text`; `on_ready` fires when the
+  // guest is up (after BootTime). Returns nullptr + *error when the
+  // configuration is invalid or memory is exhausted.
+  Vm* Create(VmKind kind, const std::string& config_text, ReadyCallback on_ready,
+             std::string* error);
+
+  // Suspends a running VM; `done` fires after SuspendTime.
+  bool Suspend(Vm::VmId id, std::function<void()> done = nullptr);
+  // Resumes a suspended VM; `done` fires after ResumeTime.
+  bool Resume(Vm::VmId id, std::function<void()> done = nullptr);
+  // Destroys a VM immediately, releasing its memory.
+  bool Destroy(Vm::VmId id);
+
+  Vm* Find(Vm::VmId id);
+  size_t vm_count() const { return vms_.size(); }
+  size_t running_count() const;
+  // Guests holding RAM and toolstack attention (everything but suspended).
+  size_t non_suspended_count() const;
+  uint64_t memory_used() const { return memory_used_; }
+  uint64_t memory_total() const { return memory_total_; }
+  // How many more VMs of `kind` fit in memory.
+  uint64_t RemainingCapacity(VmKind kind) const {
+    return (memory_total_ - memory_used_) / cost_model_.MemoryBytes(kind);
+  }
+
+  const VmCostModel& cost_model() const { return cost_model_; }
+
+ private:
+  sim::EventQueue* clock_;
+  VmCostModel cost_model_;
+  uint64_t memory_total_;
+  uint64_t memory_used_ = 0;
+  Vm::VmId next_id_ = 1;
+  std::unordered_map<Vm::VmId, std::unique_ptr<Vm>> vms_;
+};
+
+}  // namespace innet::platform
+
+#endif  // SRC_PLATFORM_VM_H_

@@ -1,0 +1,208 @@
+#include "src/policy/reach_spec.h"
+
+#include <sstream>
+
+namespace innet::policy {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      tokens.push_back("->");
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+// Parses flow tokens until "->", "const", or end; returns the joined text.
+std::string CollectFlowText(const std::vector<std::string>& tokens, size_t* i) {
+  std::string flow;
+  while (*i < tokens.size() && tokens[*i] != "->" && tokens[*i] != "const") {
+    if (!flow.empty()) {
+      flow += " ";
+    }
+    flow += tokens[(*i)++];
+  }
+  return flow;
+}
+
+// Parses "const f1 && f2 ..." where each field may be multi-word
+// ("dst port"). `i` points just past the "const" token.
+bool CollectConstFields(const std::vector<std::string>& tokens, size_t* i,
+                        std::vector<HeaderField>* out, std::string* error) {
+  std::string segment;
+  auto flush = [&]() {
+    if (segment.empty()) {
+      return true;
+    }
+    auto field = ParseHeaderField(segment);
+    if (!field) {
+      *error = "unknown header field '" + segment + "' in const clause";
+      return false;
+    }
+    out->push_back(*field);
+    segment.clear();
+    return true;
+  };
+  while (*i < tokens.size() && tokens[*i] != "->") {
+    const std::string& tok = tokens[(*i)++];
+    if (tok == "&&" || tok == "and") {
+      if (!flush()) {
+        return false;
+      }
+      continue;
+    }
+    if (!segment.empty()) {
+      segment += " ";
+    }
+    segment += tok;
+  }
+  if (!flush()) {
+    return false;
+  }
+  if (out->empty()) {
+    *error = "empty const clause";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ReachSpec> ReachSpec::Parse(const std::string& text, std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  std::vector<std::string> tokens = Tokenize(text);
+  size_t i = 0;
+  if (i >= tokens.size() || tokens[i] != "reach") {
+    *error = "reach statement must start with 'reach'";
+    return std::nullopt;
+  }
+  ++i;
+  if (i >= tokens.size() || tokens[i] != "from") {
+    *error = "expected 'from' after 'reach'";
+    return std::nullopt;
+  }
+  ++i;
+
+  ReachSpec spec;
+  auto parse_node = [&](ReachNode* node) -> bool {
+    if (i >= tokens.size() || tokens[i] == "->" || tokens[i] == "const") {
+      *error = "expected a node spec";
+      return false;
+    }
+    node->spec = tokens[i++];
+    std::string flow_text = CollectFlowText(tokens, &i);
+    if (!flow_text.empty()) {
+      auto flow = FlowSpec::Parse(flow_text);
+      if (!flow) {
+        *error = "bad flow spec '" + flow_text + "'";
+        return false;
+      }
+      node->flow = *flow;
+    }
+    if (i < tokens.size() && tokens[i] == "const") {
+      ++i;
+      if (!CollectConstFields(tokens, &i, &node->const_fields, error)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!parse_node(&spec.from)) {
+    return std::nullopt;
+  }
+  if (!spec.from.const_fields.empty()) {
+    *error = "'const' is not allowed on the source node";
+    return std::nullopt;
+  }
+  while (i < tokens.size()) {
+    if (tokens[i] != "->") {
+      *error = "expected '->' near '" + tokens[i] + "'";
+      return std::nullopt;
+    }
+    ++i;
+    ReachNode node;
+    if (!parse_node(&node)) {
+      return std::nullopt;
+    }
+    spec.waypoints.push_back(std::move(node));
+  }
+  if (spec.waypoints.empty()) {
+    *error = "reach statement needs at least one '-> <node>'";
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::string ReachSpec::ToString() const {
+  std::ostringstream out;
+  out << "reach from " << from.spec;
+  std::string flow = from.flow.ToString();
+  if (!flow.empty()) {
+    out << " " << flow;
+  }
+  for (const ReachNode& node : waypoints) {
+    out << " -> " << node.spec;
+    flow = node.flow.ToString();
+    if (!flow.empty()) {
+      out << " " << flow;
+    }
+    if (!node.const_fields.empty()) {
+      out << " const ";
+      for (size_t i = 0; i < node.const_fields.size(); ++i) {
+        if (i > 0) {
+          out << " && ";
+        }
+        out << HeaderFieldName(node.const_fields[i]);
+      }
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> SplitReachStatements(const std::string& text) {
+  std::vector<std::string> statements;
+  std::istringstream in(text);
+  std::string word;
+  std::string current;
+  while (in >> word) {
+    if (word == "reach" && !current.empty()) {
+      statements.push_back(current);
+      current.clear();
+    }
+    if (!current.empty()) {
+      current += " ";
+    }
+    current += word;
+  }
+  if (!current.empty()) {
+    statements.push_back(current);
+  }
+  return statements;
+}
+
+}  // namespace innet::policy

@@ -1,0 +1,48 @@
+// The In-Net policy/requirements API (§4.2):
+//
+//   reach from <node> [flow] {-> <node> [flow] [const <fields>]}+
+//
+// where <node> is "internet", "client", an IP address or subnet, or a
+// processing-module element reference "module:element[:port]"; [flow] is a
+// tcpdump-style expression constraining the flow as it leaves/reaches that
+// node; and "const f1 && f2 ..." requires the listed header fields to be
+// invariant on the hop into that node.
+#ifndef SRC_POLICY_REACH_SPEC_H_
+#define SRC_POLICY_REACH_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/netcore/fields.h"
+#include "src/netcore/flowspec.h"
+
+namespace innet::policy {
+
+struct ReachNode {
+  // Raw node spec: "internet", "client", "10.0.0.1", "172.16.0.0/16",
+  // "batcher:dst:0".
+  std::string spec;
+  FlowSpec flow;  // wildcard when absent
+  // Fields that must not change on the hop from the previous node.
+  std::vector<HeaderField> const_fields;
+};
+
+struct ReachSpec {
+  ReachNode from;
+  std::vector<ReachNode> waypoints;  // at least one; the last is the target
+
+  // Parses a full (possibly multi-line) reach statement. Returns nullopt and
+  // fills *error on malformed input.
+  static std::optional<ReachSpec> Parse(const std::string& text, std::string* error);
+
+  std::string ToString() const;
+};
+
+// Splits a client-request requirements block into individual reach
+// statements (one per "reach" keyword; statements may span lines).
+std::vector<std::string> SplitReachStatements(const std::string& text);
+
+}  // namespace innet::policy
+
+#endif  // SRC_POLICY_REACH_SPEC_H_

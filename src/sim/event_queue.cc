@@ -1,0 +1,40 @@
+#include "src/sim/event_queue.h"
+
+namespace innet::sim {
+
+void EventQueue::ScheduleAt(TimeNs when, Action action) {
+  if (when < now_) {
+    when = now_;
+  }
+  events_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+size_t EventQueue::Run(size_t max_events) {
+  size_t processed = 0;
+  while (!events_.empty() && processed < max_events) {
+    // priority_queue::top() is const; the action must be moved out before pop.
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++processed;
+  }
+  return processed;
+}
+
+size_t EventQueue::RunUntil(TimeNs until) {
+  size_t processed = 0;
+  while (!events_.empty() && events_.top().when <= until) {
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++processed;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return processed;
+}
+
+}  // namespace innet::sim

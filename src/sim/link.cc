@@ -1,0 +1,32 @@
+#include "src/sim/link.h"
+
+#include <algorithm>
+
+namespace innet::sim {
+
+bool Link::Send(uint64_t bytes, std::function<void()> on_delivered) {
+  if (config_.queue_limit_bytes != 0 && backlog_bytes_ + bytes > config_.queue_limit_bytes) {
+    ++dropped_count_;
+    return false;
+  }
+  TimeNs start = std::max(queue_->now(), busy_until_);
+  TimeNs tx_done = start + SerializationTime(bytes);
+  busy_until_ = tx_done;
+  backlog_bytes_ += bytes;
+
+  bool lost = config_.loss_prob > 0.0 && rng_->Bernoulli(config_.loss_prob);
+  // Sender-side backlog drains when serialization completes.
+  queue_->ScheduleAt(tx_done, [this, bytes] { backlog_bytes_ -= bytes; });
+  if (lost) {
+    ++dropped_count_;
+    return true;  // consumed link capacity, but never delivered
+  }
+  queue_->ScheduleAt(tx_done + config_.propagation,
+                     [this, cb = std::move(on_delivered)]() mutable {
+                       ++delivered_count_;
+                       cb();
+                     });
+  return true;
+}
+
+}  // namespace innet::sim

@@ -1,0 +1,78 @@
+// A small, fast, seedable PRNG (xoshiro256**) plus the distributions the
+// experiments need. Deterministic across platforms, unlike <random> engines'
+// distribution implementations.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace innet::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, bound).
+  uint64_t NextBelow(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with mean `mean`.
+  double Exponential(double mean) { return -mean * std::log1p(-NextDouble()); }
+
+  // Standard normal via Box-Muller (single draw; second value discarded for
+  // determinism simplicity).
+  double Normal(double mu, double sigma) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return mu + sigma * std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  // Pareto with scale xm and shape alpha.
+  double Pareto(double xm, double alpha) {
+    return xm / std::pow(1.0 - NextDouble(), 1.0 / alpha);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace innet::sim
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,85 @@
+// Sample accumulators and percentile helpers for experiment reporting.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace innet::sim {
+
+// Accumulates samples; percentiles sort a copy on demand.
+class Samples {
+ public:
+  void Add(double value) { values_.push_back(value); }
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double Sum() const {
+    double s = 0;
+    for (double v : values_) {
+      s += v;
+    }
+    return s;
+  }
+  double Mean() const { return values_.empty() ? 0.0 : Sum() / static_cast<double>(count()); }
+  double Min() const {
+    return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
+  }
+  double Max() const {
+    return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+  }
+  double Stddev() const {
+    if (values_.size() < 2) {
+      return 0.0;
+    }
+    double mean = Mean();
+    double acc = 0;
+    for (double v : values_) {
+      acc += (v - mean) * (v - mean);
+    }
+    return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+  }
+
+  // `p` in [0, 100]. Nearest-rank on the sorted samples.
+  double Percentile(double p) const {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  double Median() const { return Percentile(50); }
+
+  const std::vector<double>& values() const { return values_; }
+
+  // Empirical CDF as (value, fraction<=value) pairs over `points` quantiles.
+  std::vector<std::pair<double, double>> Cdf(int points = 100) const {
+    std::vector<std::pair<double, double>> cdf;
+    if (values_.empty()) {
+      return cdf;
+    }
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 1; i <= points; ++i) {
+      double frac = static_cast<double>(i) / points;
+      size_t idx = std::min(sorted.size() - 1,
+                            static_cast<size_t>(frac * static_cast<double>(sorted.size())));
+      cdf.emplace_back(sorted[idx], frac);
+    }
+    return cdf;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace innet::sim
+
+#endif  // SRC_SIM_STATS_H_

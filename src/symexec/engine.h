@@ -1,0 +1,77 @@
+// SymGraph + Engine: path exploration over a graph of symbolic models.
+#ifndef SRC_SYMEXEC_ENGINE_H_
+#define SRC_SYMEXEC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/symexec/model.h"
+
+namespace innet::symexec {
+
+// A directed graph of symbolic nodes. Node out-ports connect to (node,
+// in-port) pairs; unconnected out-ports drop.
+class SymGraph {
+ public:
+  int AddNode(const std::string& name, std::shared_ptr<SymbolicModel> model);
+  void Connect(int from, int out_port, int to, int in_port);
+  bool ConnectByName(const std::string& from, int out_port, const std::string& to, int in_port);
+
+  int FindNode(const std::string& name) const;  // -1 if absent
+  const std::string& NodeName(int id) const { return nodes_[static_cast<size_t>(id)].name; }
+  size_t node_count() const { return nodes_.size(); }
+
+  // Merges `other` into this graph, prefixing its node names with
+  // `prefix` + "/". Returns the id offset of the merged nodes. Used by the
+  // controller to graft a client module onto the operator topology.
+  int Merge(const SymGraph& other, const std::string& prefix);
+
+ private:
+  friend class Engine;
+  struct Node {
+    std::string name;
+    std::shared_ptr<SymbolicModel> model;
+    // out_port -> (node id, in_port)
+    std::unordered_map<int, std::pair<int, int>> edges;
+  };
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+struct EngineOptions {
+  int max_hops = 256;
+  int max_paths = 65536;
+};
+
+struct EngineResult {
+  // Packets that reached a delivery point (SinkModel / kPortDeliver).
+  std::vector<SymbolicPacket> delivered;
+  // Packets dropped inside the graph (model returned no transitions) or that
+  // fell off an unconnected port; kept for diagnostics.
+  std::vector<SymbolicPacket> dropped;
+  // True when exploration hit max_hops or max_paths (result incomplete).
+  bool truncated = false;
+  // Total model applications — the work metric Figure 10 reports.
+  uint64_t steps = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options = {}) : options_(options) {}
+
+  // Injects `seed` at node `start` (arriving on `in_port`) and explores all
+  // paths. The seed's constraints (from a flow spec) carry through.
+  EngineResult Run(const SymGraph& graph, int start, int in_port, SymbolicPacket seed);
+
+  VarAllocator* vars() { return &vars_; }
+
+ private:
+  EngineOptions options_;
+  VarAllocator vars_;
+};
+
+}  // namespace innet::symexec
+
+#endif  // SRC_SYMEXEC_ENGINE_H_

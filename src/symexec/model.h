@@ -1,0 +1,81 @@
+// SymbolicModel: the abstract-transfer-function interface every network node
+// (Click element, router, operator middlebox, endpoint) implements for the
+// engine. Models are loop-free and allocation-free by construction, the
+// properties §4.3 credits for SymNet's scalability.
+#ifndef SRC_SYMEXEC_MODEL_H_
+#define SRC_SYMEXEC_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/symexec/symbolic_packet.h"
+
+namespace innet::symexec {
+
+struct ModelContext {
+  VarAllocator* vars;
+};
+
+// Special out_port: the packet terminates here and counts as *delivered*
+// (endpoints, ToNetfront). A model returning no transitions drops the packet.
+inline constexpr int kPortDeliver = -1;
+
+// Special in_port passed by the engine when a packet *originates* at a node
+// (reach-check injection). Endpoint models react by emitting the seed onto
+// their link instead of treating it as arriving traffic.
+inline constexpr int kPortInject = -2;
+
+struct Transition {
+  int out_port = 0;
+  SymbolicPacket packet;
+};
+
+class SymbolicModel {
+ public:
+  virtual ~SymbolicModel() = default;
+
+  // Applies the node's transfer function to `packet` arriving on `in_port`.
+  // Returning an empty vector terminates the path (drop, or delivery when the
+  // model set delivered_at on a terminal copy — see SinkModel).
+  virtual std::vector<Transition> Apply(ModelContext* ctx, const SymbolicPacket& packet,
+                                        int in_port) = 0;
+};
+
+// A model defined by a lambda; convenient for one-off nodes in tests and for
+// the topology builders.
+class LambdaModel : public SymbolicModel {
+ public:
+  using Fn = std::function<std::vector<Transition>(ModelContext*, const SymbolicPacket&, int)>;
+  explicit LambdaModel(Fn fn) : fn_(std::move(fn)) {}
+  std::vector<Transition> Apply(ModelContext* ctx, const SymbolicPacket& packet,
+                                int in_port) override {
+    return fn_(ctx, packet, in_port);
+  }
+
+ private:
+  Fn fn_;
+};
+
+// Pass-through: forwards unchanged on output 0.
+class PassthroughModel : public SymbolicModel {
+ public:
+  std::vector<Transition> Apply(ModelContext* /*ctx*/, const SymbolicPacket& packet,
+                                int /*in_port*/) override {
+    return {{0, packet}};
+  }
+};
+
+// Terminal node: the packet is delivered here (endpoint, ToNetfront).
+class SinkModel : public SymbolicModel {
+ public:
+  std::vector<Transition> Apply(ModelContext* /*ctx*/, const SymbolicPacket& packet,
+                                int /*in_port*/) override {
+    return {{kPortDeliver, packet}};
+  }
+};
+
+}  // namespace innet::symexec
+
+#endif  // SRC_SYMEXEC_MODEL_H_

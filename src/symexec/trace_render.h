@@ -1,0 +1,25 @@
+// Renders a symbolic packet's journey as the paper's Figure 2 trace table:
+// one row per hop, one column per header field, showing each field's binding
+// (constant, variable, or variable-with-constraints) and highlighting
+// redefinitions. This is the "explain" output an operator reads when the
+// checker rejects a request.
+#ifndef SRC_SYMEXEC_TRACE_RENDER_H_
+#define SRC_SYMEXEC_TRACE_RENDER_H_
+
+#include <string>
+
+#include "src/symexec/symbolic_packet.h"
+
+namespace innet::symexec {
+
+// Renders the full hop history. Fields rewritten at a hop are marked with
+// '*' (Figure 2 shades them). Address-valued fields print dotted quads.
+std::string RenderTrace(const SymbolicPacket& packet);
+
+// Renders one field's symbolic value under the packet's constraint store.
+std::string RenderValue(const SymbolicPacket& packet, const SymbolicValue& value,
+                        HeaderField field);
+
+}  // namespace innet::symexec
+
+#endif  // SRC_SYMEXEC_TRACE_RENDER_H_

@@ -1,0 +1,126 @@
+#include "src/symexec/value_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace innet::symexec {
+
+bool ValueSet::Contains(uint64_t v) const {
+  for (const Interval& iv : intervals_) {
+    if (v >= iv.lo && v <= iv.hi) {
+      return true;
+    }
+    if (v < iv.lo) {
+      break;  // sorted
+    }
+  }
+  return false;
+}
+
+ValueSet ValueSet::Intersect(const ValueSet& other) const {
+  std::vector<Interval> result;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    uint64_t lo = std::max(a.lo, b.lo);
+    uint64_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) {
+      result.push_back({lo, hi});
+    }
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return ValueSet(std::move(result));
+}
+
+ValueSet ValueSet::Union(const ValueSet& other) const {
+  std::vector<Interval> merged = intervals_;
+  merged.insert(merged.end(), other.intervals_.begin(), other.intervals_.end());
+  ValueSet result(std::move(merged));
+  result.Normalize();
+  return result;
+}
+
+ValueSet ValueSet::Subtract(const ValueSet& other) const {
+  std::vector<Interval> result;
+  for (const Interval& a : intervals_) {
+    uint64_t cursor = a.lo;
+    bool open = true;
+    for (const Interval& b : other.intervals_) {
+      if (b.hi < cursor || !open) {
+        continue;
+      }
+      if (b.lo > a.hi) {
+        break;
+      }
+      if (b.lo > cursor) {
+        result.push_back({cursor, b.lo - 1});
+      }
+      if (b.hi >= a.hi) {
+        open = false;
+      } else {
+        cursor = b.hi + 1;
+      }
+    }
+    if (open && cursor <= a.hi) {
+      result.push_back({cursor, a.hi});
+    }
+  }
+  return ValueSet(std::move(result));
+}
+
+uint64_t ValueSet::Count() const {
+  uint64_t count = 0;
+  for (const Interval& iv : intervals_) {
+    count += iv.hi - iv.lo + 1;  // saturates only at Full(), which we tolerate
+  }
+  return count;
+}
+
+void ValueSet::Normalize() {
+  if (intervals_.empty()) {
+    return;
+  }
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  merged.push_back(intervals_[0]);
+  for (size_t i = 1; i < intervals_.size(); ++i) {
+    Interval& last = merged.back();
+    const Interval& cur = intervals_[i];
+    // Merge adjacent or overlapping intervals (careful with hi == UINT64_MAX).
+    if (cur.lo <= last.hi || (last.hi != UINT64_MAX && cur.lo == last.hi + 1)) {
+      last.hi = std::max(last.hi, cur.hi);
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+std::string ValueSet::ToString() const {
+  if (intervals_.empty()) {
+    return "{}";
+  }
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    if (intervals_[i].lo == intervals_[i].hi) {
+      out << intervals_[i].lo;
+    } else {
+      out << "[" << intervals_[i].lo << ", " << intervals_[i].hi << "]";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace innet::symexec

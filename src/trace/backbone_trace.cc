@@ -1,0 +1,96 @@
+#include "src/trace/backbone_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/sim/rng.h"
+
+namespace innet::trace {
+
+std::vector<Flow> SynthesizeBackboneTrace(const TraceConfig& config) {
+  sim::Rng rng(config.seed);
+  std::vector<Flow> flows;
+
+  // Zipf sampling over the client pool by inverse-CDF approximation.
+  auto sample_client = [&rng, &config]() -> uint32_t {
+    double u = rng.NextDouble();
+    double exponent = 1.0 - config.client_zipf_s;
+    double n = static_cast<double>(config.client_pool);
+    // Approximate inverse CDF of a Zipf-like distribution on [1, n].
+    double rank = std::pow(u * (std::pow(n, exponent) - 1.0) + 1.0, 1.0 / exponent);
+    return static_cast<uint32_t>(std::clamp(rank, 1.0, n)) - 1;
+  };
+
+  double t = 0;
+  while (t < config.duration_sec) {
+    t += rng.Exponential(1.0 / config.arrivals_per_sec);
+    if (t >= config.duration_sec) {
+      break;
+    }
+    double duration =
+        std::min(rng.LogNormal(config.duration_lognormal_mu, config.duration_lognormal_sigma),
+                 config.max_flow_sec);
+    double end = t + duration;
+    if (end >= config.duration_sec) {
+      continue;  // teardown outside the window: discarded, like the paper
+    }
+    flows.push_back(Flow{t, end, sample_client()});
+  }
+  return flows;
+}
+
+TraceStats AnalyzeTrace(const std::vector<Flow>& flows, double duration_sec) {
+  TraceStats stats;
+  stats.total_flows = flows.size();
+  if (flows.empty() || duration_sec <= 0) {
+    return stats;
+  }
+
+  size_t seconds = static_cast<size_t>(duration_sec);
+  double sum_connections = 0;
+  double sum_openers = 0;
+  std::unordered_map<uint32_t, int> open_per_client;
+  // Event sweep: sort starts and ends, advance one second at a time.
+  std::vector<const Flow*> by_start;
+  std::vector<const Flow*> by_end;
+  by_start.reserve(flows.size());
+  for (const Flow& flow : flows) {
+    by_start.push_back(&flow);
+    by_end.push_back(&flow);
+  }
+  std::sort(by_start.begin(), by_start.end(),
+            [](const Flow* a, const Flow* b) { return a->start_sec < b->start_sec; });
+  std::sort(by_end.begin(), by_end.end(),
+            [](const Flow* a, const Flow* b) { return a->end_sec < b->end_sec; });
+
+  size_t start_idx = 0;
+  size_t end_idx = 0;
+  size_t open_connections = 0;
+  for (size_t second = 0; second < seconds; ++second) {
+    double now = static_cast<double>(second) + 1.0;
+    while (start_idx < by_start.size() && by_start[start_idx]->start_sec <= now) {
+      ++open_connections;
+      ++open_per_client[by_start[start_idx]->client_id];
+      ++start_idx;
+    }
+    while (end_idx < by_end.size() && by_end[end_idx]->end_sec <= now) {
+      --open_connections;
+      auto it = open_per_client.find(by_end[end_idx]->client_id);
+      if (--it->second == 0) {
+        open_per_client.erase(it);
+      }
+      ++end_idx;
+    }
+    stats.max_concurrent_connections =
+        std::max(stats.max_concurrent_connections, open_connections);
+    stats.max_active_openers = std::max(stats.max_active_openers, open_per_client.size());
+    sum_connections += static_cast<double>(open_connections);
+    sum_openers += static_cast<double>(open_per_client.size());
+  }
+  stats.mean_concurrent_connections = sum_connections / static_cast<double>(seconds);
+  stats.mean_active_openers = sum_openers / static_cast<double>(seconds);
+  return stats;
+}
+
+}  // namespace innet::trace

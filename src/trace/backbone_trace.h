@@ -1,0 +1,53 @@
+// Synthetic backbone-trace generation + the paper's MAWI analysis (§6):
+// "at any moment there are at most 1,600 to 4,000 active TCP connections,
+// and between 400 and 840 active TCP clients" over 15-minute windows. The
+// MAWI archive itself is not redistributable, so we synthesize traces with
+// the same macroscopic structure (Poisson connection arrivals, heavy-tailed
+// log-normal durations, a Zipf-ish client popularity distribution) and run
+// the identical analysis: maximum concurrent established connections and
+// maximum concurrently-active openers per instant.
+#ifndef SRC_TRACE_BACKBONE_TRACE_H_
+#define SRC_TRACE_BACKBONE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace innet::trace {
+
+struct Flow {
+  double start_sec;
+  double end_sec;
+  uint32_t client_id;  // the active opener
+};
+
+struct TraceConfig {
+  double duration_sec = 900;           // a 15-minute MAWI window
+  double arrivals_per_sec = 95;        // connection setup rate
+  double duration_lognormal_mu = 1.3;  // median ~3.7 s
+  double duration_lognormal_sigma = 1.6;
+  double max_flow_sec = 600;           // trim the pathological tail
+  uint32_t client_pool = 3000;         // distinct active openers in the window
+  double client_zipf_s = 1.1;          // popularity skew
+  uint64_t seed = 7;
+};
+
+// Generates connections; flows whose setup or teardown falls outside the
+// window are discarded, as the paper does for MAWI.
+std::vector<Flow> SynthesizeBackboneTrace(const TraceConfig& config);
+
+struct TraceStats {
+  size_t total_flows = 0;
+  size_t max_concurrent_connections = 0;
+  size_t max_active_openers = 0;
+  double mean_concurrent_connections = 0;
+  double mean_active_openers = 0;
+};
+
+// Per-second sweep over the window: concurrent established connections and
+// distinct clients with at least one open connection.
+TraceStats AnalyzeTrace(const std::vector<Flow>& flows, double duration_sec);
+
+}  // namespace innet::trace
+
+#endif  // SRC_TRACE_BACKBONE_TRACE_H_

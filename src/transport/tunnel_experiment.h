@@ -1,0 +1,40 @@
+// The §8 "Protocol Tunneling" experiment (Figure 14): SCTP bulk transfer
+// over an emulated 100 Mb/s, 20 ms-RTT WAN path with random loss, tunneled
+// either over UDP (losses hit SCTP's own SACK recovery) or over TCP (the
+// tunnel recovers losses below SCTP, stalling delivery and triggering
+// spurious SCTP timeouts).
+#ifndef SRC_TRANSPORT_TUNNEL_EXPERIMENT_H_
+#define SRC_TRANSPORT_TUNNEL_EXPERIMENT_H_
+
+#include <cstdint>
+
+namespace innet::transport {
+
+enum class TunnelMode { kUdp, kTcp };
+
+struct TunnelResult {
+  double goodput_mbps = 0;
+  uint64_t sctp_retransmits = 0;
+  uint64_t sctp_rto_fires = 0;
+  uint64_t tunnel_retransmits = 0;  // 0 for UDP mode
+};
+
+struct TunnelParams {
+  double link_rate_bps = 100e6;
+  double rtt_sec = 0.020;
+  double loss_rate = 0.0;
+  double duration_sec = 30.0;
+  uint64_t seed = 42;
+  // Loss patterns make single runs noisy; the experiment averages this many
+  // independent runs (seed, seed+1, ...), like iperf repetitions.
+  int seed_repeats = 3;
+  // TCP-tunnel socket buffer (segments); the finite buffer is what couples
+  // the two control loops.
+  uint64_t tunnel_buffer_segments = 256;
+};
+
+TunnelResult RunSctpTunnelExperiment(TunnelMode mode, const TunnelParams& params);
+
+}  // namespace innet::transport
+
+#endif  // SRC_TRANSPORT_TUNNEL_EXPERIMENT_H_

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include "src/controller/controller.h"
+#include "src/controller/security.h"
+#include "src/controller/stock_modules.h"
+#include "src/topology/network.h"
+
+namespace innet::controller {
+namespace {
+
+using topology::Network;
+
+// --- Security checker: the Table 1 matrix ----------------------------------------------
+
+class SecurityCheck : public ::testing::Test {
+ protected:
+  // Runs the checker on `config_text` for `requester`; whitelist contains the
+  // client's registered address (10.10.0.5) plus any extras.
+  Verdict Run(const std::string& config_text, RequesterClass requester,
+              std::vector<Ipv4Address> extra_whitelist = {}) {
+    std::string error;
+    auto config = click::ConfigGraph::Parse(config_text, &error);
+    EXPECT_TRUE(config.has_value()) << error;
+    SecurityOptions options;
+    options.requester = requester;
+    options.module_addr = Ipv4Address::MustParse("172.16.3.10");
+    options.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+    for (Ipv4Address addr : extra_whitelist) {
+      options.whitelist.push_back(addr);
+    }
+    options.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+    SecurityReport report = CheckModuleSecurity(*config, options, &error);
+    return report.verdict;
+  }
+};
+
+// Table 1 row: Firewall — safe for everyone.
+TEST_F(SecurityCheck, FirewallRow) {
+  const std::string config =
+      "FromNetfront() -> IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: Flow meter — safe (pass-through measurement to own address).
+TEST_F(SecurityCheck, FlowMeterRow) {
+  const std::string config =
+      "FromNetfront() -> FlowMeter() ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: Rate limiter — safe.
+TEST_F(SecurityCheck, RateLimiterRow) {
+  const std::string config =
+      "FromNetfront() -> RateLimiter(8000000) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kSafe);
+}
+
+// Table 1 row: IP Router — rejected for tenants (forwards by attacker-set
+// destination), fine for the operator.
+TEST_F(SecurityCheck, IpRouterRow) {
+  const std::string config =
+      "src :: FromNetfront(); rt :: LinearIPLookup(0.0.0.0/1 0, 128.0.0.0/1 1);"
+      "a :: ToNetfront(); b :: ToNetfront();"
+      "src -> rt; rt[0] -> a; rt[1] -> b;";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: DPI — rejected for tenants (transit inspection).
+TEST_F(SecurityCheck, DpiRow) {
+  const std::string config =
+      "src :: FromNetfront(); dpi :: ContentMatch(EVIL);"
+      "pass :: ToNetfront(); alert :: Discard();"
+      "src -> dpi; dpi[0] -> pass; dpi[1] -> alert;";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: NAT — rejected for tenants.
+TEST_F(SecurityCheck, NatRow) {
+  const std::string config =
+      "outb :: FromNetfront(); inb :: FromNetfront();"
+      "nat :: NatRewriter(PUBLIC 172.16.3.10);"
+      "wan :: ToNetfront(); lan :: ToNetfront();"
+      "outb -> nat; nat[0] -> wan; inb -> [1]nat; nat[1] -> lan;";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: Transparent proxy — rejected for tenants.
+TEST_F(SecurityCheck, TransparentProxyRow) {
+  const std::string config = "FromNetfront() -> TransparentProxy() -> ToNetfront();";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: Tunnel — sandbox for third parties (decapsulated destination
+// unknown at install time), clean for clients.
+TEST_F(SecurityCheck, TunnelRow) {
+  const std::string config = StockTunnel(Ipv4Address::MustParse("7.7.7.7"),
+                                         Ipv4Prefix::MustParse("10.10.0.0/24"));
+  std::string substituted =
+      SubstituteSelf(config, Ipv4Address::MustParse("172.16.3.10"));
+  EXPECT_EQ(Run(substituted, RequesterClass::kThirdParty, {Ipv4Address::MustParse("7.7.7.7")}),
+            Verdict::kNeedsSandbox);
+  EXPECT_EQ(Run(substituted, RequesterClass::kClient, {Ipv4Address::MustParse("7.7.7.7")}),
+            Verdict::kSafe);
+  EXPECT_EQ(Run(substituted, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: Multicast — safe when every replica destination is authorized.
+TEST_F(SecurityCheck, MulticastRow) {
+  const std::string config =
+      "src :: FromNetfront(); t :: Tee(2);"
+      "a :: ToNetfront(); b :: ToNetfront();"
+      "src -> t; t[0] -> SetIPDst(10.10.0.5) -> a; t[1] -> SetIPDst(10.10.0.6) -> b;";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty, {Ipv4Address::MustParse("10.10.0.6")}),
+            Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kSafe);
+}
+
+// Multicast to an UNREGISTERED replica is exactly the DDoS vector default-off
+// prevents: rejected for third parties (but clients may send anywhere).
+TEST_F(SecurityCheck, MulticastToUnregisteredReplica) {
+  const std::string config =
+      "src :: FromNetfront(); t :: Tee(2);"
+      "a :: ToNetfront(); b :: ToNetfront();"
+      "src -> t; t[0] -> SetIPDst(10.10.0.5) -> a; t[1] -> SetIPDst(9.9.9.9) -> b;";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kSafe);
+}
+
+// Table 1 row: DNS server (stock) — safe: responds to the requester.
+TEST_F(SecurityCheck, DnsServerRow) {
+  std::string config =
+      SubstituteSelf(StockDnsServer(), Ipv4Address::MustParse("172.16.3.10"));
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Table 1 row: Reverse proxy (stock) — safe: replies to requester, fetches
+// from the whitelisted origin.
+TEST_F(SecurityCheck, ReverseProxyRow) {
+  std::string config = SubstituteSelf(StockReverseProxy(Ipv4Address::MustParse("5.5.5.5")),
+                                      Ipv4Address::MustParse("172.16.3.10"));
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty, {Ipv4Address::MustParse("5.5.5.5")}),
+            Verdict::kSafe);
+  EXPECT_EQ(Run(config, RequesterClass::kClient, {Ipv4Address::MustParse("5.5.5.5")}),
+            Verdict::kSafe);
+}
+
+// Table 1 row: x86 VM — sandbox for tenants (opaque), safe for the operator.
+TEST_F(SecurityCheck, X86VmRow) {
+  std::string config = StockX86Vm();
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kNeedsSandbox);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kNeedsSandbox);
+  EXPECT_EQ(Run(config, RequesterClass::kOperator), Verdict::kSafe);
+}
+
+// Spoofing a fixed source address is always rejected.
+TEST_F(SecurityCheck, SpoofedSourceRejected) {
+  const std::string config =
+      "FromNetfront() -> SetIPSrc(6.6.6.6) -> SetIPDst(10.10.0.5) -> ToNetfront();";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kRejected);
+  EXPECT_EQ(Run(config, RequesterClass::kClient), Verdict::kRejected);
+}
+
+// Sourcing as the module's own address is fine.
+TEST_F(SecurityCheck, ModuleAddressSourceAccepted) {
+  const std::string config =
+      "FromNetfront() -> SetIPSrc(172.16.3.10) -> SetIPDst(10.10.0.5) -> ToNetfront();";
+  EXPECT_EQ(Run(config, RequesterClass::kThirdParty), Verdict::kSafe);
+}
+
+// A module that drops everything is trivially safe.
+TEST_F(SecurityCheck, BlackholeIsSafe) {
+  EXPECT_EQ(Run("FromNetfront() -> Discard();", RequesterClass::kThirdParty), Verdict::kSafe);
+}
+
+TEST_F(SecurityCheck, NoIngressRejected) {
+  EXPECT_EQ(Run("x :: Counter(); x -> ToNetfront();", RequesterClass::kThirdParty),
+            Verdict::kRejected);
+}
+
+// --- Controller deployment (the Figure 4 request on the Figure 3 topology) --------------
+
+class ControllerDeploy : public ::testing::Test {
+ protected:
+  ControllerDeploy() : controller_(Network::MakeFigure3()) {}
+
+  ClientRequest BatcherRequest() {
+    ClientRequest request;
+    request.client_id = "mobile1";
+    request.requester = RequesterClass::kClient;
+    request.click_config =
+        "FromNetfront() ->"
+        "IPFilter(allow udp dst port 1500) ->"
+        "IPRewriter(pattern - - 10.10.0.5 - 0 0)"
+        "-> TimedUnqueue(120,100)"
+        "-> dst :: ToNetfront();";
+    request.requirements =
+        "reach from internet udp -> client dst port 1500 "
+        "const proto && dst port && payload";
+    request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+    request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+    return request;
+  }
+
+  Controller controller_;
+};
+
+TEST_F(ControllerDeploy, BatcherLandsOnPlatform3) {
+  // Platforms 1 and 2 are not reachable from the Internet (NAT path / HTTP
+  // policy path), so the push-notification batcher must land on platform 3 —
+  // the placement the paper's unifying example walks through (§4.5).
+  DeployOutcome outcome = controller_.Deploy(BatcherRequest());
+  ASSERT_TRUE(outcome.accepted) << outcome.reason;
+  EXPECT_EQ(outcome.platform, "platform3");
+  EXPECT_FALSE(outcome.sandboxed);
+  EXPECT_TRUE(outcome.module_addr.IsUnspecified() == false);
+  EXPECT_EQ(controller_.deployments().size(), 1u);
+}
+
+TEST_F(ControllerDeploy, ModuleElementWaypointRequirement) {
+  ClientRequest request = BatcherRequest();
+  request.requirements =
+      "reach from internet udp -> batcher:dst:0 dst 10.10.0.5 -> client dst port 1500";
+  DeployOutcome outcome = controller_.Deploy(request);
+  ASSERT_TRUE(outcome.accepted) << outcome.reason;
+}
+
+TEST_F(ControllerDeploy, ImpossibleRequirementRejected) {
+  ClientRequest request = BatcherRequest();
+  // ICMP can never reach the clients (firewall) and the module only passes UDP.
+  request.requirements = "reach from internet icmp -> client";
+  DeployOutcome outcome = controller_.Deploy(request);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST_F(ControllerDeploy, UnsafeModuleRejected) {
+  ClientRequest request = BatcherRequest();
+  request.requester = RequesterClass::kThirdParty;
+  request.click_config = "FromNetfront() -> TransparentProxy() -> ToNetfront();";
+  request.requirements = "";
+  DeployOutcome outcome = controller_.Deploy(request);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_NE(outcome.reason.find("security"), std::string::npos);
+}
+
+TEST_F(ControllerDeploy, SandboxedModuleDeploysWithFlag) {
+  ClientRequest request = BatcherRequest();
+  request.click_config = StockX86Vm();
+  request.requirements = "";
+  DeployOutcome outcome = controller_.Deploy(request);
+  ASSERT_TRUE(outcome.accepted) << outcome.reason;
+  EXPECT_TRUE(outcome.sandboxed);
+}
+
+TEST_F(ControllerDeploy, OperatorPolicyBlocksViolatingPlacement) {
+  // An operator policy that can never hold with this module rejects the
+  // deployment outright.
+  ASSERT_TRUE(controller_.AddOperatorPolicy(
+      "reach from internet tcp src port 80 -> http_optimizer -> client"));
+  DeployOutcome outcome = controller_.Deploy(BatcherRequest());
+  // The policy holds independently of the module, so deployment succeeds...
+  ASSERT_TRUE(outcome.accepted) << outcome.reason;
+}
+
+TEST_F(ControllerDeploy, KillRemovesDeployment) {
+  DeployOutcome outcome = controller_.Deploy(BatcherRequest());
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_TRUE(controller_.Kill(outcome.module_id));
+  EXPECT_FALSE(controller_.Kill(outcome.module_id));
+  EXPECT_TRUE(controller_.deployments().empty());
+}
+
+TEST_F(ControllerDeploy, SecondDeploymentGetsDistinctAddress) {
+  DeployOutcome first = controller_.Deploy(BatcherRequest());
+  ClientRequest second_request = BatcherRequest();
+  second_request.client_id = "mobile2";
+  DeployOutcome second = controller_.Deploy(second_request);
+  ASSERT_TRUE(first.accepted) << first.reason;
+  ASSERT_TRUE(second.accepted) << second.reason;
+  EXPECT_NE(first.module_addr, second.module_addr);
+  EXPECT_NE(first.module_id, second.module_id);
+}
+
+TEST_F(ControllerDeploy, BadConfigSyntaxRejected) {
+  ClientRequest request = BatcherRequest();
+  request.click_config = "FromNetfront( -> ToNetfront();";
+  DeployOutcome outcome = controller_.Deploy(request);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST_F(ControllerDeploy, BadRequirementSyntaxRejected) {
+  ClientRequest request = BatcherRequest();
+  request.requirements = "reach to the moon";
+  DeployOutcome outcome = controller_.Deploy(request);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST_F(ControllerDeploy, TimingBreakdownPopulated) {
+  DeployOutcome outcome = controller_.Deploy(BatcherRequest());
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_GT(outcome.model_build_ms + outcome.check_ms, 0.0);
+  EXPECT_GT(outcome.engine_steps, 0u);
+}
+
+// Geolocation placement on a multi-PoP operator: the module serving a PoP's
+// clients lands on that PoP's platform (§8's CDN/DNS story).
+TEST(MultiPopPlacement, ModuleLandsNearItsClients) {
+  Controller controller(topology::Network::MakeMultiPop(4));
+  for (int pop : {2, 0, 3}) {
+    ClientRequest request;
+    request.client_id = "dns-pop" + std::to_string(pop);
+    request.requester = RequesterClass::kThirdParty;
+    request.click_config = StockDnsServer();
+    std::string client_net = "10." + std::to_string(pop + 1) + ".0.0/16";
+    request.requirements =
+        "reach from " + client_net + " udp dst port 53 -> module:server -> client";
+    DeployOutcome outcome = controller.Deploy(request);
+    ASSERT_TRUE(outcome.accepted) << outcome.reason;
+    EXPECT_EQ(outcome.platform, "platform" + std::to_string(pop));
+  }
+}
+
+TEST(MultiPopPlacement, HopDistanceMetric) {
+  topology::Network net = topology::Network::MakeMultiPop(3);
+  EXPECT_EQ(net.HopDistance("clients1", "platform1"), 2);  // via access1
+  EXPECT_EQ(net.HopDistance("clients1", "platform2"), 4);  // via access1, core, access2
+  EXPECT_EQ(net.HopDistance("internet", "platform0"), 3);
+  EXPECT_EQ(net.HopDistance("core", "core"), 0);
+  EXPECT_EQ(net.HopDistance("core", "nonexistent"), -1);
+}
+
+// DNS stock module: reachable from the Internet on UDP 53.
+TEST_F(ControllerDeploy, StockDnsDeploysAndIsReachable) {
+  ClientRequest request;
+  request.client_id = "cdn";
+  request.requester = RequesterClass::kThirdParty;
+  request.click_config = StockDnsServer();
+  request.requirements = "reach from internet udp dst port 53 -> module:server -> internet";
+  DeployOutcome outcome = controller_.Deploy(request);
+  ASSERT_TRUE(outcome.accepted) << outcome.reason;
+  EXPECT_EQ(outcome.platform, "platform3");
+}
+
+}  // namespace
+}  // namespace innet::controller

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/energy/radio_model.h"
+#include "src/trace/backbone_trace.h"
+
+namespace innet {
+namespace {
+
+using energy::RadioEnergyModel;
+using energy::RadioParams;
+
+// --- Radio energy model -----------------------------------------------------------
+
+TEST(RadioModel, IdleBaselineWhenNoActivity) {
+  RadioEnergyModel model;
+  EXPECT_DOUBLE_EQ(model.AveragePowerMw({}, 100.0), model.params().idle_mw);
+}
+
+TEST(RadioModel, SingleActivityAddsTailEnergy) {
+  RadioParams params;
+  RadioEnergyModel model(params);
+  double avg = model.AveragePowerMw({0.0}, 100.0);
+  double expected = (params.dch_tail_sec * params.dch_mw +
+                     params.fach_tail_sec * params.fach_mw +
+                     (100.0 - params.dch_tail_sec - params.fach_tail_sec) * params.idle_mw) /
+                    100.0;
+  EXPECT_NEAR(avg, expected, 1e-6);
+}
+
+TEST(RadioModel, OverlappingActivitiesShareTail) {
+  RadioEnergyModel model;
+  // Two wake-ups 1 s apart cost less than two isolated wake-ups, because the
+  // second extends the first's DCH tail instead of a fresh climb.
+  double together = model.AveragePowerMw({0.0, 1.0}, 100.0);
+  double apart = model.AveragePowerMw({0.0, 50.0}, 100.0);
+  EXPECT_LT(together, apart);
+}
+
+TEST(RadioModel, Figure13CalibrationPoints) {
+  // The Figure 13 anchors: ~240 mW at 30 s batching, ~140 mW at 240 s.
+  RadioEnergyModel model;
+  double at_30 = model.PeriodicActivityPowerMw(30, 3600);
+  double at_240 = model.PeriodicActivityPowerMw(240, 3600);
+  EXPECT_NEAR(at_30, 240, 30);
+  EXPECT_NEAR(at_240, 140, 20);
+}
+
+TEST(RadioModel, BatchingMonotonicallySavesEnergy) {
+  RadioEnergyModel model;
+  double previous = 1e9;
+  for (double interval : {30.0, 60.0, 120.0, 240.0}) {
+    double power = model.PeriodicActivityPowerMw(interval, 3600);
+    EXPECT_LT(power, previous) << interval;
+    previous = power;
+  }
+}
+
+TEST(RadioModel, HttpVsHttpsDownloadPower) {
+  // §8: 570 mW over HTTP vs 650 mW over HTTPS at 8 Mb/s (≈15% more).
+  RadioEnergyModel model;
+  double http = model.DownloadPowerMw(8e6, /*https=*/false);
+  double https = model.DownloadPowerMw(8e6, /*https=*/true);
+  EXPECT_NEAR(http, 570, 10);
+  EXPECT_NEAR(https, 650, 10);
+  EXPECT_NEAR(https / http, 1.15, 0.03);
+}
+
+TEST(RadioModel, ActivityOutsideWindowClamped) {
+  RadioEnergyModel model;
+  double avg = model.AveragePowerMw({99.5}, 100.0);
+  EXPECT_GT(avg, model.params().idle_mw);
+  EXPECT_LT(avg, model.params().idle_mw + 10);  // only half a second of DCH
+}
+
+// --- Backbone trace ------------------------------------------------------------------
+
+TEST(BackboneTrace, FlowsFitTheWindow) {
+  trace::TraceConfig config;
+  auto flows = trace::SynthesizeBackboneTrace(config);
+  ASSERT_GT(flows.size(), 10000u);
+  for (const trace::Flow& flow : flows) {
+    EXPECT_GE(flow.start_sec, 0);
+    EXPECT_LT(flow.end_sec, config.duration_sec);
+    EXPECT_GT(flow.end_sec, flow.start_sec);
+    EXPECT_LT(flow.client_id, config.client_pool);
+  }
+}
+
+TEST(BackboneTrace, Deterministic) {
+  trace::TraceConfig config;
+  auto a = trace::SynthesizeBackboneTrace(config);
+  auto b = trace::SynthesizeBackboneTrace(config);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].start_sec, b[0].start_sec);
+  EXPECT_EQ(a.back().client_id, b.back().client_id);
+}
+
+TEST(BackboneTrace, AnalysisMatchesPaperRanges) {
+  // §6 MAWI: 1,600-4,000 concurrent connections, 400-840 active openers.
+  trace::TraceConfig config;
+  auto flows = trace::SynthesizeBackboneTrace(config);
+  auto stats = trace::AnalyzeTrace(flows, config.duration_sec);
+  EXPECT_GE(stats.max_concurrent_connections, 1000u);
+  EXPECT_LE(stats.max_concurrent_connections, 4500u);
+  EXPECT_GE(stats.max_active_openers, 300u);
+  EXPECT_LE(stats.max_active_openers, 1200u);
+  EXPECT_GT(stats.mean_concurrent_connections, 0);
+  EXPECT_LE(stats.mean_concurrent_connections,
+            static_cast<double>(stats.max_concurrent_connections));
+}
+
+TEST(BackboneTrace, AnalysisHandlesHandConstructedFlows) {
+  std::vector<trace::Flow> flows = {
+      {0.0, 10.0, 1},
+      {5.0, 15.0, 2},
+      {5.0, 15.0, 2},  // same client, second connection
+      {20.0, 25.0, 3},
+  };
+  auto stats = trace::AnalyzeTrace(flows, 30);
+  EXPECT_EQ(stats.total_flows, 4u);
+  EXPECT_EQ(stats.max_concurrent_connections, 3u);  // t in (5,10): all three open
+  EXPECT_EQ(stats.max_active_openers, 2u);          // clients 1 and 2
+}
+
+TEST(BackboneTrace, EmptyTrace) {
+  auto stats = trace::AnalyzeTrace({}, 900);
+  EXPECT_EQ(stats.total_flows, 0u);
+  EXPECT_EQ(stats.max_concurrent_connections, 0u);
+}
+
+TEST(BackboneTrace, PaperConclusionOnePlatformSuffices) {
+  // The §6 takeaway: a single In-Net platform supporting ~1,000 tenants can
+  // run a personalized firewall for every active MAWI source.
+  trace::TraceConfig config;
+  auto flows = trace::SynthesizeBackboneTrace(config);
+  auto stats = trace::AnalyzeTrace(flows, config.duration_sec);
+  EXPECT_LE(stats.max_active_openers, 1000u);
+}
+
+}  // namespace
+}  // namespace innet

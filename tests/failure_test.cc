@@ -1,0 +1,220 @@
+// Failure injection: exhausted resources, mid-transition teardown, corrupted
+// packets, controller pool exhaustion, and malformed inputs everywhere.
+#include <gtest/gtest.h>
+
+#include "src/click/elements.h"
+#include "src/controller/controller.h"
+#include "src/controller/orchestrator.h"
+#include "src/platform/platform.h"
+#include "src/sim/rng.h"
+#include "src/symexec/click_models.h"
+#include "src/topology/network.h"
+#include <set>
+
+namespace innet {
+namespace {
+
+using controller::ClientRequest;
+using controller::Controller;
+using controller::DeployOutcome;
+using controller::RequesterClass;
+using platform::InNetPlatform;
+using platform::Vm;
+using platform::VmCostModel;
+using platform::VmKind;
+
+Packet Udp(const char* src, const char* dst, uint16_t sport, uint16_t dport) {
+  return Packet::MakeUdp(Ipv4Address::MustParse(src), Ipv4Address::MustParse(dst), sport, dport,
+                         32);
+}
+
+// --- Platform resource exhaustion --------------------------------------------------
+
+TEST(Failure, OnDemandBootFailsWhenMemoryExhausted) {
+  sim::EventQueue clock;
+  VmCostModel model;
+  InNetPlatform platform(&clock, model, 2 * model.MemoryBytes(VmKind::kClickOs));
+  platform.RegisterOnDemand(Ipv4Address::MustParse("172.16.3.10"),
+                            "FromNetfront() -> ToNetfront();");
+  int egressed = 0;
+  platform.SetEgressHandler([&](Packet&) { ++egressed; });
+  // Four distinct flows; only two VMs fit.
+  for (uint16_t flow = 0; flow < 4; ++flow) {
+    Packet p = Udp("9.9.9.9", "172.16.3.10", static_cast<uint16_t>(6000 + flow), 80);
+    platform.HandlePacket(p);
+  }
+  clock.RunUntil(sim::FromSeconds(2));
+  EXPECT_EQ(platform.vms().vm_count(), 2u);
+  EXPECT_EQ(egressed, 2);  // the overflow flows' packets are lost, not crashed
+}
+
+TEST(Failure, DestroyWhileBootingNeverRuns) {
+  sim::EventQueue clock;
+  InNetPlatform platform(&clock);
+  std::string error;
+  bool became_ready = false;
+  Vm* vm = platform.vms().Create(VmKind::kClickOs, "FromNetfront() -> ToNetfront();",
+                                 [&](Vm*) { became_ready = true; }, &error);
+  ASSERT_NE(vm, nullptr);
+  ASSERT_TRUE(platform.vms().Destroy(vm->id()));
+  clock.RunUntil(sim::FromSeconds(1));
+  EXPECT_FALSE(became_ready);  // the boot-completion callback found it gone
+  EXPECT_EQ(platform.vms().memory_used(), 0u);
+}
+
+TEST(Failure, DestroyWhileSuspendingIsSafe) {
+  sim::EventQueue clock;
+  platform::VmManager vms(&clock, VmCostModel{}, 1ull << 30);
+  std::string error;
+  Vm* vm = vms.Create(VmKind::kClickOs, "FromNetfront() -> ToNetfront();", nullptr, &error);
+  ASSERT_NE(vm, nullptr);
+  clock.RunUntil(sim::FromMillis(100));
+  bool suspend_done = false;
+  ASSERT_TRUE(vms.Suspend(vm->id(), [&] { suspend_done = true; }));
+  ASSERT_TRUE(vms.Destroy(vm->id()));
+  clock.RunUntil(sim::FromSeconds(1));  // the stale suspend timer fires harmlessly
+  EXPECT_TRUE(suspend_done);            // callback runs; the VM is simply gone
+  EXPECT_EQ(vms.vm_count(), 0u);
+}
+
+TEST(Failure, ResumeOfDestroyedVmRejected) {
+  sim::EventQueue clock;
+  platform::VmManager vms(&clock, VmCostModel{}, 1ull << 30);
+  std::string error;
+  Vm* vm = vms.Create(VmKind::kClickOs, "FromNetfront() -> ToNetfront();", nullptr, &error);
+  ASSERT_NE(vm, nullptr);
+  Vm::VmId id = vm->id();
+  clock.RunUntil(sim::FromMillis(100));
+  vms.Destroy(id);
+  EXPECT_FALSE(vms.Resume(id));
+  EXPECT_FALSE(vms.Suspend(id));
+}
+
+// --- Corrupted traffic ----------------------------------------------------------------
+
+TEST(Failure, CorruptedPacketsDropAtCheckIPHeader) {
+  std::string error;
+  auto graph = click::Graph::FromText(
+      "src :: FromNetfront(); sink :: ToNetfront();"
+      "src -> CheckIPHeader() -> IPFilter(allow all) -> sink;",
+      &error);
+  ASSERT_NE(graph, nullptr) << error;
+  sim::Rng rng(13);
+  int corrupted_delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    Packet p = Udp("1.1.1.1", "2.2.2.2", 1, 2);
+    // Flip a random byte in the IP header without refreshing checksums.
+    size_t offset = kEthHeaderLen + rng.NextBelow(kIpHeaderLen);
+    uint8_t flip = static_cast<uint8_t>(1 + rng.NextBelow(255));
+    p.mutable_data()[offset] ^= flip;
+    uint64_t before = graph->FindAs<click::ToNetfront>("sink")->packet_count();
+    graph->InjectAtSource(p);
+    uint64_t after = graph->FindAs<click::ToNetfront>("sink")->packet_count();
+    corrupted_delivered += static_cast<int>(after - before);
+  }
+  EXPECT_EQ(corrupted_delivered, 0);
+}
+
+// --- Controller exhaustion and malformed inputs ------------------------------------------
+
+TEST(Failure, AddressPoolExhaustionRejectsCleanly) {
+  // Each platform pool serves 240 module addresses; request more than all
+  // three platforms can hold and the controller must refuse, not wrap.
+  Controller ctrl(topology::Network::MakeFigure3());
+  ClientRequest request;
+  request.requester = RequesterClass::kThirdParty;
+  request.click_config =
+      "FromNetfront() -> IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+
+  int accepted = 0;
+  for (int i = 0; i < 750; ++i) {
+    request.client_id = "tenant" + std::to_string(i);
+    DeployOutcome outcome = ctrl.Deploy(request);
+    if (!outcome.accepted) {
+      break;
+    }
+    ++accepted;
+  }
+  EXPECT_GT(accepted, 200);   // pools really filled up
+  EXPECT_LT(accepted, 750);   // and exhaustion was reported
+  // All assigned addresses distinct.
+  std::set<uint32_t> addrs;
+  for (const auto& dep : ctrl.deployments()) {
+    EXPECT_TRUE(addrs.insert(dep.addr.value()).second);
+  }
+}
+
+TEST(Failure, MalformedEverything) {
+  Controller ctrl(topology::Network::MakeFigure3());
+  ClientRequest request;
+  request.client_id = "x";
+  const char* bad_configs[] = {
+      "",                                     // empty
+      "FromNetfront( -> ToNetfront();",       // unbalanced
+      "a :: NotAClass(); a -> a;",            // unknown class
+      "FromNetfront() -> IPFilter() -> ToNetfront();",  // element arg error
+      "x :: Counter(); x -> Discard();",      // no ingress
+  };
+  for (const char* config : bad_configs) {
+    request.click_config = config;
+    EXPECT_FALSE(ctrl.Deploy(request).accepted) << config;
+  }
+  EXPECT_TRUE(ctrl.deployments().empty());
+}
+
+TEST(Failure, OrchestratorSurvivesConsolidationRebuildFailure) {
+  // A stateless, safe config that the *consolidator* rejects (no ToNetfront
+  // cannot happen post-verification, so instead exercise the rebuild path by
+  // killing during operation).
+  sim::EventQueue clock;
+  controller::Orchestrator orchestrator(topology::Network::MakeFigure3(), &clock);
+  ClientRequest request;
+  request.client_id = "a";
+  request.requester = RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() -> IPFilter(allow udp) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+  auto result = orchestrator.Deploy(request);
+  ASSERT_TRUE(result.outcome.accepted) << result.outcome.reason;
+  // Kill twice: the second must fail without corrupting state.
+  EXPECT_TRUE(orchestrator.Kill(result.outcome.module_id));
+  EXPECT_FALSE(orchestrator.Kill(result.outcome.module_id));
+  EXPECT_TRUE(orchestrator.controller().deployments().empty());
+}
+
+// --- Engine robustness --------------------------------------------------------------------
+
+TEST(Failure, SymbolicEngineBoundsPathExplosion) {
+  // A chain of Tee(2) doubles paths per stage; the engine must truncate
+  // rather than exhaust memory.
+  // Both Tee outputs feed the next stage, so path count doubles per stage.
+  std::string config_text = "src :: FromNetfront();";
+  std::string prev = "src";
+  for (int i = 0; i < 24; ++i) {
+    std::string name = "t" + std::to_string(i);
+    config_text += name + " :: Tee(2);" + prev + " -> " + name + ";";
+    if (i > 0) {
+      config_text += "t" + std::to_string(i - 1) + "[1] -> [0]" + name + ";";
+    }
+    prev = name;
+  }
+  config_text += prev + " -> ToNetfront(); " + prev + "[1] -> Discard();";
+  std::string error;
+  auto config = click::ConfigGraph::Parse(config_text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  auto model = symexec::BuildClickModel(*config, &error);
+  ASSERT_TRUE(model.has_value()) << error;
+  symexec::EngineOptions options;
+  options.max_paths = 1000;
+  symexec::Engine engine(options);
+  auto result = engine.Run(*model, model->FindNode("src"), symexec::kPortInject,
+                           symexec::SymbolicPacket::MakeUnconstrained(engine.vars()));
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LE(result.steps, 2000u);
+}
+
+}  // namespace
+}  // namespace innet

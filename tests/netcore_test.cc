@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include "src/netcore/checksum.h"
+#include "src/netcore/fields.h"
+#include "src/netcore/flowspec.h"
+#include "src/netcore/ip.h"
+#include "src/netcore/packet.h"
+
+namespace innet {
+namespace {
+
+// --- Ipv4Address -----------------------------------------------------------------
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  auto addr = Ipv4Address::Parse("10.1.2.3");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0x0A010203u);
+  EXPECT_EQ(addr->ToString(), "10.1.2.3");
+}
+
+TEST(Ipv4Address, ParsesEdgeValues) {
+  EXPECT_EQ(Ipv4Address::MustParse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4Address::MustParse("255.255.255.255").value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("10.1.2").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("256.1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.1.2.x").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.1.2.3 ").has_value());
+}
+
+TEST(Ipv4Address, ClassifiesSpecialRanges) {
+  EXPECT_TRUE(Ipv4Address::MustParse("10.0.0.1").IsPrivate());
+  EXPECT_TRUE(Ipv4Address::MustParse("172.16.0.1").IsPrivate());
+  EXPECT_TRUE(Ipv4Address::MustParse("172.31.255.255").IsPrivate());
+  EXPECT_FALSE(Ipv4Address::MustParse("172.32.0.1").IsPrivate());
+  EXPECT_TRUE(Ipv4Address::MustParse("192.168.4.4").IsPrivate());
+  EXPECT_FALSE(Ipv4Address::MustParse("8.8.8.8").IsPrivate());
+  EXPECT_TRUE(Ipv4Address::MustParse("127.0.0.1").IsLoopback());
+  EXPECT_TRUE(Ipv4Address::MustParse("224.0.0.1").IsMulticast());
+  EXPECT_TRUE(Ipv4Address().IsUnspecified());
+}
+
+TEST(Ipv4Address, Ordering) {
+  Ipv4Address a = Ipv4Address::MustParse("10.0.0.1");
+  Ipv4Address b = Ipv4Address::MustParse("10.0.0.2");
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Ipv4Address::MustParse("10.0.0.1"));
+}
+
+// --- Ipv4Prefix ------------------------------------------------------------------
+
+TEST(Ipv4Prefix, ParsesAndMasksHostBits) {
+  Ipv4Prefix prefix = Ipv4Prefix::MustParse("10.1.2.3/16");
+  EXPECT_EQ(prefix.base(), Ipv4Address::MustParse("10.1.0.0"));
+  EXPECT_EQ(prefix.length(), 16);
+  EXPECT_EQ(prefix.ToString(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, BareAddressIsSlash32) {
+  Ipv4Prefix prefix = Ipv4Prefix::MustParse("10.1.2.3");
+  EXPECT_EQ(prefix.length(), 32);
+  EXPECT_TRUE(prefix.Contains(Ipv4Address::MustParse("10.1.2.3")));
+  EXPECT_FALSE(prefix.Contains(Ipv4Address::MustParse("10.1.2.4")));
+}
+
+TEST(Ipv4Prefix, ContainsAndOverlaps) {
+  Ipv4Prefix wide = Ipv4Prefix::MustParse("10.0.0.0/8");
+  Ipv4Prefix narrow = Ipv4Prefix::MustParse("10.5.0.0/16");
+  Ipv4Prefix other = Ipv4Prefix::MustParse("192.168.0.0/16");
+  EXPECT_TRUE(wide.Contains(narrow));
+  EXPECT_FALSE(narrow.Contains(wide));
+  EXPECT_TRUE(wide.Overlaps(narrow));
+  EXPECT_TRUE(narrow.Overlaps(wide));
+  EXPECT_FALSE(wide.Overlaps(other));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  Ipv4Prefix all = Ipv4Prefix::MustParse("0.0.0.0/0");
+  EXPECT_TRUE(all.Contains(Ipv4Address::MustParse("1.2.3.4")));
+  EXPECT_TRUE(all.Contains(Ipv4Address::MustParse("255.255.255.255")));
+}
+
+TEST(Ipv4Prefix, FirstAndLast) {
+  Ipv4Prefix prefix = Ipv4Prefix::MustParse("10.1.0.0/16");
+  EXPECT_EQ(prefix.first(), Ipv4Address::MustParse("10.1.0.0"));
+  EXPECT_EQ(prefix.last(), Ipv4Address::MustParse("10.1.255.255"));
+}
+
+TEST(Ipv4Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Ipv4Prefix::Parse("10.0.0/8").has_value());
+}
+
+// --- Checksums -------------------------------------------------------------------
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: the checksum of {0x00,0x01,0xf2,0x03,0xf4,0xf5,0xf6,0xf7}.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  uint32_t partial = ChecksumPartial(data, sizeof(data));
+  EXPECT_EQ(partial, 0xddf2u);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const uint8_t data[] = {0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 -> 0x0402.
+  EXPECT_EQ(ChecksumPartial(data, sizeof(data)), 0x0402u);
+}
+
+TEST(Checksum, VerifiesToZero) {
+  const uint8_t data[] = {0x45, 0x00, 0x00, 0x1c};
+  uint16_t sum = Checksum(data, sizeof(data));
+  // Appending the checksum makes the total verify (complement sum == 0).
+  uint8_t with_sum[6] = {0x45, 0x00, 0x00, 0x1c, static_cast<uint8_t>(sum >> 8),
+                         static_cast<uint8_t>(sum & 0xFF)};
+  EXPECT_EQ(Checksum(with_sum, sizeof(with_sum)), 0u);
+}
+
+// --- Packet ----------------------------------------------------------------------
+
+TEST(Packet, BuildsValidUdp) {
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("10.0.0.1"),
+                             Ipv4Address::MustParse("10.0.0.2"), 1234, 1500, 100);
+  EXPECT_EQ(p.protocol(), kProtoUdp);
+  EXPECT_EQ(p.src_port(), 1234);
+  EXPECT_EQ(p.dst_port(), 1500);
+  EXPECT_EQ(p.payload_length(), 100u);
+  EXPECT_EQ(p.length(), kEthHeaderLen + kIpHeaderLen + 8 + 100);
+  EXPECT_TRUE(p.VerifyIpChecksum());
+}
+
+TEST(Packet, BuildsValidTcpWithFlags) {
+  Packet p = Packet::MakeTcp(Ipv4Address::MustParse("10.0.0.1"),
+                             Ipv4Address::MustParse("10.0.0.2"), 4000, 80, kTcpSyn);
+  EXPECT_EQ(p.protocol(), kProtoTcp);
+  EXPECT_EQ(p.tcp_flags(), kTcpSyn);
+  EXPECT_TRUE(p.VerifyIpChecksum());
+}
+
+TEST(Packet, MutatorsKeepWireBytesInSync) {
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("10.0.0.1"),
+                             Ipv4Address::MustParse("10.0.0.2"), 1, 2, 10);
+  p.set_ip_dst(Ipv4Address::MustParse("172.16.15.133"));
+  p.set_dst_port(9999);
+  p.RefreshChecksums();
+
+  Packet reparsed = Packet::FromWire(p.data(), p.length());
+  ASSERT_GT(reparsed.length(), 0u);
+  EXPECT_EQ(reparsed.ip_dst(), Ipv4Address::MustParse("172.16.15.133"));
+  EXPECT_EQ(reparsed.dst_port(), 9999);
+  EXPECT_TRUE(reparsed.VerifyIpChecksum());
+}
+
+TEST(Packet, ChecksumDetectsCorruption) {
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("10.0.0.1"),
+                             Ipv4Address::MustParse("10.0.0.2"), 1, 2, 10);
+  EXPECT_TRUE(p.VerifyIpChecksum());
+  p.mutable_data()[kEthHeaderLen + 8] ^= 0xFF;  // corrupt TTL byte without refresh
+  EXPECT_FALSE(p.VerifyIpChecksum());
+}
+
+TEST(Packet, DecrementTtl) {
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 1, 2);
+  EXPECT_EQ(p.ttl(), 64);
+  EXPECT_TRUE(p.DecrementTtl());
+  EXPECT_EQ(p.ttl(), 63);
+  p.set_ttl(1);
+  EXPECT_FALSE(p.DecrementTtl());  // would expire
+  EXPECT_EQ(p.ttl(), 1);
+}
+
+TEST(Packet, PayloadRoundTrip) {
+  Packet p = Packet::MakeTcp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 1, 80, 0, 64);
+  p.SetPayload("GET /index.html HTTP/1.1");
+  EXPECT_NE(p.PayloadView().find("GET /index.html"), std::string_view::npos);
+  EXPECT_TRUE(p.VerifyIpChecksum());
+}
+
+TEST(Packet, FlowKeyDistinguishesFlows) {
+  Packet a = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 10, 20);
+  Packet b = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 10, 21);
+  Packet c = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 10, 20);
+  EXPECT_NE(a.FlowKey(), b.FlowKey());
+  EXPECT_EQ(a.FlowKey(), c.FlowKey());
+}
+
+TEST(Packet, IcmpEcho) {
+  Packet p = Packet::MakeIcmpEcho(Ipv4Address::MustParse("1.1.1.1"),
+                                  Ipv4Address::MustParse("2.2.2.2"), 7, 3);
+  EXPECT_EQ(p.protocol(), kProtoIcmp);
+  EXPECT_TRUE(p.VerifyIpChecksum());
+}
+
+TEST(Packet, FromWireRejectsGarbage) {
+  uint8_t junk[64] = {};
+  Packet p = Packet::FromWire(junk, sizeof(junk));
+  EXPECT_EQ(p.length(), 0u);
+  Packet q = Packet::FromWire(junk, 4);  // too short
+  EXPECT_EQ(q.length(), 0u);
+}
+
+// --- FlowSpec --------------------------------------------------------------------
+
+TEST(FlowSpec, EmptyMatchesEverything) {
+  FlowSpec spec = FlowSpec::MustParse("");
+  EXPECT_TRUE(spec.IsWildcard());
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 1, 2);
+  EXPECT_TRUE(spec.Matches(p));
+}
+
+TEST(FlowSpec, ProtocolMatch) {
+  FlowSpec udp = FlowSpec::MustParse("udp");
+  Packet u = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 1, 2);
+  Packet t = Packet::MakeTcp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("2.2.2.2"), 1, 2, 0);
+  EXPECT_TRUE(udp.Matches(u));
+  EXPECT_FALSE(udp.Matches(t));
+}
+
+TEST(FlowSpec, DirectedPortMatch) {
+  FlowSpec spec = FlowSpec::MustParse("udp dst port 1500");
+  Packet hit = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                               Ipv4Address::MustParse("2.2.2.2"), 1500, 1500);
+  Packet miss = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                                Ipv4Address::MustParse("2.2.2.2"), 1500, 1501);
+  EXPECT_TRUE(spec.Matches(hit));
+  EXPECT_FALSE(spec.Matches(miss));
+}
+
+TEST(FlowSpec, UndirectedPortMatchesEitherSide) {
+  FlowSpec spec = FlowSpec::MustParse("port 80");
+  Packet by_dst = Packet::MakeTcp(Ipv4Address::MustParse("1.1.1.1"),
+                                  Ipv4Address::MustParse("2.2.2.2"), 4000, 80, 0);
+  Packet by_src = Packet::MakeTcp(Ipv4Address::MustParse("1.1.1.1"),
+                                  Ipv4Address::MustParse("2.2.2.2"), 80, 4000, 0);
+  Packet neither = Packet::MakeTcp(Ipv4Address::MustParse("1.1.1.1"),
+                                   Ipv4Address::MustParse("2.2.2.2"), 1, 2, 0);
+  EXPECT_TRUE(spec.Matches(by_dst));
+  EXPECT_TRUE(spec.Matches(by_src));
+  EXPECT_FALSE(spec.Matches(neither));
+}
+
+TEST(FlowSpec, PortRange) {
+  FlowSpec spec = FlowSpec::MustParse("dst port 1000-2000");
+  Packet in_range = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                                    Ipv4Address::MustParse("2.2.2.2"), 1, 1500);
+  Packet below = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                                 Ipv4Address::MustParse("2.2.2.2"), 1, 999);
+  EXPECT_TRUE(spec.Matches(in_range));
+  EXPECT_FALSE(spec.Matches(below));
+}
+
+TEST(FlowSpec, HostAndNet) {
+  FlowSpec host = FlowSpec::MustParse("src host 10.0.0.1");
+  FlowSpec net = FlowSpec::MustParse("dst net 192.168.0.0/16");
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("10.0.0.1"),
+                             Ipv4Address::MustParse("192.168.3.4"), 1, 2);
+  EXPECT_TRUE(host.Matches(p));
+  EXPECT_TRUE(net.Matches(p));
+  Packet q = Packet::MakeUdp(Ipv4Address::MustParse("10.0.0.2"),
+                             Ipv4Address::MustParse("172.16.0.1"), 1, 2);
+  EXPECT_FALSE(host.Matches(q));
+  EXPECT_FALSE(net.Matches(q));
+}
+
+TEST(FlowSpec, BareAddressIsHost) {
+  FlowSpec spec = FlowSpec::MustParse("dst 172.16.15.133");
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("1.1.1.1"),
+                             Ipv4Address::MustParse("172.16.15.133"), 1, 2);
+  EXPECT_TRUE(spec.Matches(p));
+}
+
+TEST(FlowSpec, Conjunction) {
+  FlowSpec spec = FlowSpec::MustParse("tcp and src port 80 and dst net 10.0.0.0/8");
+  Packet hit = Packet::MakeTcp(Ipv4Address::MustParse("8.8.8.8"),
+                               Ipv4Address::MustParse("10.1.1.1"), 80, 5000, 0);
+  Packet wrong_proto = Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"),
+                                       Ipv4Address::MustParse("10.1.1.1"), 80, 5000);
+  EXPECT_TRUE(spec.Matches(hit));
+  EXPECT_FALSE(spec.Matches(wrong_proto));
+}
+
+TEST(FlowSpec, RejectsMalformed) {
+  EXPECT_FALSE(FlowSpec::Parse("dst port abc").has_value());
+  EXPECT_FALSE(FlowSpec::Parse("port 70000").has_value());
+  EXPECT_FALSE(FlowSpec::Parse("host 300.1.1.1").has_value());
+  EXPECT_FALSE(FlowSpec::Parse("tcp udp").has_value());  // contradictory protocols
+  EXPECT_FALSE(FlowSpec::Parse("dst port 10-5").has_value());
+}
+
+TEST(FlowSpec, ToStringRoundTrips) {
+  FlowSpec spec = FlowSpec::MustParse("udp dst host 10.0.0.1 src port 53");
+  FlowSpec again = FlowSpec::MustParse(spec.ToString());
+  Packet p = Packet::MakeUdp(Ipv4Address::MustParse("9.9.9.9"),
+                             Ipv4Address::MustParse("10.0.0.1"), 53, 7000);
+  EXPECT_EQ(spec.Matches(p), again.Matches(p));
+  EXPECT_TRUE(again.Matches(p));
+}
+
+// --- HeaderField names -------------------------------------------------------------
+
+TEST(HeaderFields, ParseKnownNames) {
+  EXPECT_EQ(ParseHeaderField("proto"), HeaderField::kProto);
+  EXPECT_EQ(ParseHeaderField("dst port"), HeaderField::kDstPort);
+  EXPECT_EQ(ParseHeaderField("src port"), HeaderField::kSrcPort);
+  EXPECT_EQ(ParseHeaderField("payload"), HeaderField::kPayload);
+  EXPECT_EQ(ParseHeaderField("src host"), HeaderField::kIpSrc);
+  EXPECT_EQ(ParseHeaderField("dst"), HeaderField::kIpDst);
+  EXPECT_FALSE(ParseHeaderField("bogus").has_value());
+}
+
+TEST(HeaderFields, NamesRoundTrip) {
+  for (int i = 0; i < kNumHeaderFields; ++i) {
+    HeaderField f = static_cast<HeaderField>(i);
+    auto parsed = ParseHeaderField(std::string(HeaderFieldName(f)));
+    ASSERT_TRUE(parsed.has_value()) << HeaderFieldName(f);
+    EXPECT_EQ(*parsed, f);
+  }
+}
+
+}  // namespace
+}  // namespace innet

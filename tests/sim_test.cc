@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/link.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace innet::sim {
+namespace {
+
+// --- EventQueue ---------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.ScheduleAt(10, [&] { order.push_back(3); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(5, [&] {
+    ++fired;
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  q.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(20, [&] { ++fired; });
+  q.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 15u);
+  q.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PastScheduleClampsToNow) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.Run();
+  bool fired = false;
+  q.ScheduleAt(50, [&] { fired = true; });  // in the past
+  q.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunHonorsMaxEvents) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(static_cast<TimeNs>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(q.Run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+// --- Samples ----------------------------------------------------------------------
+
+TEST(Samples, BasicStats) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_NEAR(s.Stddev(), std::sqrt(2.5), 1e-9);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(s.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1.0);
+}
+
+TEST(Samples, EmptyIsSafe) {
+  Samples s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_TRUE(s.Cdf().empty());
+}
+
+TEST(Samples, CdfMonotonic) {
+  Samples s;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(rng.Uniform(0, 100));
+  }
+  auto cdf = s.Cdf(50);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+// --- Link -----------------------------------------------------------------------
+
+TEST(Link, DeliversAfterSerializationAndPropagation) {
+  EventQueue q;
+  Rng rng(1);
+  Link::Config config;
+  config.rate_bps = 8e6;  // 1 byte/us
+  config.propagation = 1000 * kMicrosecond;
+  Link link(&q, &rng, config);
+  TimeNs delivered_at = 0;
+  link.Send(1000, [&] { delivered_at = q.now(); });
+  q.Run();
+  // 1000 bytes at 1 B/us = 1 ms serialization + 1 ms propagation.
+  EXPECT_EQ(delivered_at, 2 * kMillisecond);
+}
+
+TEST(Link, SerializesBackToBack) {
+  EventQueue q;
+  Rng rng(1);
+  Link::Config config;
+  config.rate_bps = 8e6;
+  config.propagation = 0;
+  Link link(&q, &rng, config);
+  std::vector<TimeNs> deliveries;
+  link.Send(1000, [&] { deliveries.push_back(q.now()); });
+  link.Send(1000, [&] { deliveries.push_back(q.now()); });
+  q.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 1 * kMillisecond);
+  EXPECT_EQ(deliveries[1], 2 * kMillisecond);  // queued behind the first
+}
+
+TEST(Link, LosesAtConfiguredRate) {
+  EventQueue q;
+  Rng rng(5);
+  Link::Config config;
+  config.rate_bps = 1e12;
+  config.propagation = 0;
+  config.loss_prob = 0.2;
+  Link link(&q, &rng, config);
+  int delivered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    link.Send(100, [&] { ++delivered; });
+  }
+  q.Run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.8, 0.02);
+}
+
+TEST(Link, QueueLimitDropsAtEnqueue) {
+  EventQueue q;
+  Rng rng(1);
+  Link::Config config;
+  config.rate_bps = 8e3;  // very slow: 1 byte/ms
+  config.propagation = 0;
+  config.queue_limit_bytes = 2000;
+  Link link(&q, &rng, config);
+  EXPECT_TRUE(link.Send(1000, [] {}));
+  EXPECT_TRUE(link.Send(1000, [] {}));
+  EXPECT_FALSE(link.Send(1000, [] {}));  // over the 2000-byte cap
+  EXPECT_EQ(link.dropped_count(), 1u);
+}
+
+TEST(Link, IdleLatency) {
+  EventQueue q;
+  Rng rng(1);
+  Link::Config config;
+  config.rate_bps = 8e6;
+  config.propagation = 5 * kMillisecond;
+  Link link(&q, &rng, config);
+  EXPECT_EQ(link.IdleLatency(1000), 6 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace innet::sim
