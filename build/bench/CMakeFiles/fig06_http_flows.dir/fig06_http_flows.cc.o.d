@@ -238,11 +238,9 @@ bench/CMakeFiles/fig06_http_flows.dir/fig06_http_flows.cc.o: \
  /root/repo/src/netcore/flowspec.h /root/repo/src/click/graph.h \
  /root/repo/src/click/registry.h \
  /root/repo/src/platform/software_switch.h /root/repo/src/platform/vm.h \
- /root/repo/src/platform/cost_model.h /root/repo/src/sim/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/platform/cost_model.h /root/repo/src/sim/fault_injector.h \
+ /root/repo/src/sim/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -262,4 +260,9 @@ bench/CMakeFiles/fig06_http_flows.dir/fig06_http_flows.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/platform/watchdog.h /root/repo/src/sim/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstddef

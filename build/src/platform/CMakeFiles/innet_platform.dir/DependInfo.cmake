@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/platform/sandbox.cc" "src/platform/CMakeFiles/innet_platform.dir/sandbox.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/sandbox.cc.o.d"
   "/root/repo/src/platform/software_switch.cc" "src/platform/CMakeFiles/innet_platform.dir/software_switch.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/software_switch.cc.o.d"
   "/root/repo/src/platform/vm.cc" "src/platform/CMakeFiles/innet_platform.dir/vm.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/vm.cc.o.d"
+  "/root/repo/src/platform/watchdog.cc" "src/platform/CMakeFiles/innet_platform.dir/watchdog.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/watchdog.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/innet_platform.dir/software_switch.cc.o.d"
   "CMakeFiles/innet_platform.dir/vm.cc.o"
   "CMakeFiles/innet_platform.dir/vm.cc.o.d"
+  "CMakeFiles/innet_platform.dir/watchdog.cc.o"
+  "CMakeFiles/innet_platform.dir/watchdog.cc.o.d"
   "libinnet_platform.a"
   "libinnet_platform.pdb"
 )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/innet_sim.dir/event_queue.cc.o"
   "CMakeFiles/innet_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/innet_sim.dir/fault_injector.cc.o"
+  "CMakeFiles/innet_sim.dir/fault_injector.cc.o.d"
   "CMakeFiles/innet_sim.dir/link.cc.o"
   "CMakeFiles/innet_sim.dir/link.cc.o.d"
   "libinnet_sim.a"

@@ -323,8 +323,8 @@ tests/CMakeFiles/failure_test.dir/failure_test.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/click/graph.h \
  /root/repo/src/click/registry.h \
  /root/repo/src/platform/software_switch.h /root/repo/src/platform/vm.h \
- /root/repo/src/platform/cost_model.h /root/repo/src/sim/rng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/platform/cost_model.h /root/repo/src/sim/fault_injector.h \
+ /root/repo/src/sim/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -346,4 +346,7 @@ tests/CMakeFiles/failure_test.dir/failure_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/symexec/click_models.h
+ /root/repo/src/platform/watchdog.h /root/repo/src/symexec/click_models.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -293,7 +293,8 @@ tests/CMakeFiles/figure2_equivalence_test.dir/figure2_equivalence_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/controller/controller.h \
+ /root/repo/src/controller/controller.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/click/config_parser.h \
  /root/repo/src/controller/security.h /root/repo/src/netcore/flowspec.h \
  /root/repo/src/netcore/ip.h /root/repo/src/netcore/packet.h \

@@ -16,6 +16,7 @@ include("/root/repo/build/tests/energy_trace_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/click_switching_test[1]_include.cmake")
 include("/root/repo/build/tests/platform_idle_test[1]_include.cmake")
+include("/root/repo/build/tests/watchdog_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/failure_test[1]_include.cmake")
 include("/root/repo/build/tests/figure2_equivalence_test[1]_include.cmake")

@@ -173,7 +173,9 @@ tools/CMakeFiles/innet_check.dir/innet_check.cc.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/click/config_parser.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/click/config_parser.h \
  /root/repo/src/controller/security.h /root/repo/src/netcore/flowspec.h \
  /root/repo/src/netcore/ip.h /root/repo/src/netcore/packet.h \
  /usr/include/c++/12/array /root/repo/src/netcore/headers.h \

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and runs
+# the test suite. The fault-injection tests (watchdog_test, failure_test)
+# exercise crash/restart races, so a clean run here is the "zero
+# use-after-destroy" acceptance check for the failure model.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-asan"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DINNET_SANITIZE=ON "$@"
+cmake --build "${BUILD}" -j "$(nproc)"
+ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"

@@ -292,6 +292,13 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
   }
 
   std::vector<const topology::Node*> platforms = network_.Platforms();
+  if (!failed_platforms_.empty()) {
+    platforms.erase(std::remove_if(platforms.begin(), platforms.end(),
+                                   [this](const topology::Node* node) {
+                                     return IsPlatformFailed(node->name);
+                                   }),
+                    platforms.end());
+  }
   if (platforms.empty()) {
     outcome.reason = "no processing platforms available";
     return outcome;

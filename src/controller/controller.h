@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/click/config_parser.h"
@@ -73,6 +74,16 @@ class Controller {
   // Stops a deployed module. Returns false for unknown ids.
   bool Kill(const std::string& module_id);
 
+  // Platform availability. A failed platform is skipped by Deploy until
+  // restored — the orchestrator marks a node failed before re-placing its
+  // stranded tenants, so failover verification never lands them back on the
+  // dead box.
+  void MarkPlatformFailed(const std::string& name) { failed_platforms_.insert(name); }
+  void RestorePlatform(const std::string& name) { failed_platforms_.erase(name); }
+  bool IsPlatformFailed(const std::string& name) const {
+    return failed_platforms_.count(name) != 0;
+  }
+
   const std::vector<Deployment>& deployments() const { return deployments_; }
   const topology::Network& network() const { return network_; }
 
@@ -93,6 +104,7 @@ class Controller {
   topology::Network network_;
   std::vector<Deployment> deployments_;
   std::vector<policy::ReachSpec> operator_policies_;
+  std::unordered_set<std::string> failed_platforms_;
   uint64_t next_module_seq_ = 1;
 };
 

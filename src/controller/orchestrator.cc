@@ -1,5 +1,8 @@
 #include "src/controller/orchestrator.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "src/platform/consolidation.h"
 
 namespace innet::controller {
@@ -10,10 +13,10 @@ using platform::Vm;
 
 Orchestrator::Orchestrator(topology::Network network, sim::EventQueue* clock,
                            platform::VmCostModel cost_model)
-    : controller_(std::move(network)), clock_(clock) {
+    : controller_(std::move(network)), clock_(clock), cost_model_(cost_model) {
   for (const topology::Node* node : controller_.network().Platforms()) {
     PlatformState state;
-    state.box = std::make_unique<InNetPlatform>(clock_, cost_model);
+    state.box = std::make_unique<InNetPlatform>(clock_, cost_model_);
     platforms_.emplace(node->name, std::move(state));
   }
 }
@@ -83,6 +86,7 @@ OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
     result.consolidated = true;
     result.vm_id = vm;
     placements_[result.outcome.module_id] = {result.outcome.platform, 0};
+    requests_[result.outcome.module_id] = request;
     return result;
   }
 
@@ -98,7 +102,76 @@ OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
   }
   result.vm_id = vm;
   placements_[result.outcome.module_id] = {result.outcome.platform, vm};
+  requests_[result.outcome.module_id] = request;
   return result;
+}
+
+FailoverReport Orchestrator::MarkPlatformFailed(const std::string& platform_name) {
+  FailoverReport report;
+  report.failed_platform = platform_name;
+  auto it = platforms_.find(platform_name);
+  if (it == platforms_.end()) {
+    return report;
+  }
+  controller_.MarkPlatformFailed(platform_name);
+
+  // Collect the stranded tenants with their original requests, in module-id
+  // order so the failover sequence is deterministic.
+  std::vector<std::pair<std::string, ClientRequest>> stranded;
+  for (const auto& [module_id, placement] : placements_) {
+    if (placement.first != platform_name) {
+      continue;
+    }
+    auto request = requests_.find(module_id);
+    if (request != requests_.end()) {
+      stranded.emplace_back(module_id, request->second);
+    }
+  }
+  std::sort(stranded.begin(), stranded.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  report.tenants_affected = stranded.size();
+
+  // The node died: its guests and switch state are gone. Replace the
+  // data-plane instance wholesale rather than tearing guests down one by
+  // one (which would schedule suspend/boot events on a dead box).
+  PlatformState& state = it->second;
+  state.box = std::make_unique<InNetPlatform>(clock_, cost_model_);
+  state.consolidated.clear();
+  state.consolidated_module_ids.clear();
+  state.shared_vm = 0;
+
+  for (const auto& [module_id, request] : stranded) {
+    controller_.Kill(module_id);
+    placements_.erase(module_id);
+    requests_.erase(module_id);
+  }
+
+  // Re-verify and re-place every stranded tenant on the survivors. Deploy
+  // runs the full pipeline again, so a tenant whose requirements only the
+  // dead platform satisfied is reported lost rather than silently misplaced.
+  auto t_start = std::chrono::steady_clock::now();
+  for (const auto& [old_module_id, request] : stranded) {
+    OrchestratedDeploy redo = Deploy(request);
+    if (redo.outcome.accepted) {
+      ++report.recovered;
+      report.remapped.emplace_back(old_module_id, redo.outcome.module_id);
+    } else {
+      ++report.lost;
+      report.lost_module_ids.push_back(old_module_id);
+    }
+  }
+  report.reverify_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return report;
+}
+
+void Orchestrator::RestorePlatform(const std::string& platform_name) {
+  auto it = platforms_.find(platform_name);
+  if (it == platforms_.end()) {
+    return;
+  }
+  controller_.RestorePlatform(platform_name);
 }
 
 bool Orchestrator::Kill(const std::string& module_id) {
@@ -123,6 +196,7 @@ bool Orchestrator::Kill(const std::string& module_id) {
     RebuildSharedVm(&state, &error);
   }
   placements_.erase(placement);
+  requests_.erase(module_id);
   return controller_.Kill(module_id);
 }
 

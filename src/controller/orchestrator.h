@@ -28,6 +28,22 @@ struct OrchestratedDeploy {
   platform::Vm::VmId vm_id = 0;
 };
 
+// Result of failing a platform over: which tenants were stranded, which
+// could be re-verified and re-placed on survivors, and what the control
+// plane paid for it.
+struct FailoverReport {
+  std::string failed_platform;
+  size_t tenants_affected = 0;
+  size_t recovered = 0;   // re-verified + re-placed on a surviving platform
+  size_t lost = 0;        // no surviving placement satisfied verification
+  // old module id -> new module id for every recovered tenant.
+  std::vector<std::pair<std::string, std::string>> remapped;
+  std::vector<std::string> lost_module_ids;
+  // Wall-clock spent re-verifying and re-placing (the control-plane share of
+  // recovery time; data-plane boot time accrues on the simulated clock).
+  double reverify_ms = 0;
+};
+
 class Orchestrator {
  public:
   // Creates one InNetPlatform per platform node in the network.
@@ -44,6 +60,18 @@ class Orchestrator {
 
   // Stops a module: removes its VM or rebuilds the shared VM without it.
   bool Kill(const std::string& module_id);
+
+  // Declares a platform node dead and fails its tenants over: every module
+  // placed there is killed, then re-deployed through the full verification
+  // pipeline (security + operator policy + client requirements) against the
+  // surviving platforms — stateless tenants re-merge into the target's
+  // shared VM. The failed platform is skipped by future deployments until
+  // RestorePlatform.
+  FailoverReport MarkPlatformFailed(const std::string& platform_name);
+
+  // Brings a failed platform back into the placement pool with a fresh
+  // data-plane instance (its previous guests died with the node).
+  void RestorePlatform(const std::string& platform_name);
 
   Controller& controller() { return controller_; }
   platform::InNetPlatform* platform(const std::string& name);
@@ -65,9 +93,13 @@ class Orchestrator {
 
   Controller controller_;
   sim::EventQueue* clock_;
+  platform::VmCostModel cost_model_;
   std::unordered_map<std::string, PlatformState> platforms_;
   // module id -> (platform name, dedicated VM id or 0 when consolidated)
   std::unordered_map<std::string, std::pair<std::string, platform::Vm::VmId>> placements_;
+  // The original request behind every live module, kept so failover can
+  // re-verify and re-place stranded tenants from first principles.
+  std::unordered_map<std::string, ClientRequest> requests_;
 };
 
 }  // namespace innet::controller

@@ -30,6 +30,7 @@ Vm::VmId InNetPlatform::Install(Ipv4Address addr, const std::string& config_text
   }
   switch_.AddAddressRule(addr, vm->id());
   installed_[addr.value()] = vm->id();
+  vm_rules_[vm->id()].addrs.push_back(addr.value());
   return vm->id();
 }
 
@@ -51,6 +52,7 @@ Vm::VmId InNetPlatform::InstallConsolidated(const std::vector<TenantConfig>& ten
   for (const TenantConfig& tenant : tenants) {
     switch_.AddAddressRule(tenant.addr, vm->id());
     installed_[tenant.addr.value()] = vm->id();
+    vm_rules_[vm->id()].addrs.push_back(tenant.addr.value());
   }
   return vm->id();
 }
@@ -59,26 +61,49 @@ bool InNetPlatform::UninstallVm(Vm::VmId vm_id) {
   bool found = false;
   for (auto it = installed_.begin(); it != installed_.end();) {
     if (it->second == vm_id) {
-      switch_.RemoveAddressRule(Ipv4Address(it->first));
       it = installed_.erase(it);
       found = true;
     } else {
       ++it;
     }
   }
-  stalled_buffers_.erase(vm_id);
+  switch_.RemoveRulesForVm(vm_id);
+  auto stalled = stalled_buffers_.find(vm_id);
+  if (stalled != stalled_buffers_.end()) {
+    abandoned_packets_ += stalled->second.size();
+    stalled_buffers_.erase(stalled);
+  }
+  for (auto& [addr, entry] : ondemand_) {
+    if (entry.shared_vm == vm_id) {
+      entry.shared_vm = 0;  // next packet boots a fresh guest
+    }
+  }
+  vm_rules_.erase(vm_id);
   return vms_.Destroy(vm_id) || found;
 }
 
 bool InNetPlatform::Uninstall(Ipv4Address addr) {
   auto it = installed_.find(addr.value());
-  if (it == installed_.end()) {
-    return false;
+  bool existed = it != installed_.end();
+  if (existed) {
+    UninstallVm(it->second);
   }
-  switch_.RemoveAddressRule(addr);
-  vms_.Destroy(it->second);
-  installed_.erase(it);
-  return true;
+  // Clear pre-boot bookkeeping for the address too, so a reinstall cannot
+  // replay packets buffered for the previous tenant.
+  auto pending = pending_addrs_.find(addr.value());
+  if (pending != pending_addrs_.end()) {
+    abandoned_packets_ += pending->second.buffer.size();
+    pending_addrs_.erase(pending);
+  }
+  for (auto flow = pending_flows_.begin(); flow != pending_flows_.end();) {
+    if (flow->second.addr == addr.value()) {
+      abandoned_packets_ += flow->second.buffer.size();
+      flow = pending_flows_.erase(flow);
+    } else {
+      ++flow;
+    }
+  }
+  return existed;
 }
 
 void InNetPlatform::RegisterOnDemand(Ipv4Address addr, const std::string& config_text,
@@ -130,9 +155,18 @@ void InNetPlatform::IdleSweep() {
   clock_->ScheduleAfter(idle_timeout_ / 2, [this] { IdleSweep(); });
 }
 
-void InNetPlatform::OnStalled(Packet& packet, Vm::VmId vm_id) {
-  stalled_buffers_[vm_id].push_back(packet);
+bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet) {
+  if (buffer->size() >= buffer_cap_) {
+    ++buffer_drops_;
+    return false;
+  }
+  buffer->push_back(packet);
   ++buffered_;
+  return true;
+}
+
+void InNetPlatform::OnStalled(Packet& packet, Vm::VmId vm_id) {
+  BufferWithCap(&stalled_buffers_[vm_id], packet);
   Vm* vm = vms_.Find(vm_id);
   if (vm != nullptr && vm->state() == VmState::kSuspended) {
     ++resumes_on_traffic_;
@@ -140,7 +174,7 @@ void InNetPlatform::OnStalled(Packet& packet, Vm::VmId vm_id) {
   }
   // kBooting / kSuspending / kResuming: a completion callback already queued
   // (boot ready, the suspend-done check above, or an earlier resume) will
-  // flush the buffer.
+  // flush the buffer. kCrashed: the watchdog's restart path flushes it.
 }
 
 void InNetPlatform::FlushStalled(Vm::VmId vm_id) {
@@ -157,6 +191,66 @@ void InNetPlatform::FlushStalled(Vm::VmId vm_id) {
   for (Packet& packet : buffer) {
     vm->Inject(packet);
   }
+}
+
+void InNetPlatform::ReinstallRules(Vm::VmId vm_id) {
+  auto it = vm_rules_.find(vm_id);
+  if (it == vm_rules_.end()) {
+    return;
+  }
+  for (uint32_t addr : it->second.addrs) {
+    switch_.AddAddressRule(Ipv4Address(addr), vm_id);
+    installed_[addr] = vm_id;
+    auto entry = ondemand_.find(addr);
+    if (entry != ondemand_.end() && !entry->second.per_flow) {
+      entry->second.shared_vm = vm_id;
+    }
+  }
+  for (uint64_t key : it->second.flow_keys) {
+    switch_.AddFlowRule(key, vm_id);
+  }
+}
+
+void InNetPlatform::FlushPendingFor(Vm::VmId vm_id, Vm* vm) {
+  // Drain pre-boot buffers the original ready callback would have flushed —
+  // it never ran if that boot crashed.
+  auto it = vm_rules_.find(vm_id);
+  if (it == vm_rules_.end()) {
+    return;
+  }
+  for (uint32_t addr : it->second.addrs) {
+    auto pending = pending_addrs_.find(addr);
+    if (pending != pending_addrs_.end()) {
+      for (Packet& buffered : pending->second.buffer) {
+        vm->Inject(buffered);
+      }
+      pending_addrs_.erase(pending);
+    }
+  }
+  for (uint64_t key : it->second.flow_keys) {
+    auto pending = pending_flows_.find(key);
+    if (pending != pending_flows_.end()) {
+      for (Packet& buffered : pending->second.buffer) {
+        vm->Inject(buffered);
+      }
+      pending_flows_.erase(pending);
+    }
+  }
+}
+
+bool InNetPlatform::RestartCrashedVm(Vm::VmId vm_id, std::string* error) {
+  return vms_.Restart(
+      vm_id,
+      [this, vm_id](Vm* vm) {
+        AttachEgress(vm);  // the crash rebuilt the graph: re-bind sinks
+        ReinstallRules(vm_id);
+        FlushPendingFor(vm_id, vm);
+        FlushStalled(vm_id);
+        if (watchdog_ != nullptr) {
+          watchdog_->OnRestartComplete(vm_id);
+        }
+      },
+      error);
 }
 
 size_t InNetPlatform::suspended_count() const {
@@ -189,30 +283,36 @@ void InNetPlatform::OnMiss(Packet& packet) {
     uint32_t addr = packet.ip_dst().value();
     auto pending = pending_addrs_.find(addr);
     if (pending != pending_addrs_.end()) {
-      pending->second.buffer.push_back(packet);
-      ++buffered_;
+      BufferWithCap(&pending->second.buffer, packet);
       return;
     }
     // First packet for this tenant: boot the shared VM and buffer.
-    pending_addrs_[addr].buffer.push_back(packet);
-    ++buffered_;
+    PendingFlow& fresh = pending_addrs_[addr];
+    fresh.addr = addr;
+    BufferWithCap(&fresh.buffer, packet);
     ++ondemand_boots_;
     std::string error;
-    vms_.Create(entry.kind, entry.config_text,
-                [this, addr](Vm* vm) {
-                  AttachEgress(vm);
-                  switch_.AddAddressRule(Ipv4Address(addr), vm->id());
-                  ondemand_[addr].shared_vm = vm->id();
-                  installed_[addr] = vm->id();  // idle management covers it
-                  auto flushed = pending_addrs_.find(addr);
-                  if (flushed != pending_addrs_.end()) {
-                    for (Packet& buffered : flushed->second.buffer) {
-                      vm->Inject(buffered);
-                    }
-                    pending_addrs_.erase(flushed);
-                  }
-                },
-                &error);
+    Vm* created = vms_.Create(entry.kind, entry.config_text,
+                         [this, addr](Vm* vm) {
+                           AttachEgress(vm);
+                           switch_.AddAddressRule(Ipv4Address(addr), vm->id());
+                           ondemand_[addr].shared_vm = vm->id();
+                           installed_[addr] = vm->id();  // idle management covers it
+                           auto flushed = pending_addrs_.find(addr);
+                           if (flushed != pending_addrs_.end()) {
+                             for (Packet& buffered : flushed->second.buffer) {
+                               vm->Inject(buffered);
+                             }
+                             pending_addrs_.erase(flushed);
+                           }
+                         },
+                         &error);
+    if (created != nullptr) {
+      // Record the intended rule now, not in the ready callback: if the boot
+      // crashes, the watchdog's restart path must still know which address
+      // this guest serves (and drain its pre-boot buffer).
+      vm_rules_[created->id()].addrs.push_back(addr);
+    }
     return;
   }
 
@@ -221,27 +321,30 @@ void InNetPlatform::OnMiss(Packet& packet) {
   uint64_t key = packet.FlowKey();
   auto pending = pending_flows_.find(key);
   if (pending != pending_flows_.end()) {
-    pending->second.buffer.push_back(packet);
-    ++buffered_;
+    BufferWithCap(&pending->second.buffer, packet);
     return;
   }
-  pending_flows_[key].buffer.push_back(packet);
-  ++buffered_;
+  PendingFlow& fresh = pending_flows_[key];
+  fresh.addr = packet.ip_dst().value();
+  BufferWithCap(&fresh.buffer, packet);
   ++ondemand_boots_;
   std::string error;
-  vms_.Create(entry.kind, entry.config_text,
-              [this, key](Vm* vm) {
-                AttachEgress(vm);
-                switch_.AddFlowRule(key, vm->id());
-                auto flushed = pending_flows_.find(key);
-                if (flushed != pending_flows_.end()) {
-                  for (Packet& buffered : flushed->second.buffer) {
-                    vm->Inject(buffered);
-                  }
-                  pending_flows_.erase(flushed);
-                }
-              },
-              &error);
+  Vm* created = vms_.Create(entry.kind, entry.config_text,
+                       [this, key](Vm* vm) {
+                         AttachEgress(vm);
+                         switch_.AddFlowRule(key, vm->id());
+                         auto flushed = pending_flows_.find(key);
+                         if (flushed != pending_flows_.end()) {
+                           for (Packet& buffered : flushed->second.buffer) {
+                             vm->Inject(buffered);
+                           }
+                           pending_flows_.erase(flushed);
+                         }
+                       },
+                       &error);
+  if (created != nullptr) {
+    vm_rules_[created->id()].flow_keys.push_back(key);
+  }
 }
 
 }  // namespace innet::platform

@@ -3,6 +3,13 @@
 // on-the-fly instantiation: when the first packet of a new flow arrives for
 // an on-demand tenant, the controller boots a ClickOS VM, buffers the flow's
 // packets, and reroutes once the guest is up (Figure 5's mechanism).
+//
+// Availability: every packet buffer (boot-pending flows, boot-pending
+// addresses, stalled traffic for suspended/crashed guests) is bounded by
+// `buffer_cap()` packets; overflow is dropped and counted. A watchdog
+// (EnableWatchdog) restarts crashed guests with exponential backoff and
+// re-installs their switch rules; a sim::FaultInjector (SetFaultInjector)
+// supplies deterministic boot failures, crashes, and switch faults.
 #ifndef SRC_PLATFORM_PLATFORM_H_
 #define SRC_PLATFORM_PLATFORM_H_
 
@@ -17,6 +24,8 @@
 #include "src/platform/sandbox.h"
 #include "src/platform/software_switch.h"
 #include "src/platform/vm.h"
+#include "src/platform/watchdog.h"
+#include "src/sim/fault_injector.h"
 
 namespace innet::platform {
 
@@ -41,7 +50,9 @@ class InNetPlatform {
                    VmKind kind = VmKind::kClickOs, bool sandbox = false,
                    const std::vector<Ipv4Address>& sandbox_whitelist = {});
 
-  // Removes a module and its switch rules.
+  // Removes a module and its switch rules, plus any buffered traffic and
+  // on-demand bookkeeping for the address — a later reinstall at the same
+  // address starts clean (no stale-packet replay).
   bool Uninstall(Ipv4Address addr);
 
   // Consolidation (§5): boots one ClickOS VM running the merged
@@ -49,7 +60,8 @@ class InNetPlatform {
   // Returns the VM id, or 0 + *error.
   Vm::VmId InstallConsolidated(const std::vector<TenantConfig>& tenants, std::string* error);
 
-  // Tears down a VM and every switch rule pointing at it (used to replace a
+  // Tears down a VM, every switch rule pointing at it, its stalled buffers,
+  // and any on-demand bookkeeping referencing it (used to replace a
   // consolidated VM when its tenant set changes).
   bool UninstallVm(Vm::VmId vm_id);
 
@@ -72,6 +84,44 @@ class InNetPlatform {
   uint64_t idle_suspends() const { return idle_suspends_; }
   uint64_t resumes_on_traffic() const { return resumes_on_traffic_; }
 
+  // --- Failure handling ----------------------------------------------------------
+  // Attaches the deterministic fault injector to the VM manager (boot
+  // failures, crash timers, suspend/resume stretch) and the switch (packet
+  // drop/corruption). The injector must outlive the platform.
+  void SetFaultInjector(sim::FaultInjector* injector) {
+    vms_.SetFaultInjector(injector);
+    switch_.SetFaultInjector(injector);
+  }
+
+  // Arms the crash watchdog (periodic health sweep + backoff restart).
+  Watchdog* EnableWatchdog(WatchdogConfig config = {}) {
+    if (watchdog_ == nullptr) {
+      watchdog_ = std::make_unique<Watchdog>(clock_, this, config);
+    }
+    watchdog_->Start();
+    return watchdog_.get();
+  }
+  Watchdog* watchdog() { return watchdog_.get(); }
+
+  // Restarts a crashed guest in place: same id, rules re-installed, stalled
+  // traffic flushed once it is running again. Used by the watchdog; exposed
+  // for tests and manual recovery.
+  bool RestartCrashedVm(Vm::VmId vm_id, std::string* error);
+
+  // Gives up on a crashed guest: removes its rules and bookkeeping and drops
+  // (counting) whatever traffic was waiting for it.
+  void RetireCrashedVm(Vm::VmId vm_id) { UninstallVm(vm_id); }
+
+  // Every platform packet buffer holds at most this many packets; overflow
+  // is dropped and counted in buffer_drops(). Default 256 packets/flow.
+  void set_buffer_cap(size_t cap) { buffer_cap_ = cap; }
+  size_t buffer_cap() const { return buffer_cap_; }
+  // Packets dropped because a bounded buffer was full.
+  uint64_t buffer_drops() const { return buffer_drops_; }
+  // Packets dropped because their guest was retired/uninstalled while they
+  // waited in a buffer.
+  uint64_t abandoned_packets() const { return abandoned_packets_; }
+
   // --- Data path ---------------------------------------------------------------------
   // Entry point: a packet arriving at the platform NIC.
   void HandlePacket(Packet& packet);
@@ -92,9 +142,20 @@ class InNetPlatform {
     Vm::VmId shared_vm = 0;  // per_flow == false: the single VM once booted
   };
   struct PendingFlow {
+    uint32_t addr = 0;  // tenant address the flow targets (for teardown)
     std::deque<Packet> buffer;
   };
+  // Switch rules a guest owns, so the watchdog can re-install them after a
+  // restart (idempotent re-adds; the id is stable across restarts).
+  struct VmRules {
+    std::vector<uint32_t> addrs;
+    std::vector<uint64_t> flow_keys;
+  };
 
+  // Appends to a bounded buffer; drops + counts when the cap is reached.
+  bool BufferWithCap(std::deque<Packet>* buffer, Packet& packet);
+  void ReinstallRules(Vm::VmId vm_id);
+  void FlushPendingFor(Vm::VmId vm_id, Vm* vm);
   void OnMiss(Packet& packet);
   void OnStalled(Packet& packet, Vm::VmId vm_id);
   void FlushStalled(Vm::VmId vm_id);
@@ -105,14 +166,19 @@ class InNetPlatform {
   VmManager vms_;
   SoftwareSwitch switch_;
   EgressHandler egress_;
+  std::unique_ptr<Watchdog> watchdog_;
   std::unordered_map<uint32_t, OnDemandEntry> ondemand_;
   std::unordered_map<uint64_t, PendingFlow> pending_flows_;   // per-flow boots
   std::unordered_map<uint32_t, PendingFlow> pending_addrs_;   // shared-VM boots
   std::unordered_map<uint32_t, Vm::VmId> installed_;
   std::unordered_map<Vm::VmId, std::deque<Packet>> stalled_buffers_;
+  std::unordered_map<Vm::VmId, VmRules> vm_rules_;
   sim::TimeNs idle_timeout_ = 0;  // 0 = idle suspend disabled
   bool idle_sweeper_armed_ = false;
+  size_t buffer_cap_ = 256;
   uint64_t buffered_ = 0;
+  uint64_t buffer_drops_ = 0;
+  uint64_t abandoned_packets_ = 0;
   uint64_t ondemand_boots_ = 0;
   uint64_t idle_suspends_ = 0;
   uint64_t resumes_on_traffic_ = 0;

@@ -2,7 +2,28 @@
 
 namespace innet::platform {
 
+void SoftwareSwitch::RemoveRulesForVm(Vm::VmId vm) {
+  for (auto it = address_rules_.begin(); it != address_rules_.end();) {
+    it = it->second == vm ? address_rules_.erase(it) : std::next(it);
+  }
+  for (auto it = flow_rules_.begin(); it != flow_rules_.end();) {
+    it = it->second == vm ? flow_rules_.erase(it) : std::next(it);
+  }
+}
+
 void SoftwareSwitch::Deliver(Packet& packet) {
+  if (fault_ != nullptr) {
+    if (fault_->ShouldDropPacket()) {
+      ++fault_dropped_;
+      return;
+    }
+    if (fault_->ShouldCorruptPacket() && packet.length() > 0) {
+      // Flip one byte without refreshing checksums; CheckIPHeader-style
+      // elements inside the guest will discard the frame.
+      size_t offset = fault_->CorruptOffset(packet.length());
+      packet.mutable_data()[offset] ^= fault_->CorruptMask();
+    }
+  }
   Vm* stalled_vm = nullptr;
   auto flow_it = flow_rules_.find(packet.FlowKey());
   if (flow_it != flow_rules_.end()) {

@@ -27,6 +27,16 @@ class SoftwareSwitch {
   void AddFlowRule(uint64_t flow_key, Vm::VmId vm) { flow_rules_[flow_key] = vm; }
   void RemoveFlowRule(uint64_t flow_key) { flow_rules_.erase(flow_key); }
 
+  // Removes every rule (address and flow) pointing at `vm` — used when a
+  // guest is retired so a later tenant at the same address cannot inherit
+  // stale forwarding state.
+  void RemoveRulesForVm(Vm::VmId vm);
+
+  // Switch-level fault injection: packets may be dropped or have a byte
+  // flipped before forwarding. Pass nullptr to detach; the injector must
+  // outlive the switch.
+  void SetFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
+
   // Unknown traffic goes here (the controller port).
   void SetMissHandler(MissHandler handler) { miss_ = std::move(handler); }
 
@@ -43,6 +53,7 @@ class SoftwareSwitch {
   uint64_t delivered_count() const { return delivered_; }
   uint64_t missed_count() const { return missed_; }
   uint64_t dropped_count() const { return dropped_; }
+  uint64_t fault_dropped_count() const { return fault_dropped_; }
   size_t flow_rule_count() const { return flow_rules_.size(); }
 
  private:
@@ -51,9 +62,11 @@ class SoftwareSwitch {
   std::unordered_map<uint64_t, Vm::VmId> flow_rules_;
   MissHandler miss_;
   StalledHandler stalled_;
+  sim::FaultInjector* fault_ = nullptr;
   uint64_t delivered_ = 0;
   uint64_t missed_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace innet::platform

@@ -1,5 +1,7 @@
 #include "src/platform/vm.h"
 
+#include <algorithm>
+
 namespace innet::platform {
 
 void Vm::Inject(Packet& packet) {
@@ -15,6 +17,9 @@ void Vm::Inject(Packet& packet) {
 
 void Vm::SetEgressHandler(EgressHandler handler) {
   egress_ = std::move(handler);
+  if (graph_ == nullptr) {
+    return;  // crashed guest: the handler re-binds on restart
+  }
   for (const auto& element : graph_->elements()) {
     if (auto* sink = dynamic_cast<click::ToNetfront*>(element.get())) {
       sink->set_handler([this](Packet& packet) {
@@ -23,6 +28,60 @@ void Vm::SetEgressHandler(EgressHandler handler) {
         }
       });
     }
+  }
+}
+
+void VmManager::ScheduleBootCompletion(Vm* vm, ReadyCallback on_ready) {
+  // The fate of the boot is decided when it is scheduled: one Bernoulli draw
+  // per boot keeps the fault stream aligned with boot order, which the event
+  // queue makes deterministic.
+  bool will_fail = fault_ != nullptr && fault_->ShouldFailBoot();
+  // Boot cost scales with every guest holding resources (running or in
+  // transition): the Xen toolstack and backend switch touch all of them
+  // (Figure 5's slope). Suspended-to-disk and crashed guests do not
+  // participate.
+  sim::TimeNs boot = cost_model_.BootTime(vm->kind_, non_suspended_count());
+  clock_->ScheduleAfter(
+      boot, [this, id = vm->id_, epoch = vm->epoch_, will_fail, cb = std::move(on_ready)] {
+        Vm* target = Find(id);
+        if (target == nullptr || target->state_ != VmState::kBooting ||
+            target->epoch_ != epoch) {
+          return;  // destroyed, crashed, or superseded by a later restart
+        }
+        if (will_fail) {
+          Crash(id);
+          return;
+        }
+        target->state_ = VmState::kRunning;
+        ++target->epoch_;
+        target->last_activity_ns_ = clock_->now();
+        ArmCrashTimer(target);
+        if (cb) {
+          cb(target);
+        }
+      });
+}
+
+void VmManager::ArmCrashTimer(Vm* vm) {
+  if (fault_ == nullptr) {
+    return;
+  }
+  sim::TimeNs delay = fault_->NextCrashDelay();
+  if (delay == 0) {
+    return;
+  }
+  clock_->ScheduleAfter(delay, [this, id = vm->id_, epoch = vm->epoch_] {
+    Vm* target = Find(id);
+    if (target == nullptr || target->state_ != VmState::kRunning || target->epoch_ != epoch) {
+      return;  // gone, parked, or a different incarnation of the id
+    }
+    Crash(id);
+  });
+}
+
+void VmManager::NotifyCrash(Vm* vm) {
+  for (const CrashObserver& observer : crash_observers_) {
+    observer(vm);
   }
 }
 
@@ -43,27 +102,71 @@ Vm* VmManager::Create(VmKind kind, const std::string& config_text, ReadyCallback
   vm->kind_ = kind;
   vm->state_ = VmState::kBooting;
   vm->graph_ = std::move(graph);
+  vm->config_text_ = config_text;
   vm->clock_ = clock_;
   Vm* raw = vm.get();
   memory_used_ += needed;
-
-  // Boot cost scales with every guest holding resources (running or in
-  // transition): the Xen toolstack and backend switch touch all of them
-  // (Figure 5's slope). Suspended-to-disk guests do not participate.
-  sim::TimeNs boot = cost_model_.BootTime(kind, non_suspended_count());
   vms_.emplace(raw->id_, std::move(vm));
-  clock_->ScheduleAfter(boot, [this, id = raw->id_, cb = std::move(on_ready)] {
-    Vm* target = Find(id);
-    if (target == nullptr || target->state_ != VmState::kBooting) {
-      return;
-    }
-    target->state_ = VmState::kRunning;
-    target->last_activity_ns_ = clock_->now();
-    if (cb) {
-      cb(target);
-    }
-  });
+  ScheduleBootCompletion(raw, std::move(on_ready));
   return raw;
+}
+
+bool VmManager::Restart(Vm::VmId id, ReadyCallback on_ready, std::string* error) {
+  Vm* vm = Find(id);
+  if (vm == nullptr || vm->state_ != VmState::kCrashed) {
+    if (error != nullptr) {
+      *error = "no crashed guest with that id";
+    }
+    return false;
+  }
+  uint64_t needed = cost_model_.MemoryBytes(vm->kind_);
+  if (memory_used_ + needed > memory_total_) {
+    if (error != nullptr) {
+      *error = "platform out of guest memory";
+    }
+    return false;
+  }
+  // A crash lost the guest's element state: rebuild the graph from the
+  // original configuration (it parsed once, so this cannot fail in normal
+  // operation — but report rather than assert).
+  std::string parse_error;
+  auto graph = click::Graph::FromText(vm->config_text_, &parse_error, clock_);
+  if (graph == nullptr) {
+    if (error != nullptr) {
+      *error = "restart config rebuild failed: " + parse_error;
+    }
+    return false;
+  }
+  memory_used_ += needed;
+  vm->graph_ = std::move(graph);
+  vm->state_ = VmState::kBooting;
+  ++vm->epoch_;
+  ++vm->restart_count_;
+  ScheduleBootCompletion(vm, std::move(on_ready));
+  return true;
+}
+
+bool VmManager::Crash(Vm::VmId id) {
+  Vm* vm = Find(id);
+  if (vm == nullptr) {
+    return false;
+  }
+  switch (vm->state_) {
+    case VmState::kBooting:
+    case VmState::kRunning:
+    case VmState::kSuspending:
+    case VmState::kResuming:
+      break;
+    default:
+      return false;  // suspended-to-disk guests hold no RAM and cannot crash
+  }
+  memory_used_ -= cost_model_.MemoryBytes(vm->kind_);
+  vm->state_ = VmState::kCrashed;
+  ++vm->epoch_;
+  vm->graph_.reset();
+  ++crash_count_;
+  NotifyCrash(vm);
+  return true;
 }
 
 bool VmManager::Suspend(Vm::VmId id, std::function<void()> done) {
@@ -72,18 +175,24 @@ bool VmManager::Suspend(Vm::VmId id, std::function<void()> done) {
     return false;
   }
   vm->state_ = VmState::kSuspending;
-  clock_->ScheduleAfter(cost_model_.SuspendTime(vm_count()),
-                        [this, id, cb = std::move(done)] {
-                          Vm* target = Find(id);
-                          if (target != nullptr && target->state_ == VmState::kSuspending) {
-                            target->state_ = VmState::kSuspended;
-                            // Suspend-to-disk releases the guest's RAM.
-                            memory_used_ -= cost_model_.MemoryBytes(target->kind_);
-                          }
-                          if (cb) {
-                            cb();
-                          }
-                        });
+  ++vm->epoch_;
+  sim::TimeNs latency = cost_model_.SuspendTime(vm_count());
+  if (fault_ != nullptr) {
+    latency = fault_->StretchSuspend(latency);
+  }
+  clock_->ScheduleAfter(latency, [this, id, epoch = vm->epoch_, cb = std::move(done)] {
+    Vm* target = Find(id);
+    if (target != nullptr && target->state_ == VmState::kSuspending &&
+        target->epoch_ == epoch) {
+      target->state_ = VmState::kSuspended;
+      ++target->epoch_;
+      // Suspend-to-disk releases the guest's RAM.
+      memory_used_ -= cost_model_.MemoryBytes(target->kind_);
+    }
+    if (cb) {
+      cb();
+    }
+  });
   return true;
 }
 
@@ -98,16 +207,23 @@ bool VmManager::Resume(Vm::VmId id, std::function<void()> done) {
   }
   memory_used_ += needed;
   vm->state_ = VmState::kResuming;
-  clock_->ScheduleAfter(cost_model_.ResumeTime(vm_count()),
-                        [this, id, cb = std::move(done)] {
-                          Vm* target = Find(id);
-                          if (target != nullptr && target->state_ == VmState::kResuming) {
-                            target->state_ = VmState::kRunning;
-                          }
-                          if (cb) {
-                            cb();
-                          }
-                        });
+  ++vm->epoch_;
+  sim::TimeNs latency = cost_model_.ResumeTime(vm_count());
+  if (fault_ != nullptr) {
+    latency = fault_->StretchResume(latency);
+  }
+  clock_->ScheduleAfter(latency, [this, id, epoch = vm->epoch_, cb = std::move(done)] {
+    Vm* target = Find(id);
+    if (target != nullptr && target->state_ == VmState::kResuming &&
+        target->epoch_ == epoch) {
+      target->state_ = VmState::kRunning;
+      ++target->epoch_;
+      ArmCrashTimer(target);
+    }
+    if (cb) {
+      cb();
+    }
+  });
   return true;
 }
 
@@ -116,10 +232,12 @@ bool VmManager::Destroy(Vm::VmId id) {
   if (it == vms_.end()) {
     return false;
   }
-  if (it->second->state_ != VmState::kSuspended) {
-    memory_used_ -= cost_model_.MemoryBytes(it->second->kind_);  // suspended guests hold none
+  VmState state = it->second->state_;
+  if (state != VmState::kSuspended && state != VmState::kCrashed) {
+    memory_used_ -= cost_model_.MemoryBytes(it->second->kind_);  // others hold none
   }
   it->second->state_ = VmState::kDestroyed;
+  ++it->second->epoch_;
   vms_.erase(it);
   return true;
 }
@@ -139,10 +257,31 @@ size_t VmManager::running_count() const {
   return count;
 }
 
+size_t VmManager::crashed_count() const {
+  size_t count = 0;
+  for (const auto& [id, vm] : vms_) {
+    if (vm->state_ == VmState::kCrashed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<Vm::VmId> VmManager::CrashedIds() const {
+  std::vector<Vm::VmId> ids;
+  for (const auto& [id, vm] : vms_) {
+    if (vm->state_ == VmState::kCrashed) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 size_t VmManager::non_suspended_count() const {
   size_t count = 0;
   for (const auto& [id, vm] : vms_) {
-    if (vm->state_ != VmState::kSuspended) {
+    if (vm->state_ != VmState::kSuspended && vm->state_ != VmState::kCrashed) {
       ++count;
     }
   }

@@ -2,10 +2,17 @@
 // Click graph (real packet processing); its lifecycle transitions (boot,
 // suspend, resume) take simulated time from the cost model, scheduled on the
 // event queue.
+//
+// Failure model: a guest in any RAM-holding state can crash (injected by a
+// sim::FaultInjector or forced by tests/benches through CrashVm). A crashed
+// guest releases its memory but stays registered under its id so the
+// platform watchdog can Restart it in place — the switch rules and stalled
+// buffers keyed by the id stay valid across the restart.
 #ifndef SRC_PLATFORM_VM_H_
 #define SRC_PLATFORM_VM_H_
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -15,10 +22,19 @@
 #include "src/click/graph.h"
 #include "src/platform/cost_model.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault_injector.h"
 
 namespace innet::platform {
 
-enum class VmState { kBooting, kRunning, kSuspending, kSuspended, kResuming, kDestroyed };
+enum class VmState {
+  kBooting,
+  kRunning,
+  kSuspending,
+  kSuspended,
+  kResuming,
+  kCrashed,
+  kDestroyed
+};
 
 class Vm {
  public:
@@ -29,6 +45,11 @@ class Vm {
   VmKind kind() const { return kind_; }
   VmState state() const { return state_; }
   click::Graph* graph() const { return graph_.get(); }
+  // The configuration the guest was booted from (used by Restart to rebuild
+  // the graph after a crash — a crash loses all element state).
+  const std::string& config_text() const { return config_text_; }
+  // How many times this guest was restarted after a crash.
+  uint64_t restart_count() const { return restart_count_; }
 
   // Feeds a packet to the guest's first FromNetfront. Silently drops when
   // the VM is not running (as a real guest with a detached netfront would).
@@ -52,7 +73,15 @@ class Vm {
   VmState state_ = VmState::kBooting;
   std::unique_ptr<click::Graph> graph_;
   EgressHandler egress_;
+  std::string config_text_;
   uint64_t injected_count_ = 0;
+  uint64_t restart_count_ = 0;
+  // Bumped on every lifecycle transition a scheduled callback could race
+  // with (boot, suspend, resume, restart, crash, destroy). Callbacks capture
+  // the epoch they were scheduled under and become no-ops when it moved —
+  // this is what makes Destroy-during-boot cancel the pending on_ready
+  // instead of letting a later same-state guest absorb it.
+  uint64_t epoch_ = 0;
   sim::TimeNs last_activity_ns_ = 0;
   sim::EventQueue* clock_ = nullptr;
 };
@@ -60,6 +89,9 @@ class Vm {
 class VmManager {
  public:
   using ReadyCallback = std::function<void(Vm*)>;
+  // Observers fire whenever a guest transitions to kCrashed (boot failure or
+  // runtime crash), before any restart is attempted.
+  using CrashObserver = std::function<void(Vm*)>;
 
   VmManager(sim::EventQueue* clock, VmCostModel cost_model, uint64_t total_memory_bytes)
       : clock_(clock), cost_model_(cost_model), memory_total_(total_memory_bytes) {}
@@ -74,30 +106,80 @@ class VmManager {
   bool Suspend(Vm::VmId id, std::function<void()> done = nullptr);
   // Resumes a suspended VM; `done` fires after ResumeTime.
   bool Resume(Vm::VmId id, std::function<void()> done = nullptr);
-  // Destroys a VM immediately, releasing its memory.
+  // Destroys a VM immediately, releasing its memory. Any in-flight
+  // boot/suspend/resume completion for it is cancelled (its `done` callback
+  // still runs, but finds no guest to act on).
   bool Destroy(Vm::VmId id);
+
+  // Crashes a guest: releases its memory, drops its graph state, notifies
+  // crash observers. Valid from any RAM-holding state (booting, running,
+  // suspending, resuming); a suspended-to-disk guest cannot crash. The guest
+  // stays registered under its id in state kCrashed until Restart or
+  // Destroy.
+  bool Crash(Vm::VmId id);
+
+  // Reboots a crashed guest in place: rebuilds its Click graph from the
+  // original configuration, re-acquires memory, and schedules the boot.
+  // `on_ready` fires when the guest is running again (egress handlers must
+  // be re-attached by the caller — the graph is new). Returns false when the
+  // guest is not crashed or memory is exhausted.
+  bool Restart(Vm::VmId id, ReadyCallback on_ready, std::string* error);
+
+  void AddCrashObserver(CrashObserver observer) {
+    crash_observers_.push_back(std::move(observer));
+  }
+
+  // Attach a fault injector: boot failures, scheduled crashes, and
+  // suspend/resume stretch are drawn from it. Pass nullptr to detach. The
+  // injector must outlive the manager.
+  void SetFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
+  sim::FaultInjector* fault_injector() const { return fault_; }
 
   Vm* Find(Vm::VmId id);
   size_t vm_count() const { return vms_.size(); }
   size_t running_count() const;
-  // Guests holding RAM and toolstack attention (everything but suspended).
+  size_t crashed_count() const;
+  // Ids of all guests currently in kCrashed, in ascending id order (so the
+  // watchdog's sweep is deterministic regardless of hash-map iteration).
+  std::vector<Vm::VmId> CrashedIds() const;
+  // Guests holding RAM and toolstack attention (everything but suspended
+  // and crashed).
   size_t non_suspended_count() const;
   uint64_t memory_used() const { return memory_used_; }
   uint64_t memory_total() const { return memory_total_; }
-  // How many more VMs of `kind` fit in memory.
+  uint64_t crash_count() const { return crash_count_; }
+  // How many more VMs of `kind` fit in memory. A zero-cost model means the
+  // kind is free: effectively unlimited capacity (not a division by zero).
   uint64_t RemainingCapacity(VmKind kind) const {
-    return (memory_total_ - memory_used_) / cost_model_.MemoryBytes(kind);
+    uint64_t per_vm = cost_model_.MemoryBytes(kind);
+    if (per_vm == 0) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    return (memory_total_ - memory_used_) / per_vm;
   }
 
   const VmCostModel& cost_model() const { return cost_model_; }
 
  private:
+  // Schedules the boot-completion event for a guest entering kBooting:
+  // either the promotion to kRunning (+ crash timer arming + on_ready), or —
+  // when the fault injector decides the boot fails — the transition to
+  // kCrashed.
+  void ScheduleBootCompletion(Vm* vm, ReadyCallback on_ready);
+  // Arms the injector-driven crash timer for a guest that just became
+  // running (no-op without an injector or with crashes disabled).
+  void ArmCrashTimer(Vm* vm);
+  void NotifyCrash(Vm* vm);
+
   sim::EventQueue* clock_;
   VmCostModel cost_model_;
   uint64_t memory_total_;
   uint64_t memory_used_ = 0;
+  uint64_t crash_count_ = 0;
   Vm::VmId next_id_ = 1;
   std::unordered_map<Vm::VmId, std::unique_ptr<Vm>> vms_;
+  std::vector<CrashObserver> crash_observers_;
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace innet::platform

@@ -1,0 +1,86 @@
+#include "src/platform/watchdog.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/platform/platform.h"
+
+namespace innet::platform {
+
+void Watchdog::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  clock_->ScheduleAfter(config_.sweep_interval, [this] { Sweep(); });
+}
+
+sim::TimeNs Watchdog::BackoffDelay(int attempt) const {
+  double delay = static_cast<double>(config_.backoff_base) *
+                 std::pow(config_.backoff_factor, attempt);
+  double cap = static_cast<double>(config_.backoff_cap);
+  return static_cast<sim::TimeNs>(delay < cap ? delay : cap);
+}
+
+WatchdogStats Watchdog::stats() const {
+  WatchdogStats out = stats_;
+  out.packets_dropped_bounded = platform_->buffer_drops();
+  return out;
+}
+
+void Watchdog::OnRestartComplete(Vm::VmId id) {
+  ++stats_.restarts;
+  pending_.erase(id);
+}
+
+void Watchdog::Sweep() {
+  if (!running_) {
+    return;
+  }
+  for (Vm::VmId id : platform_->vms().CrashedIds()) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      // Fresh crash episode: schedule the first restart one backoff away.
+      ++stats_.crashes_observed;
+      Pending entry;
+      entry.next_try = clock_->now() + BackoffDelay(0);
+      pending_.emplace(id, entry);
+      continue;
+    }
+    Pending& pending = it->second;
+    if (pending.in_flight) {
+      // The restart we launched ended crashed again (boot failure).
+      pending.in_flight = false;
+      ++pending.attempt;
+      ++stats_.restart_failures;
+      pending.next_try = clock_->now() + BackoffDelay(pending.attempt);
+    }
+    if (pending.attempt > config_.max_retries) {
+      ++stats_.gave_up;
+      platform_->RetireCrashedVm(id);
+      pending_.erase(it);
+      continue;
+    }
+    if (clock_->now() < pending.next_try) {
+      continue;
+    }
+    std::string error;
+    if (platform_->RestartCrashedVm(id, &error)) {
+      pending.in_flight = true;
+    } else {
+      // Immediate failure (memory exhausted): count it and back off.
+      ++pending.attempt;
+      ++stats_.restart_failures;
+      if (pending.attempt > config_.max_retries) {
+        ++stats_.gave_up;
+        platform_->RetireCrashedVm(id);
+        pending_.erase(it);
+        continue;
+      }
+      pending.next_try = clock_->now() + BackoffDelay(pending.attempt);
+    }
+  }
+  clock_->ScheduleAfter(config_.sweep_interval, [this] { Sweep(); });
+}
+
+}  // namespace innet::platform

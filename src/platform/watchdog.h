@@ -1,0 +1,88 @@
+// Watchdog: the platform's periodic health sweep. It notices guests that
+// crashed (boot failure or runtime fault), restarts them in place with
+// exponential backoff, and retires guests that keep failing past the retry
+// budget. While a guest is down, arriving traffic is held in the platform's
+// bounded stalled buffers; the restart-complete path re-installs the guest's
+// switch rules and flushes the buffer, so surviving flows continue with
+// packet loss bounded by the buffer cap.
+//
+// All timing comes from the event queue, the backoff schedule from the
+// config, and the fault stream from the platform's seeded injector — one
+// seed reproduces the exact recovery timeline.
+#ifndef SRC_PLATFORM_WATCHDOG_H_
+#define SRC_PLATFORM_WATCHDOG_H_
+
+#include <unordered_map>
+
+#include "src/platform/vm.h"
+#include "src/sim/event_queue.h"
+
+namespace innet::platform {
+
+class InNetPlatform;
+
+struct WatchdogConfig {
+  // How often the sweep inspects guest health.
+  sim::TimeNs sweep_interval = sim::FromMillis(25);
+  // Restart backoff: delay before attempt n is
+  //   min(backoff_cap, backoff_base * backoff_factor^n),  n = 0, 1, ...
+  sim::TimeNs backoff_base = sim::FromMillis(10);
+  double backoff_factor = 2.0;
+  sim::TimeNs backoff_cap = sim::FromSeconds(2);
+  // Failed restart attempts tolerated before the guest is retired (rules
+  // removed, buffered packets dropped).
+  int max_retries = 6;
+};
+
+struct WatchdogStats {
+  uint64_t crashes_observed = 0;   // distinct crash episodes seen by the sweep
+  uint64_t restarts = 0;           // restarts that reached running again
+  uint64_t restart_failures = 0;   // attempts that failed (no memory / boot crashed)
+  uint64_t gave_up = 0;            // guests retired after exhausting retries
+  uint64_t packets_dropped_bounded = 0;  // bounded-buffer drops (platform-wide)
+};
+
+class Watchdog {
+ public:
+  Watchdog(sim::EventQueue* clock, InNetPlatform* platform, WatchdogConfig config)
+      : clock_(clock), platform_(platform), config_(config) {}
+
+  // Arms the periodic sweep. Idempotent.
+  void Start();
+  // Disarms it (pending sweep events become no-ops).
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  const WatchdogConfig& config() const { return config_; }
+
+  // Delay before restart attempt `attempt` (0-based). Exposed so tests can
+  // assert the schedule directly.
+  sim::TimeNs BackoffDelay(int attempt) const;
+
+  // Snapshot of the counters (packets_dropped_bounded is read from the
+  // platform's bounded-buffer accounting).
+  WatchdogStats stats() const;
+
+  // Called by the platform when a restart it launched reached running.
+  void OnRestartComplete(Vm::VmId id);
+
+ private:
+  struct Pending {
+    int attempt = 0;        // failed attempts so far
+    bool in_flight = false; // a restart was launched and has not completed
+    sim::TimeNs next_try = 0;
+  };
+
+  void Sweep();
+
+  sim::EventQueue* clock_;
+  InNetPlatform* platform_;
+  WatchdogConfig config_;
+  bool running_ = false;
+  std::unordered_map<Vm::VmId, Pending> pending_;
+  WatchdogStats stats_;
+};
+
+}  // namespace innet::platform
+
+#endif  // SRC_PLATFORM_WATCHDOG_H_

@@ -1,0 +1,43 @@
+#include "src/sim/fault_injector.h"
+
+namespace innet::sim {
+
+bool FaultInjector::ShouldFailBoot() {
+  if (plan_.boot_failure_p <= 0.0) {
+    return false;
+  }
+  bool fail = rng_.Bernoulli(plan_.boot_failure_p);
+  if (fail) {
+    ++boot_failures_injected_;
+  }
+  return fail;
+}
+
+TimeNs FaultInjector::NextCrashDelay() {
+  if (plan_.crash_mean_uptime_s <= 0.0) {
+    return 0;
+  }
+  ++crashes_scheduled_;
+  TimeNs delay = FromSeconds(rng_.Exponential(plan_.crash_mean_uptime_s));
+  // A zero delay would crash the VM in the same event that made it running;
+  // round up so the crash is always a distinct, later event.
+  return delay == 0 ? 1 : delay;
+}
+
+bool FaultInjector::ShouldDropPacket() {
+  if (plan_.packet_drop_p <= 0.0 || !rng_.Bernoulli(plan_.packet_drop_p)) {
+    return false;
+  }
+  ++packets_dropped_;
+  return true;
+}
+
+bool FaultInjector::ShouldCorruptPacket() {
+  if (plan_.packet_corrupt_p <= 0.0 || !rng_.Bernoulli(plan_.packet_corrupt_p)) {
+    return false;
+  }
+  ++packets_corrupted_;
+  return true;
+}
+
+}  // namespace innet::sim

@@ -1,0 +1,80 @@
+// Deterministic fault injection for availability experiments. A FaultPlan
+// describes *what* can go wrong (boot failures, VM crashes, slow
+// suspend/resume, switch-level packet drops/corruption); the FaultInjector
+// turns the plan into a reproducible decision stream: every query draws from
+// one seeded RNG, and because the event queue is deterministic, the same
+// seed always yields the same fault timeline.
+//
+// The injector is a pure decision oracle — it never touches platform state
+// itself. The VM manager and software switch consult it at the points where
+// the corresponding real-world fault would strike.
+#ifndef SRC_SIM_FAULT_INJECTOR_H_
+#define SRC_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace innet::sim {
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Probability that a VM boot (or restart) never comes up: the guest ends
+  // in the crashed state instead of running.
+  double boot_failure_p = 0.0;
+  // Mean uptime (seconds) between crashes of a running VM, exponentially
+  // distributed. 0 disables crash scheduling. A value of 1.0 models the
+  // "crash rate 1/s" regime.
+  double crash_mean_uptime_s = 0.0;
+  // Multipliers on suspend/resume latency (a loaded toolstack). 1.0 = none.
+  double suspend_stretch = 1.0;
+  double resume_stretch = 1.0;
+  // Per-packet switch faults.
+  double packet_drop_p = 0.0;
+  double packet_corrupt_p = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Decides whether the boot now being scheduled will fail.
+  bool ShouldFailBoot();
+
+  // Delay until the next crash of a VM that just became running, or 0 when
+  // crash injection is disabled.
+  TimeNs NextCrashDelay();
+
+  TimeNs StretchSuspend(TimeNs t) const {
+    return static_cast<TimeNs>(static_cast<double>(t) * plan_.suspend_stretch);
+  }
+  TimeNs StretchResume(TimeNs t) const {
+    return static_cast<TimeNs>(static_cast<double>(t) * plan_.resume_stretch);
+  }
+
+  bool ShouldDropPacket();
+  bool ShouldCorruptPacket();
+  // Where and how to flip a byte of a corrupted packet.
+  size_t CorruptOffset(size_t len) { return len == 0 ? 0 : rng_.NextBelow(len); }
+  uint8_t CorruptMask() { return static_cast<uint8_t>(1 + rng_.NextBelow(255)); }
+
+  uint64_t boot_failures_injected() const { return boot_failures_injected_; }
+  uint64_t crashes_scheduled() const { return crashes_scheduled_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t packets_corrupted() const { return packets_corrupted_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t boot_failures_injected_ = 0;
+  uint64_t crashes_scheduled_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t packets_corrupted_ = 0;
+};
+
+}  // namespace innet::sim
+
+#endif  // SRC_SIM_FAULT_INJECTOR_H_
