@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boot_strategy.dir/ablation_boot_strategy.cc.o"
+  "CMakeFiles/ablation_boot_strategy.dir/ablation_boot_strategy.cc.o.d"
+  "ablation_boot_strategy"
+  "ablation_boot_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boot_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

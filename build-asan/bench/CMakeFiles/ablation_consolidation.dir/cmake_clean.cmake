@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_consolidation.dir/ablation_consolidation.cc.o"
+  "CMakeFiles/ablation_consolidation.dir/ablation_consolidation.cc.o.d"
+  "ablation_consolidation"
+  "ablation_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

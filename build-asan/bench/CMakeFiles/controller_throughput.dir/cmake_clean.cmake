@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_throughput.dir/controller_throughput.cc.o"
+  "CMakeFiles/controller_throughput.dir/controller_throughput.cc.o.d"
+  "controller_throughput"
+  "controller_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

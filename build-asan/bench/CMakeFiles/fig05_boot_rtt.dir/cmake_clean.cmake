@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_boot_rtt.dir/fig05_boot_rtt.cc.o"
+  "CMakeFiles/fig05_boot_rtt.dir/fig05_boot_rtt.cc.o.d"
+  "fig05_boot_rtt"
+  "fig05_boot_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_boot_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_http_flows.dir/fig06_http_flows.cc.o"
+  "CMakeFiles/fig06_http_flows.dir/fig06_http_flows.cc.o.d"
+  "fig06_http_flows"
+  "fig06_http_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_http_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_http_flows.
+# This may be replaced when dependencies are built.

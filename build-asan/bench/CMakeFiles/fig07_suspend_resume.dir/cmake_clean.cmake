@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_suspend_resume.dir/fig07_suspend_resume.cc.o"
+  "CMakeFiles/fig07_suspend_resume.dir/fig07_suspend_resume.cc.o.d"
+  "fig07_suspend_resume"
+  "fig07_suspend_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_suspend_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_consolidation.dir/fig08_consolidation.cc.o"
+  "CMakeFiles/fig08_consolidation.dir/fig08_consolidation.cc.o.d"
+  "fig08_consolidation"
+  "fig08_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

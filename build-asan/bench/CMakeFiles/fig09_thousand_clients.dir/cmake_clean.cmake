@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_thousand_clients.dir/fig09_thousand_clients.cc.o"
+  "CMakeFiles/fig09_thousand_clients.dir/fig09_thousand_clients.cc.o.d"
+  "fig09_thousand_clients"
+  "fig09_thousand_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_thousand_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sandbox_cost.dir/fig11_sandbox_cost.cc.o"
+  "CMakeFiles/fig11_sandbox_cost.dir/fig11_sandbox_cost.cc.o.d"
+  "fig11_sandbox_cost"
+  "fig11_sandbox_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sandbox_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_middlebox_throughput.dir/fig12_middlebox_throughput.cc.o"
+  "CMakeFiles/fig12_middlebox_throughput.dir/fig12_middlebox_throughput.cc.o.d"
+  "fig12_middlebox_throughput"
+  "fig12_middlebox_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_middlebox_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

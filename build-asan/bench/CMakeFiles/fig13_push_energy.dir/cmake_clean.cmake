@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_push_energy.dir/fig13_push_energy.cc.o"
+  "CMakeFiles/fig13_push_energy.dir/fig13_push_energy.cc.o.d"
+  "fig13_push_energy"
+  "fig13_push_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_push_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

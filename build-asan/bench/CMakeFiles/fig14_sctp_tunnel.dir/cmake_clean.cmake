@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sctp_tunnel.dir/fig14_sctp_tunnel.cc.o"
+  "CMakeFiles/fig14_sctp_tunnel.dir/fig14_sctp_tunnel.cc.o.d"
+  "fig14_sctp_tunnel"
+  "fig14_sctp_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sctp_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_slowloris.dir/fig15_slowloris.cc.o"
+  "CMakeFiles/fig15_slowloris.dir/fig15_slowloris.cc.o.d"
+  "fig15_slowloris"
+  "fig15_slowloris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_slowloris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

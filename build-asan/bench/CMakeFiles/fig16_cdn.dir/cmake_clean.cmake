@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cdn.dir/fig16_cdn.cc.o"
+  "CMakeFiles/fig16_cdn.dir/fig16_cdn.cc.o.d"
+  "fig16_cdn"
+  "fig16_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

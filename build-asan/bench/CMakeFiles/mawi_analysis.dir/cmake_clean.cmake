@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mawi_analysis.dir/mawi_analysis.cc.o"
+  "CMakeFiles/mawi_analysis.dir/mawi_analysis.cc.o.d"
+  "mawi_analysis"
+  "mawi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mawi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_elements.dir/microbench_elements.cc.o"
+  "CMakeFiles/microbench_elements.dir/microbench_elements.cc.o.d"
+  "microbench_elements"
+  "microbench_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

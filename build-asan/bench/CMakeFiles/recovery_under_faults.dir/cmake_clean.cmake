@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_under_faults.dir/recovery_under_faults.cc.o"
+  "CMakeFiles/recovery_under_faults.dir/recovery_under_faults.cc.o.d"
+  "recovery_under_faults"
+  "recovery_under_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_under_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_safety.dir/table1_safety.cc.o"
+  "CMakeFiles/table1_safety.dir/table1_safety.cc.o.d"
+  "table1_safety"
+  "table1_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_policy.dir/operator_policy.cpp.o"
+  "CMakeFiles/operator_policy.dir/operator_policy.cpp.o.d"
+  "operator_policy"
+  "operator_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

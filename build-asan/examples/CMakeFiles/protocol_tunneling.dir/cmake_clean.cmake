@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_tunneling.dir/protocol_tunneling.cpp.o"
+  "CMakeFiles/protocol_tunneling.dir/protocol_tunneling.cpp.o.d"
+  "protocol_tunneling"
+  "protocol_tunneling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_tunneling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

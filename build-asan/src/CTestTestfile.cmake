@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netcore")
+subdirs("sim")
+subdirs("click")
+subdirs("symexec")
+subdirs("policy")
+subdirs("topology")
+subdirs("controller")
+subdirs("platform")
+subdirs("transport")
+subdirs("energy")
+subdirs("trace")

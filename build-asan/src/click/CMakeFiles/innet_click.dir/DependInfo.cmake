@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/config_parser.cc" "src/click/CMakeFiles/innet_click.dir/config_parser.cc.o" "gcc" "src/click/CMakeFiles/innet_click.dir/config_parser.cc.o.d"
+  "/root/repo/src/click/element.cc" "src/click/CMakeFiles/innet_click.dir/element.cc.o" "gcc" "src/click/CMakeFiles/innet_click.dir/element.cc.o.d"
+  "/root/repo/src/click/elements.cc" "src/click/CMakeFiles/innet_click.dir/elements.cc.o" "gcc" "src/click/CMakeFiles/innet_click.dir/elements.cc.o.d"
+  "/root/repo/src/click/elements_switching.cc" "src/click/CMakeFiles/innet_click.dir/elements_switching.cc.o" "gcc" "src/click/CMakeFiles/innet_click.dir/elements_switching.cc.o.d"
+  "/root/repo/src/click/graph.cc" "src/click/CMakeFiles/innet_click.dir/graph.cc.o" "gcc" "src/click/CMakeFiles/innet_click.dir/graph.cc.o.d"
+  "/root/repo/src/click/registry.cc" "src/click/CMakeFiles/innet_click.dir/registry.cc.o" "gcc" "src/click/CMakeFiles/innet_click.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/netcore/CMakeFiles/innet_netcore.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/innet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

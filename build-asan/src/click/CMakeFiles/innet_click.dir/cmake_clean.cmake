@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_click.dir/config_parser.cc.o"
+  "CMakeFiles/innet_click.dir/config_parser.cc.o.d"
+  "CMakeFiles/innet_click.dir/element.cc.o"
+  "CMakeFiles/innet_click.dir/element.cc.o.d"
+  "CMakeFiles/innet_click.dir/elements.cc.o"
+  "CMakeFiles/innet_click.dir/elements.cc.o.d"
+  "CMakeFiles/innet_click.dir/elements_switching.cc.o"
+  "CMakeFiles/innet_click.dir/elements_switching.cc.o.d"
+  "CMakeFiles/innet_click.dir/graph.cc.o"
+  "CMakeFiles/innet_click.dir/graph.cc.o.d"
+  "CMakeFiles/innet_click.dir/registry.cc.o"
+  "CMakeFiles/innet_click.dir/registry.cc.o.d"
+  "libinnet_click.a"
+  "libinnet_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

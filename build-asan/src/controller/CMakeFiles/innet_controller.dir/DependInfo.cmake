@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/controller.cc" "src/controller/CMakeFiles/innet_controller.dir/controller.cc.o" "gcc" "src/controller/CMakeFiles/innet_controller.dir/controller.cc.o.d"
+  "/root/repo/src/controller/orchestrator.cc" "src/controller/CMakeFiles/innet_controller.dir/orchestrator.cc.o" "gcc" "src/controller/CMakeFiles/innet_controller.dir/orchestrator.cc.o.d"
+  "/root/repo/src/controller/security.cc" "src/controller/CMakeFiles/innet_controller.dir/security.cc.o" "gcc" "src/controller/CMakeFiles/innet_controller.dir/security.cc.o.d"
+  "/root/repo/src/controller/stock_modules.cc" "src/controller/CMakeFiles/innet_controller.dir/stock_modules.cc.o" "gcc" "src/controller/CMakeFiles/innet_controller.dir/stock_modules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/platform/CMakeFiles/innet_platform.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/click/CMakeFiles/innet_click.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/netcore/CMakeFiles/innet_netcore.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/policy/CMakeFiles/innet_policy.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/symexec/CMakeFiles/innet_symexec.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topology/CMakeFiles/innet_topology.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/innet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_controller.dir/controller.cc.o"
+  "CMakeFiles/innet_controller.dir/controller.cc.o.d"
+  "CMakeFiles/innet_controller.dir/orchestrator.cc.o"
+  "CMakeFiles/innet_controller.dir/orchestrator.cc.o.d"
+  "CMakeFiles/innet_controller.dir/security.cc.o"
+  "CMakeFiles/innet_controller.dir/security.cc.o.d"
+  "CMakeFiles/innet_controller.dir/stock_modules.cc.o"
+  "CMakeFiles/innet_controller.dir/stock_modules.cc.o.d"
+  "libinnet_controller.a"
+  "libinnet_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

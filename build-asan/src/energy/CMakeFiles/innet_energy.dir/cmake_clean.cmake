@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_energy.dir/radio_model.cc.o"
+  "CMakeFiles/innet_energy.dir/radio_model.cc.o.d"
+  "libinnet_energy.a"
+  "libinnet_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcore/checksum.cc" "src/netcore/CMakeFiles/innet_netcore.dir/checksum.cc.o" "gcc" "src/netcore/CMakeFiles/innet_netcore.dir/checksum.cc.o.d"
+  "/root/repo/src/netcore/fields.cc" "src/netcore/CMakeFiles/innet_netcore.dir/fields.cc.o" "gcc" "src/netcore/CMakeFiles/innet_netcore.dir/fields.cc.o.d"
+  "/root/repo/src/netcore/flowspec.cc" "src/netcore/CMakeFiles/innet_netcore.dir/flowspec.cc.o" "gcc" "src/netcore/CMakeFiles/innet_netcore.dir/flowspec.cc.o.d"
+  "/root/repo/src/netcore/ip.cc" "src/netcore/CMakeFiles/innet_netcore.dir/ip.cc.o" "gcc" "src/netcore/CMakeFiles/innet_netcore.dir/ip.cc.o.d"
+  "/root/repo/src/netcore/packet.cc" "src/netcore/CMakeFiles/innet_netcore.dir/packet.cc.o" "gcc" "src/netcore/CMakeFiles/innet_netcore.dir/packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

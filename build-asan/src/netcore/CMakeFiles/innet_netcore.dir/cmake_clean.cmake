@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_netcore.dir/checksum.cc.o"
+  "CMakeFiles/innet_netcore.dir/checksum.cc.o.d"
+  "CMakeFiles/innet_netcore.dir/fields.cc.o"
+  "CMakeFiles/innet_netcore.dir/fields.cc.o.d"
+  "CMakeFiles/innet_netcore.dir/flowspec.cc.o"
+  "CMakeFiles/innet_netcore.dir/flowspec.cc.o.d"
+  "CMakeFiles/innet_netcore.dir/ip.cc.o"
+  "CMakeFiles/innet_netcore.dir/ip.cc.o.d"
+  "CMakeFiles/innet_netcore.dir/packet.cc.o"
+  "CMakeFiles/innet_netcore.dir/packet.cc.o.d"
+  "libinnet_netcore.a"
+  "libinnet_netcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_netcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/consolidation.cc" "src/platform/CMakeFiles/innet_platform.dir/consolidation.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/consolidation.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/platform/CMakeFiles/innet_platform.dir/platform.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/platform.cc.o.d"
+  "/root/repo/src/platform/sandbox.cc" "src/platform/CMakeFiles/innet_platform.dir/sandbox.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/sandbox.cc.o.d"
+  "/root/repo/src/platform/software_switch.cc" "src/platform/CMakeFiles/innet_platform.dir/software_switch.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/software_switch.cc.o.d"
+  "/root/repo/src/platform/vm.cc" "src/platform/CMakeFiles/innet_platform.dir/vm.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/vm.cc.o.d"
+  "/root/repo/src/platform/watchdog.cc" "src/platform/CMakeFiles/innet_platform.dir/watchdog.cc.o" "gcc" "src/platform/CMakeFiles/innet_platform.dir/watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/click/CMakeFiles/innet_click.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/netcore/CMakeFiles/innet_netcore.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/innet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_platform.dir/consolidation.cc.o"
+  "CMakeFiles/innet_platform.dir/consolidation.cc.o.d"
+  "CMakeFiles/innet_platform.dir/platform.cc.o"
+  "CMakeFiles/innet_platform.dir/platform.cc.o.d"
+  "CMakeFiles/innet_platform.dir/sandbox.cc.o"
+  "CMakeFiles/innet_platform.dir/sandbox.cc.o.d"
+  "CMakeFiles/innet_platform.dir/software_switch.cc.o"
+  "CMakeFiles/innet_platform.dir/software_switch.cc.o.d"
+  "CMakeFiles/innet_platform.dir/vm.cc.o"
+  "CMakeFiles/innet_platform.dir/vm.cc.o.d"
+  "CMakeFiles/innet_platform.dir/watchdog.cc.o"
+  "CMakeFiles/innet_platform.dir/watchdog.cc.o.d"
+  "libinnet_platform.a"
+  "libinnet_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_policy.dir/reach_checker.cc.o"
+  "CMakeFiles/innet_policy.dir/reach_checker.cc.o.d"
+  "CMakeFiles/innet_policy.dir/reach_spec.cc.o"
+  "CMakeFiles/innet_policy.dir/reach_spec.cc.o.d"
+  "libinnet_policy.a"
+  "libinnet_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

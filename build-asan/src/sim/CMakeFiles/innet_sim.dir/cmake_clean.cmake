@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_sim.dir/event_queue.cc.o"
+  "CMakeFiles/innet_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/innet_sim.dir/fault_injector.cc.o"
+  "CMakeFiles/innet_sim.dir/fault_injector.cc.o.d"
+  "CMakeFiles/innet_sim.dir/link.cc.o"
+  "CMakeFiles/innet_sim.dir/link.cc.o.d"
+  "libinnet_sim.a"
+  "libinnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

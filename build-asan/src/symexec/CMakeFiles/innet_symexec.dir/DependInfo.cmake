@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symexec/click_models.cc" "src/symexec/CMakeFiles/innet_symexec.dir/click_models.cc.o" "gcc" "src/symexec/CMakeFiles/innet_symexec.dir/click_models.cc.o.d"
+  "/root/repo/src/symexec/engine.cc" "src/symexec/CMakeFiles/innet_symexec.dir/engine.cc.o" "gcc" "src/symexec/CMakeFiles/innet_symexec.dir/engine.cc.o.d"
+  "/root/repo/src/symexec/symbolic_packet.cc" "src/symexec/CMakeFiles/innet_symexec.dir/symbolic_packet.cc.o" "gcc" "src/symexec/CMakeFiles/innet_symexec.dir/symbolic_packet.cc.o.d"
+  "/root/repo/src/symexec/trace_render.cc" "src/symexec/CMakeFiles/innet_symexec.dir/trace_render.cc.o" "gcc" "src/symexec/CMakeFiles/innet_symexec.dir/trace_render.cc.o.d"
+  "/root/repo/src/symexec/value_set.cc" "src/symexec/CMakeFiles/innet_symexec.dir/value_set.cc.o" "gcc" "src/symexec/CMakeFiles/innet_symexec.dir/value_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/netcore/CMakeFiles/innet_netcore.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/click/CMakeFiles/innet_click.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/innet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

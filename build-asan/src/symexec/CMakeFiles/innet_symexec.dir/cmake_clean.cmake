@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_symexec.dir/click_models.cc.o"
+  "CMakeFiles/innet_symexec.dir/click_models.cc.o.d"
+  "CMakeFiles/innet_symexec.dir/engine.cc.o"
+  "CMakeFiles/innet_symexec.dir/engine.cc.o.d"
+  "CMakeFiles/innet_symexec.dir/symbolic_packet.cc.o"
+  "CMakeFiles/innet_symexec.dir/symbolic_packet.cc.o.d"
+  "CMakeFiles/innet_symexec.dir/trace_render.cc.o"
+  "CMakeFiles/innet_symexec.dir/trace_render.cc.o.d"
+  "CMakeFiles/innet_symexec.dir/value_set.cc.o"
+  "CMakeFiles/innet_symexec.dir/value_set.cc.o.d"
+  "libinnet_symexec.a"
+  "libinnet_symexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for innet_symexec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_topology.dir/network.cc.o"
+  "CMakeFiles/innet_topology.dir/network.cc.o.d"
+  "libinnet_topology.a"
+  "libinnet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_trace.dir/backbone_trace.cc.o"
+  "CMakeFiles/innet_trace.dir/backbone_trace.cc.o.d"
+  "libinnet_trace.a"
+  "libinnet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinnet_trace.a"
+)

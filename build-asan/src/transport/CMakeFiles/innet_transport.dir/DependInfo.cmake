@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/reno_flow.cc" "src/transport/CMakeFiles/innet_transport.dir/reno_flow.cc.o" "gcc" "src/transport/CMakeFiles/innet_transport.dir/reno_flow.cc.o.d"
+  "/root/repo/src/transport/tunnel_experiment.cc" "src/transport/CMakeFiles/innet_transport.dir/tunnel_experiment.cc.o" "gcc" "src/transport/CMakeFiles/innet_transport.dir/tunnel_experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/innet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_transport.dir/reno_flow.cc.o"
+  "CMakeFiles/innet_transport.dir/reno_flow.cc.o.d"
+  "CMakeFiles/innet_transport.dir/tunnel_experiment.cc.o"
+  "CMakeFiles/innet_transport.dir/tunnel_experiment.cc.o.d"
+  "libinnet_transport.a"
+  "libinnet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

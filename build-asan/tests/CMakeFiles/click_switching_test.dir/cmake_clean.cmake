@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_switching_test.dir/click_switching_test.cc.o"
+  "CMakeFiles/click_switching_test.dir/click_switching_test.cc.o.d"
+  "click_switching_test"
+  "click_switching_test.pdb"
+  "click_switching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_switching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_trace_test.dir/energy_trace_test.cc.o"
+  "CMakeFiles/energy_trace_test.dir/energy_trace_test.cc.o.d"
+  "energy_trace_test"
+  "energy_trace_test.pdb"
+  "energy_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

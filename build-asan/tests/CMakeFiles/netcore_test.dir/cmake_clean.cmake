@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcore_test.dir/netcore_test.cc.o"
+  "CMakeFiles/netcore_test.dir/netcore_test.cc.o.d"
+  "netcore_test"
+  "netcore_test.pdb"
+  "netcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

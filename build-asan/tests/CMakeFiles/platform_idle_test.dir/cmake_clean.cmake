@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_idle_test.dir/platform_idle_test.cc.o"
+  "CMakeFiles/platform_idle_test.dir/platform_idle_test.cc.o.d"
+  "platform_idle_test"
+  "platform_idle_test.pdb"
+  "platform_idle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_idle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

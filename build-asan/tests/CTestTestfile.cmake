@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/netcore_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/click_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/symexec_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/policy_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/controller_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/platform_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/transport_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/energy_trace_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/click_switching_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/platform_idle_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/watchdog_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/failure_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/figure2_equivalence_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/topology_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_check.dir/innet_check.cc.o"
+  "CMakeFiles/innet_check.dir/innet_check.cc.o.d"
+  "innet_check"
+  "innet_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

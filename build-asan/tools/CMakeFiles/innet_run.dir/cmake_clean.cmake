@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/innet_run.dir/innet_run.cc.o"
+  "CMakeFiles/innet_run.dir/innet_run.cc.o.d"
+  "innet_run"
+  "innet_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/innet_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
