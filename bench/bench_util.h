@@ -1,11 +1,13 @@
-// Shared helpers for the experiment harnesses: wall-clock timing and
-// paper-style table printing.
+// Shared helpers for the experiment harnesses: wall-clock timing,
+// paper-style table printing, and JSON telemetry snapshots.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+
+#include "src/obs/json.h"
 
 namespace innet::bench {
 
@@ -28,6 +30,23 @@ inline void PrintHeader(const std::string& title) {
 
 inline void PrintRule() {
   std::printf("------------------------------------------------------------------------\n");
+}
+
+// Writes a bench telemetry snapshot to BENCH_<name>.json in the working
+// directory, wrapping `results` with the bench name so downstream tooling
+// (scripts/regenerate_results.sh, plotting) can discover and validate it.
+// Returns false (after printing to stderr) on I/O failure.
+inline bool WriteBenchJson(const std::string& name, obs::json::Value results) {
+  obs::json::Value doc = obs::json::Value::Object();
+  doc.Set("bench", name);
+  doc.Set("results", std::move(results));
+  std::string path = "BENCH_" + name + ".json";
+  if (!doc.WriteFile(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("telemetry -> %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace innet::bench

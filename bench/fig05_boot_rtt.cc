@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/metrics.h"
 #include "src/platform/platform.h"
 #include "src/sim/stats.h"
 
@@ -142,5 +143,30 @@ int main() {
               linux_firsts.Mean());
   std::printf("later probes (both guest kinds): %.2f ms mean\n",
               clickos.per_probe[5].Mean());
+
+  // Telemetry snapshot: per-probe RTT summaries, first-packet RTTs, and the
+  // registry's boot-latency histograms (both guest kinds ran above).
+  obs::json::Value results = obs::json::Value::Object();
+  obs::json::Value per_probe = obs::json::Value::Array();
+  for (int seq = 0; seq < PingExperiment::kProbes; ++seq) {
+    obs::json::Value row = obs::json::Value::Object();
+    row.Set("probe", seq + 1);
+    row.Set("rtt_ms", clickos.per_probe[static_cast<size_t>(seq)].SummaryJson());
+    per_probe.Push(std::move(row));
+  }
+  results.Set("clickos_per_probe", std::move(per_probe));
+  {
+    sim::Samples firsts;
+    obs::json::Value first_rtts = obs::json::Value::Array();
+    for (double v : clickos.first_rtt_ms) {
+      firsts.Add(v);
+      first_rtts.Push(v);
+    }
+    results.Set("clickos_first_rtt_ms", std::move(first_rtts));
+    results.Set("clickos_first_rtt_summary", firsts.SummaryJson());
+    results.Set("linux_first_rtt_summary", linux_firsts.SummaryJson());
+  }
+  results.Set("metrics", obs::Registry().ToJson());
+  bench::WriteBenchJson("fig05_boot_rtt", std::move(results));
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "src/controller/controller.h"
+#include "src/obs/metrics.h"
 #include "src/controller/stock_modules.h"
 #include "src/policy/reach_checker.h"
 #include "src/topology/network.h"
@@ -61,6 +62,7 @@ int main() {
               "engine steps");
   bench::PrintRule();
 
+  obs::json::Value rows = obs::json::Value::Array();
   for (int n : {1, 3, 7, 15, 31, 63, 127, 255, 511, 1023}) {
     // Fresh controller per size: the snapshot is the whole network.
     bench::WallTimer compile_timer;
@@ -81,10 +83,22 @@ int main() {
     (void)total_ms;
     std::printf("%-12d %-16.2f %-16.2f %-14llu\n", n, compile_ms, checking_ms,
                 static_cast<unsigned long long>(outcome.engine_steps));
+    obs::json::Value row = obs::json::Value::Object();
+    row.Set("middleboxes", n);
+    row.Set("compile_ms", compile_ms);
+    row.Set("checking_ms", checking_ms);
+    row.Set("engine_steps", outcome.engine_steps);
+    row.Set("sim_verify_ns", outcome.sim_verify_ns);
+    rows.Push(std::move(row));
   }
 
   std::printf("\nShape check: both columns should grow roughly linearly in the\n"
               "middlebox count, with checking staying around a second at ~1,000 boxes\n"
               "(paper: SymNet checks a 1,000-box network in ~1.3 s).\n");
+
+  obs::json::Value results = obs::json::Value::Object();
+  results.Set("scaling", std::move(rows));
+  results.Set("metrics", obs::Registry().ToJson());
+  bench::WriteBenchJson("fig10_controller_scaling", std::move(results));
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "src/controller/orchestrator.h"
+#include "src/obs/metrics.h"
 #include "src/platform/platform.h"
 #include "src/platform/watchdog.h"
 #include "src/sim/fault_injector.h"
@@ -123,7 +124,23 @@ RecoveryResult RunScenario(double crash_mean_uptime_s, double boot_failure_p) {
   return result;
 }
 
-void RunFailoverTiming() {
+obs::json::Value ScenarioJson(const char* rate, const RecoveryResult& r) {
+  obs::json::Value row = obs::json::Value::Object();
+  row.Set("crash_rate", rate);
+  row.Set("sent", r.sent);
+  row.Set("delivered", r.delivered);
+  row.Set("crashes", r.crashes);
+  row.Set("restarts", r.restarts);
+  row.Set("restart_failures", r.restart_failures);
+  row.Set("gave_up", r.gave_up);
+  row.Set("switch_fault_drops", r.fault_dropped);
+  row.Set("buffer_drops", r.buffer_dropped);
+  row.Set("recovery_sec", r.recovery_sec);
+  return row;
+}
+
+obs::json::Value RunFailoverTiming() {
+  obs::json::Value failover = obs::json::Value::Object();
   sim::EventQueue clock;
   controller::Orchestrator orchestrator(topology::Network::MakeFigure3(), &clock);
   const int tenants = 20;
@@ -141,7 +158,8 @@ void RunFailoverTiming() {
     auto deploy = orchestrator.Deploy(request);
     if (!deploy.outcome.accepted) {
       std::printf("deploy %d rejected: %s\n", i, deploy.outcome.reason.c_str());
-      return;
+      failover.Set("error", "deploy rejected: " + deploy.outcome.reason);
+      return failover;
     }
     victim = deploy.outcome.platform;
   }
@@ -158,6 +176,13 @@ void RunFailoverTiming() {
                   ? report.reverify_ms / static_cast<double>(report.tenants_affected)
                   : 0.0);
   std::printf("total failover time:    %.2f ms wall clock\n", total_ms);
+  failover.Set("failed_platform", report.failed_platform);
+  failover.Set("tenants_affected", static_cast<uint64_t>(report.tenants_affected));
+  failover.Set("recovered", static_cast<uint64_t>(report.recovered));
+  failover.Set("lost", static_cast<uint64_t>(report.lost));
+  failover.Set("reverify_ms", report.reverify_ms);
+  failover.Set("total_ms", total_ms);
+  return failover;
 }
 
 }  // namespace
@@ -168,6 +193,7 @@ int main() {
   std::printf("%-14s %-9s %-9s %-9s %-10s %-10s %-10s %-10s\n", "crash rate", "crashes",
               "restarts", "gave_up", "sw drops", "buf drops", "loss %", "recov (s)");
   bench::PrintRule();
+  obs::json::Value scenarios = obs::json::Value::Array();
   for (double mean_uptime : {0.0, 4.0, 2.0, 1.0, 0.5}) {
     RecoveryResult r = RunScenario(mean_uptime, mean_uptime == 0.0 ? 0.0 : 0.2);
     double loss_pct =
@@ -178,6 +204,7 @@ int main() {
     } else {
       std::snprintf(rate, sizeof(rate), "1/%.1fs", mean_uptime);
     }
+    scenarios.Push(ScenarioJson(rate, r));
     char recov[32];
     if (r.recovery_sec < 0) {
       std::snprintf(recov, sizeof(recov), ">30");
@@ -194,6 +221,12 @@ int main() {
   std::printf("(fault-free row doubles as the regression baseline: zero crashes, zero loss)\n");
 
   bench::PrintHeader("Orchestrator failover: node death, re-verify + re-place on survivors");
-  RunFailoverTiming();
+  obs::json::Value failover = RunFailoverTiming();
+
+  obs::json::Value results = obs::json::Value::Object();
+  results.Set("scenarios", std::move(scenarios));
+  results.Set("failover", std::move(failover));
+  results.Set("metrics", obs::Registry().ToJson());
+  bench::WriteBenchJson("recovery_under_faults", std::move(results));
   return 0;
 }

@@ -1,0 +1,8 @@
+// The Figure 4 push-notification batcher (README quickstart): filter UDP
+// notifications on port 1500, rewrite them toward the mobile client, and
+// batch with a 120 s timer before forwarding.
+FromNetfront()
+  -> IPFilter(allow udp dst port 1500)
+  -> IPRewriter(pattern - - 10.10.0.5 - 0 0)
+  -> batcher :: TimedUnqueue(120,100)
+  -> dst :: ToNetfront();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Lint: every metric name registered anywhere in src/, tools/, or bench/ must
+# be documented in DESIGN.md (§8 Observability). Metric names are string
+# literals matching "innet_[a-z0-9_]+" passed to GetCounter/GetGauge/
+# GetHistogram; grepping for the quoted literal keeps identifiers like
+# innet_run out of the net.
+set -u
+cd "$(dirname "$0")/.."
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -q "$name" DESIGN.md; then
+    echo "ERROR: metric $name is registered in code but not documented in DESIGN.md" >&2
+    missing=1
+  fi
+done < <(grep -rhoE '"innet_[a-z0-9_]+"' src tools bench | tr -d '"' | sort -u)
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_metrics_docs: FAILED — add the metrics above to DESIGN.md §8" >&2
+  exit 1
+fi
+echo "check_metrics_docs: all registered metrics are documented"

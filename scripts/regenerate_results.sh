@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Rebuilds everything, runs the full test suite, and regenerates every paper
 # table/figure plus the ablations, recording the outputs at the repo root.
+# Fails if any converted bench did not emit valid BENCH_<name>.json telemetry.
 set -u
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
@@ -9,3 +10,30 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
 done 2>&1 | tee bench_output.txt
+
+# Telemetry acceptance: these benches must emit parseable JSON.
+expected_bench_json="BENCH_fig05_boot_rtt.json BENCH_fig10_controller_scaling.json BENCH_recovery_under_faults.json"
+fail=0
+for f in $expected_bench_json; do
+  if [ ! -f "$f" ]; then
+    echo "ERROR: missing bench telemetry $f" >&2
+    fail=1
+  elif ! ./build/tools/json_lint "$f"; then
+    echo "ERROR: malformed bench telemetry $f" >&2
+    fail=1
+  fi
+done
+# Any other BENCH_*.json that appeared must be well-formed too.
+for f in BENCH_*.json; do
+  [ -f "$f" ] || continue
+  case " $expected_bench_json " in *" $f "*) continue ;; esac
+  if ! ./build/tools/json_lint "$f"; then
+    echo "ERROR: malformed bench telemetry $f" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "regenerate_results: bench telemetry check FAILED" >&2
+  exit 1
+fi
+echo "regenerate_results: bench telemetry check passed"

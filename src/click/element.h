@@ -78,6 +78,18 @@ class Element {
 
   uint64_t drops() const { return drops_; }
 
+  // Click-read-handler-style counters: packets/bytes this element received
+  // (from an upstream ForwardTo or a graph injection). Local uint64s so the
+  // per-packet fast path never touches the registry; Graph::ExportMetrics
+  // snapshots them into obs counters at dump time.
+  uint64_t packets() const { return packets_; }
+  uint64_t bytes() const { return bytes_; }
+  // Called by the upstream element / graph just before Push.
+  void CountArrival(const Packet& packet) {
+    ++packets_;
+    bytes_ += packet.length();
+  }
+
  protected:
   void SetPorts(int inputs, int outputs);
 
@@ -88,6 +100,7 @@ class Element {
     }
     const PortTarget& target = outputs_[static_cast<size_t>(out_port)];
     if (target.connected()) {
+      target.element->CountArrival(packet);
       target.element->Push(target.port, packet);
     } else {
       ++drops_;
@@ -107,6 +120,8 @@ class Element {
   int n_outputs_ = 1;
   std::vector<PortTarget> outputs_{1};
   uint64_t drops_ = 0;
+  uint64_t packets_ = 0;
+  uint64_t bytes_ = 0;
   ElementContext* context_ = nullptr;
 };
 

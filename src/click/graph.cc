@@ -75,13 +75,26 @@ Element* Graph::FindByClass(std::string_view class_name) const {
 void Graph::Inject(const std::string& name, Packet& packet) {
   Element* element = Find(name);
   if (element != nullptr) {
+    element->CountArrival(packet);
     element->Push(0, packet);
   }
 }
 
 void Graph::InjectAtSource(Packet& packet) {
   if (default_source_ != nullptr) {
+    default_source_->CountArrival(packet);
     default_source_->Push(0, packet);
+  }
+}
+
+void Graph::ExportMetrics(obs::MetricsRegistry* registry, const obs::Labels& base_labels) const {
+  for (const auto& element : elements_) {
+    obs::Labels labels = base_labels;
+    labels.emplace_back("element", element->name());
+    labels.emplace_back("class", std::string(element->class_name()));
+    registry->GetCounter("innet_element_packets_total", labels)->SetTo(element->packets());
+    registry->GetCounter("innet_element_bytes_total", labels)->SetTo(element->bytes());
+    registry->GetCounter("innet_element_drops_total", labels)->SetTo(element->drops());
   }
 }
 

@@ -10,6 +10,7 @@
 #include "src/click/config_parser.h"
 #include "src/click/element.h"
 #include "src/click/registry.h"
+#include "src/obs/metrics.h"
 
 namespace innet::click {
 
@@ -41,6 +42,11 @@ class Graph {
 
   const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
   const ConfigGraph& config() const { return config_; }
+
+  // Snapshots every element's packet/byte/drop counters into `registry` as
+  // innet_element_*_total counters labeled {element, class} + `base_labels`
+  // (Click read handlers, exported Prometheus-style).
+  void ExportMetrics(obs::MetricsRegistry* registry, const obs::Labels& base_labels = {}) const;
 
  private:
   Graph() = default;

@@ -5,6 +5,8 @@
 #include <chrono>
 
 #include "src/controller/stock_modules.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/symexec/click_models.h"
 
 namespace innet::controller {
@@ -275,9 +277,32 @@ bool Controller::CheckAllRequirements(const SymGraph& graph, const Deployment& t
   return true;
 }
 
+void Controller::RecordDeployMetrics(DeployOutcome* outcome, uint64_t graph_nodes) const {
+  outcome->sim_verify_ns = verify_cost_.ns_per_engine_step * outcome->engine_steps +
+                           verify_cost_.ns_per_graph_node * graph_nodes;
+  auto& registry = obs::Registry();
+  registry.GetCounter("innet_controller_requests_total",
+                      {{"outcome", outcome->accepted ? "accepted" : "rejected"}})
+      ->Increment();
+  registry.GetCounter("innet_controller_engine_steps_total")->Increment(outcome->engine_steps);
+  registry
+      .GetHistogram("innet_controller_verify_latency_ms", {},
+                    obs::ExponentialBuckets(0.25, 2.0, 16))
+      ->Observe(static_cast<double>(outcome->sim_verify_ns) / 1e6);
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().RecordNow(obs::EventKind::kVerifyFinish, "controller",
+                            outcome->accepted ? "accepted" : "rejected: " + outcome->reason,
+                            static_cast<int64_t>(outcome->sim_verify_ns));
+  }
+}
+
 DeployOutcome Controller::Deploy(const ClientRequest& request) {
   DeployOutcome outcome;
   auto t_start = std::chrono::steady_clock::now();
+  uint64_t graph_nodes = 0;
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().RecordNow(obs::EventKind::kVerifyStart, "controller", request.client_id);
+  }
 
   // Parse the client's requirements once.
   std::vector<ReachSpec> client_specs;
@@ -286,6 +311,7 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
     auto spec = ReachSpec::Parse(statement, &error);
     if (!spec) {
       outcome.reason = "bad requirement: " + error;
+      RecordDeployMetrics(&outcome, graph_nodes);
       return outcome;
     }
     client_specs.push_back(std::move(*spec));
@@ -301,6 +327,7 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
   }
   if (platforms.empty()) {
     outcome.reason = "no processing platforms available";
+    RecordDeployMetrics(&outcome, graph_nodes);
     return outcome;
   }
 
@@ -348,6 +375,7 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
     auto config = click::ConfigGraph::Parse(config_text, &error);
     if (!config) {
       outcome.reason = "bad configuration: " + error;
+      RecordDeployMetrics(&outcome, graph_nodes);
       return outcome;
     }
     Deployment trial;
@@ -374,6 +402,7 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
       }
     }
     SymGraph graph = BuildVerificationGraph(&trial, &error);
+    graph_nodes += graph.node_count();
     outcome.model_build_ms += MillisSince(t_build);
 
     // Checking: security rules, then operator policy, then client
@@ -416,10 +445,12 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
     deployments_.push_back(std::move(trial));
     ++next_module_seq_;
     (void)t_start;
+    RecordDeployMetrics(&outcome, graph_nodes);
     return outcome;
   }
 
   outcome.reason = last_failure;
+  RecordDeployMetrics(&outcome, graph_nodes);
   return outcome;
 }
 

@@ -1,0 +1,351 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace innet::obs::json {
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Fixed number format: integers print exactly, everything else uses %.9g —
+// one stable representation per value, never locale-dependent.
+void WriteNumber(std::ostream& out, double num, int64_t as_int, bool is_int) {
+  char buf[64];
+  if (is_int) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(as_int));
+  } else if (std::isfinite(num) && num == std::floor(num) && std::fabs(num) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(num));
+  } else if (std::isfinite(num)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", num);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+  }
+  out << buf;
+}
+
+}  // namespace
+
+Value& Value::Set(const std::string& key, Value value) {
+  type_ = Type::kObject;
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Value& Value::Push(Value value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void Value::Write(std::ostream& out, int indent) const { WriteIndented(out, indent, 0); }
+
+std::string Value::ToString(int indent) const {
+  std::ostringstream buf;
+  Write(buf, indent);
+  return buf.str();
+}
+
+bool Value::WriteFile(const std::string& path, int indent) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  Write(out, indent);
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+void Value::WriteIndented(std::ostream& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  std::string pad = pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ') : "";
+  std::string close_pad = pretty ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+  switch (type_) {
+    case Type::kNull:
+      out << "null";
+      break;
+    case Type::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      WriteNumber(out, num_, int_, is_int_);
+      break;
+    case Type::kString:
+      out << '"' << Escape(str_) << '"';
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[' << nl;
+      for (size_t i = 0; i < items_.size(); ++i) {
+        out << pad;
+        items_[i].WriteIndented(out, indent, depth + 1);
+        if (i + 1 < items_.size()) {
+          out << ',';
+        }
+        out << nl;
+      }
+      out << close_pad << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{' << nl;
+      for (size_t i = 0; i < members_.size(); ++i) {
+        out << pad << '"' << Escape(members_[i].first) << '"' << colon;
+        members_[i].second.WriteIndented(out, indent, depth + 1);
+        if (i + 1 < members_.size()) {
+          out << ',';
+        }
+        out << nl;
+      }
+      out << close_pad << '}';
+      break;
+    }
+  }
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string* error;
+
+  bool Fail(const std::string& message) {
+    *error = "at byte " + std::to_string(pos) + ": " + message;
+    return false;
+  }
+  void SkipWs() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                                 text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') {
+      return Fail("expected string");
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos >= text.size()) {
+          return Fail("truncated escape");
+        }
+        char e = text[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              return Fail("truncated \\u escape");
+            }
+            for (int i = 0; i < 4; ++i) {
+              if (std::isxdigit(static_cast<unsigned char>(text[pos + static_cast<size_t>(i)])) ==
+                  0) {
+                return Fail("bad \\u escape");
+              }
+            }
+            // Decoded only as far as validation needs: keep the raw escape.
+            *out += "\\u" + text.substr(pos, 4);
+            pos += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos >= text.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      *out = Value::Object();
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) {
+          return false;
+        }
+        if (!Consume(':')) {
+          return Fail("expected ':'");
+        }
+        Value member;
+        if (!ParseValue(&member)) {
+          return false;
+        }
+        out->Set(key, std::move(member));
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume('}')) {
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      *out = Value::Array();
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      while (true) {
+        Value item;
+        if (!ParseValue(&item)) {
+          return false;
+        }
+        out->Push(std::move(item));
+        if (Consume(',')) {
+          continue;
+        }
+        if (Consume(']')) {
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      *out = Value(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      *out = Value(true);
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      *out = Value(false);
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      *out = Value();
+      return true;
+    }
+    // Number.
+    char* end = nullptr;
+    double num = std::strtod(text.c_str() + pos, &end);
+    if (end == text.c_str() + pos) {
+      return Fail("unexpected character");
+    }
+    size_t len = static_cast<size_t>(end - (text.c_str() + pos));
+    std::string token = text.substr(pos, len);
+    pos += len;
+    if (token.find('.') == std::string::npos && token.find('e') == std::string::npos &&
+        token.find('E') == std::string::npos) {
+      *out = Value(static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+    } else {
+      *out = Value(num);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool Value::Parse(const std::string& text, Value* out, std::string* error) {
+  std::string local_error;
+  Parser parser{text, 0, error != nullptr ? error : &local_error};
+  if (!parser.ParseValue(out)) {
+    return false;
+  }
+  parser.SkipWs();
+  if (parser.pos != text.size()) {
+    return parser.Fail("trailing garbage after value");
+  }
+  return true;
+}
+
+}  // namespace innet::obs::json

@@ -1,0 +1,99 @@
+// A minimal JSON value: ordered objects, deterministic formatting, and a
+// strict parser — just enough for metric dumps, trace files, and bench
+// snapshots to be written and validated without an external dependency.
+//
+// Determinism contract: Write() emits exactly the same bytes for the same
+// value (objects keep insertion order, numbers use a fixed format), which is
+// what lets two runs of the same seeded experiment diff byte-for-byte.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace innet::obs::json {
+
+// Escapes `text` for inclusion inside a JSON string literal (no quotes).
+std::string Escape(const std::string& text);
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int i) : type_(Type::kNumber), num_(i), int_(i), is_int_(true) {}
+  Value(int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)), int_(i), is_int_(true) {}
+  Value(uint64_t u)
+      : type_(Type::kNumber),
+        num_(static_cast<double>(u)),
+        int_(static_cast<int64_t>(u)),
+        is_int_(true) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Value Object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  double number() const { return num_; }
+  int64_t int_number() const { return is_int_ ? int_ : static_cast<int64_t>(num_); }
+  bool bool_value() const { return bool_; }
+  const std::string& string_value() const { return str_; }
+
+  // Object: appends (key, value) preserving insertion order. Returns *this
+  // for chaining.
+  Value& Set(const std::string& key, Value value);
+  // Array: appends. Returns *this for chaining.
+  Value& Push(Value value);
+
+  size_t size() const { return type_ == Type::kObject ? members_.size() : items_.size(); }
+  const Value& at(size_t i) const { return items_[i]; }
+  const std::vector<std::pair<std::string, Value>>& members() const { return members_; }
+  // Object lookup; nullptr when absent (or not an object).
+  const Value* Find(const std::string& key) const;
+
+  // `indent` < 0: compact single line. Otherwise pretty-printed with that
+  // many spaces per level.
+  void Write(std::ostream& out, int indent = -1) const;
+  std::string ToString(int indent = -1) const;
+  // Writes the value plus a trailing newline; false on I/O failure.
+  bool WriteFile(const std::string& path, int indent = 2) const;
+
+  // Strict parser (UTF-8 passthrough, \uXXXX accepted, no trailing garbage).
+  // Returns false and fills *error with position + message on failure.
+  static bool Parse(const std::string& text, Value* out, std::string* error);
+
+ private:
+  void WriteIndented(std::ostream& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Value> items_;                             // kArray
+  std::vector<std::pair<std::string, Value>> members_;   // kObject
+};
+
+}  // namespace innet::obs::json
+
+#endif  // SRC_OBS_JSON_H_

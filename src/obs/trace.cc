@@ -1,0 +1,67 @@
+#include "src/obs/trace.h"
+
+namespace innet::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kVmBootStart: return "vm_boot_start";
+    case EventKind::kVmBootReady: return "vm_boot_ready";
+    case EventKind::kVmBootFailed: return "vm_boot_failed";
+    case EventKind::kVmCrash: return "vm_crash";
+    case EventKind::kVmSuspend: return "vm_suspend";
+    case EventKind::kVmResume: return "vm_resume";
+    case EventKind::kVmRestart: return "vm_restart";
+    case EventKind::kVmRetired: return "vm_retired";
+    case EventKind::kFlowFirstPacketMiss: return "flow_first_packet_miss";
+    case EventKind::kBufferEnqueue: return "buffer_enqueue";
+    case EventKind::kBufferDrop: return "buffer_drop";
+    case EventKind::kWatchdogRestart: return "watchdog_restart";
+    case EventKind::kWatchdogGiveUp: return "watchdog_give_up";
+    case EventKind::kVerifyStart: return "verify_start";
+    case EventKind::kVerifyFinish: return "verify_finish";
+    case EventKind::kSymexecRun: return "symexec_run";
+  }
+  return "unknown";
+}
+
+void EventTracer::Record(uint64_t time_ns, EventKind kind, std::string target,
+                         std::string detail, int64_t value) {
+  if (!enabled_) {
+    return;
+  }
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{time_ns, kind, std::move(target), std::move(detail), value});
+}
+
+json::Value EventTracer::ToJson() const {
+  json::Value list = json::Value::Array();
+  for (const TraceEvent& event : events_) {
+    json::Value entry = json::Value::Object();
+    entry.Set("t_ns", event.time_ns);
+    entry.Set("kind", EventKindName(event.kind));
+    entry.Set("target", event.target);
+    if (!event.detail.empty()) {
+      entry.Set("detail", event.detail);
+    }
+    entry.Set("value", event.value);
+    list.Push(std::move(entry));
+  }
+  json::Value root = json::Value::Object();
+  root.Set("dropped", dropped_);
+  root.Set("events", std::move(list));
+  return root;
+}
+
+bool EventTracer::WriteJsonFile(const std::string& path) const {
+  return ToJson().WriteFile(path);
+}
+
+EventTracer& EventTracer::Global() {
+  static EventTracer* tracer = new EventTracer();
+  return *tracer;
+}
+
+}  // namespace innet::obs

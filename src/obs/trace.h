@@ -1,0 +1,103 @@
+// EventTracer: a lightweight, bounded log of typed lifecycle events stamped
+// with simulated time. Disabled by default; when disabled, Record() is a
+// single branch, and hot callers additionally guard with enabled() so they
+// never build target strings for a tracer that is off.
+//
+// Times are raw sim::TimeNs values passed by the caller (obs has no
+// dependency on the event queue); components without a clock use RecordNow(),
+// which reads the registered time source (0 until one is set).
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace innet::obs {
+
+enum class EventKind {
+  kVmBootStart,
+  kVmBootReady,
+  kVmBootFailed,
+  kVmCrash,
+  kVmSuspend,
+  kVmResume,
+  kVmRestart,
+  kVmRetired,
+  kFlowFirstPacketMiss,
+  kBufferEnqueue,
+  kBufferDrop,
+  kWatchdogRestart,
+  kWatchdogGiveUp,
+  kVerifyStart,
+  kVerifyFinish,
+  kSymexecRun,
+};
+
+// Stable wire name ("vm_boot_start", ...), used in the JSON dump.
+const char* EventKindName(EventKind kind);
+
+struct TraceEvent {
+  uint64_t time_ns = 0;
+  EventKind kind = EventKind::kVmBootStart;
+  std::string target;  // what the event is about, e.g. "vm:3" or "client7"
+  std::string detail;  // free-form qualifier, e.g. "accepted" or "boot_failure"
+  int64_t value = 0;   // numeric payload: latency ns, packet count, steps, ...
+};
+
+class EventTracer {
+ public:
+  EventTracer() = default;
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  void Enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Used by RecordNow() for components that have no clock of their own.
+  void SetTimeSource(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  void Record(uint64_t time_ns, EventKind kind, std::string target, std::string detail = "",
+              int64_t value = 0);
+  void RecordNow(EventKind kind, std::string target, std::string detail = "", int64_t value = 0) {
+    if (!enabled_) {
+      return;
+    }
+    Record(now_ ? now_() : 0, kind, std::move(target), std::move(detail), value);
+  }
+
+  // Events beyond the capacity are dropped (and counted), keeping long
+  // experiments bounded in memory.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  json::Value ToJson() const;
+  bool WriteJsonFile(const std::string& path) const;
+
+  // The process-wide tracer used by all built-in instrumentation.
+  static EventTracer& Global();
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_ = 1u << 20;
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::function<uint64_t()> now_;
+};
+
+// Shorthand for the global tracer.
+inline EventTracer& Tracer() { return EventTracer::Global(); }
+
+}  // namespace innet::obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "src/platform/platform.h"
 
+#include "src/obs/trace.h"
+
 namespace innet::platform {
 
 Vm::VmId InNetPlatform::Install(Ipv4Address addr, const std::string& config_text,
@@ -71,6 +73,7 @@ bool InNetPlatform::UninstallVm(Vm::VmId vm_id) {
   auto stalled = stalled_buffers_.find(vm_id);
   if (stalled != stalled_buffers_.end()) {
     abandoned_packets_ += stalled->second.size();
+    ctr_abandoned_->Increment(stalled->second.size());
     stalled_buffers_.erase(stalled);
   }
   for (auto& [addr, entry] : ondemand_) {
@@ -93,11 +96,13 @@ bool InNetPlatform::Uninstall(Ipv4Address addr) {
   auto pending = pending_addrs_.find(addr.value());
   if (pending != pending_addrs_.end()) {
     abandoned_packets_ += pending->second.buffer.size();
+    ctr_abandoned_->Increment(pending->second.buffer.size());
     pending_addrs_.erase(pending);
   }
   for (auto flow = pending_flows_.begin(); flow != pending_flows_.end();) {
     if (flow->second.addr == addr.value()) {
       abandoned_packets_ += flow->second.buffer.size();
+      ctr_abandoned_->Increment(flow->second.buffer.size());
       flow = pending_flows_.erase(flow);
     } else {
       ++flow;
@@ -144,6 +149,7 @@ void InNetPlatform::IdleSweep() {
   }
   for (Vm::VmId vm_id : idle) {
     ++idle_suspends_;
+    ctr_idle_suspends_->Increment();
     vms_.Suspend(vm_id, [this, vm_id] {
       // Traffic may have arrived while the suspend was in flight: resume
       // immediately rather than dropping the flow.
@@ -158,10 +164,20 @@ void InNetPlatform::IdleSweep() {
 bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet) {
   if (buffer->size() >= buffer_cap_) {
     ++buffer_drops_;
+    ctr_buffer_drops_->Increment();
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(clock_->now(), obs::EventKind::kBufferDrop, "platform", "",
+                           static_cast<int64_t>(buffer->size()));
+    }
     return false;
   }
   buffer->push_back(packet);
   ++buffered_;
+  ctr_buffered_->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kBufferEnqueue, "platform", "",
+                         static_cast<int64_t>(buffer->size()));
+  }
   return true;
 }
 
@@ -170,6 +186,7 @@ void InNetPlatform::OnStalled(Packet& packet, Vm::VmId vm_id) {
   Vm* vm = vms_.Find(vm_id);
   if (vm != nullptr && vm->state() == VmState::kSuspended) {
     ++resumes_on_traffic_;
+    ctr_traffic_resumes_->Increment();
     vms_.Resume(vm_id, [this, vm_id] { FlushStalled(vm_id); });
   }
   // kBooting / kSuspending / kResuming: a completion callback already queued
@@ -277,6 +294,11 @@ void InNetPlatform::OnMiss(Packet& packet) {
   if (entry_it == ondemand_.end()) {
     return;  // genuinely unknown traffic: dropped at the controller port
   }
+  ctr_flow_misses_->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kFlowFirstPacketMiss, "platform",
+                         "dst=" + packet.ip_dst().ToString());
+  }
   OnDemandEntry& entry = entry_it->second;
 
   if (!entry.per_flow) {
@@ -291,6 +313,7 @@ void InNetPlatform::OnMiss(Packet& packet) {
     fresh.addr = addr;
     BufferWithCap(&fresh.buffer, packet);
     ++ondemand_boots_;
+    ctr_ondemand_boots_->Increment();
     std::string error;
     Vm* created = vms_.Create(entry.kind, entry.config_text,
                          [this, addr](Vm* vm) {
@@ -328,6 +351,7 @@ void InNetPlatform::OnMiss(Packet& packet) {
   fresh.addr = packet.ip_dst().value();
   BufferWithCap(&fresh.buffer, packet);
   ++ondemand_boots_;
+  ctr_ondemand_boots_->Increment();
   std::string error;
   Vm* created = vms_.Create(entry.kind, entry.config_text,
                        [this, key](Vm* vm) {
@@ -345,6 +369,35 @@ void InNetPlatform::OnMiss(Packet& packet) {
   if (created != nullptr) {
     vm_rules_[created->id()].flow_keys.push_back(key);
   }
+}
+
+size_t InNetPlatform::buffer_occupancy() const {
+  size_t occupancy = 0;
+  for (const auto& [vm_id, buffer] : stalled_buffers_) {
+    occupancy += buffer.size();
+  }
+  for (const auto& [key, pending] : pending_flows_) {
+    occupancy += pending.buffer.size();
+  }
+  for (const auto& [addr, pending] : pending_addrs_) {
+    occupancy += pending.buffer.size();
+  }
+  return occupancy;
+}
+
+void InNetPlatform::ExportMetrics(obs::MetricsRegistry* registry) const {
+  registry->GetGauge("innet_platform_buffer_occupancy_packets")
+      ->Set(static_cast<double>(buffer_occupancy()));
+  registry->GetGauge("innet_vm_running")->Set(static_cast<double>(vms_.running_count()));
+  registry->GetGauge("innet_vm_suspended")->Set(static_cast<double>(suspended_count()));
+  registry->GetGauge("innet_vm_crashed")->Set(static_cast<double>(vms_.crashed_count()));
+  registry->GetGauge("innet_vm_memory_used_bytes")->Set(static_cast<double>(vms_.memory_used()));
+  registry->GetGauge("innet_vm_memory_total_bytes")
+      ->Set(static_cast<double>(vms_.memory_total()));
+  registry->GetCounter("innet_switch_delivered_total")->SetTo(switch_.delivered_count());
+  registry->GetCounter("innet_switch_missed_total")->SetTo(switch_.missed_count());
+  registry->GetCounter("innet_switch_dropped_total")->SetTo(switch_.dropped_count());
+  registry->GetCounter("innet_switch_fault_dropped_total")->SetTo(switch_.fault_dropped_count());
 }
 
 }  // namespace innet::platform

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/platform/consolidation.h"
 #include "src/platform/sandbox.h"
 #include "src/platform/software_switch.h"
@@ -39,6 +40,15 @@ class InNetPlatform {
     switch_.SetMissHandler([this](Packet& packet) { OnMiss(packet); });
     switch_.SetStalledHandler(
         [this](Packet& packet, Vm::VmId vm_id) { OnStalled(packet, vm_id); });
+    // Hot-path counters resolved once; the registry guarantees the pointers
+    // stay valid (ResetValues never destroys instruments).
+    ctr_buffered_ = obs::Registry().GetCounter("innet_platform_buffered_packets_total");
+    ctr_buffer_drops_ = obs::Registry().GetCounter("innet_platform_buffer_drops_total");
+    ctr_abandoned_ = obs::Registry().GetCounter("innet_platform_abandoned_packets_total");
+    ctr_flow_misses_ = obs::Registry().GetCounter("innet_platform_flow_misses_total");
+    ctr_ondemand_boots_ = obs::Registry().GetCounter("innet_platform_ondemand_boots_total");
+    ctr_idle_suspends_ = obs::Registry().GetCounter("innet_platform_idle_suspends_total");
+    ctr_traffic_resumes_ = obs::Registry().GetCounter("innet_platform_resumes_on_traffic_total");
   }
 
   // --- Static installation ------------------------------------------------------
@@ -134,6 +144,15 @@ class InNetPlatform {
   uint64_t buffered_count() const { return buffered_; }
   uint64_t ondemand_boots() const { return ondemand_boots_; }
 
+  // Packets currently parked in boot-pending and stalled buffers.
+  size_t buffer_occupancy() const;
+
+  // Snapshots the platform's state gauges (buffer occupancy, guest counts,
+  // memory, switch counters) into `registry`. Called by dump paths
+  // (tools/innet_run) right before writing the registry out; the counters
+  // above are live and need no snapshot.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+
  private:
   struct OnDemandEntry {
     std::string config_text;
@@ -182,6 +201,15 @@ class InNetPlatform {
   uint64_t ondemand_boots_ = 0;
   uint64_t idle_suspends_ = 0;
   uint64_t resumes_on_traffic_ = 0;
+  // Registry mirrors of the accessor counters above (process-wide
+  // aggregates across platform instances).
+  obs::Counter* ctr_buffered_ = nullptr;
+  obs::Counter* ctr_buffer_drops_ = nullptr;
+  obs::Counter* ctr_abandoned_ = nullptr;
+  obs::Counter* ctr_flow_misses_ = nullptr;
+  obs::Counter* ctr_ondemand_boots_ = nullptr;
+  obs::Counter* ctr_idle_suspends_ = nullptr;
+  obs::Counter* ctr_traffic_resumes_ = nullptr;
 };
 
 }  // namespace innet::platform

@@ -1,8 +1,28 @@
 #include "src/platform/vm.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace innet::platform {
+
+namespace {
+
+const char* KindLabel(VmKind kind) { return kind == VmKind::kClickOs ? "clickos" : "linux"; }
+
+std::string VmTarget(Vm::VmId id) { return "vm:" + std::to_string(id); }
+
+// 0.5 ms .. ~4 s, covering ClickOS boots (~30 ms) through Linux ones (~700 ms
+// and worse under load).
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double>* buckets =
+      new std::vector<double>(obs::ExponentialBuckets(0.5, 2.0, 14));
+  return *buckets;
+}
+
+}  // namespace
 
 void Vm::Inject(Packet& packet) {
   if (state_ != VmState::kRunning) {
@@ -42,19 +62,33 @@ void VmManager::ScheduleBootCompletion(Vm* vm, ReadyCallback on_ready) {
   // participate.
   sim::TimeNs boot = cost_model_.BootTime(vm->kind_, non_suspended_count());
   clock_->ScheduleAfter(
-      boot, [this, id = vm->id_, epoch = vm->epoch_, will_fail, cb = std::move(on_ready)] {
+      boot, [this, id = vm->id_, epoch = vm->epoch_, will_fail, boot, cb = std::move(on_ready)] {
         Vm* target = Find(id);
         if (target == nullptr || target->state_ != VmState::kBooting ||
             target->epoch_ != epoch) {
           return;  // destroyed, crashed, or superseded by a later restart
         }
         if (will_fail) {
+          obs::Registry()
+              .GetCounter("innet_vm_boot_failures_total", {{"kind", KindLabel(target->kind_)}})
+              ->Increment();
+          if (obs::Tracer().enabled()) {
+            obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootFailed, VmTarget(id));
+          }
           Crash(id);
           return;
         }
         target->state_ = VmState::kRunning;
         ++target->epoch_;
         target->last_activity_ns_ = clock_->now();
+        obs::Registry()
+            .GetHistogram("innet_vm_boot_latency_ms", {{"kind", KindLabel(target->kind_)}},
+                          LatencyBucketsMs())
+            ->Observe(sim::ToMillis(boot));
+        if (obs::Tracer().enabled()) {
+          obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootReady, VmTarget(id), "",
+                               static_cast<int64_t>(boot));
+        }
         ArmCrashTimer(target);
         if (cb) {
           cb(target);
@@ -107,6 +141,10 @@ Vm* VmManager::Create(VmKind kind, const std::string& config_text, ReadyCallback
   Vm* raw = vm.get();
   memory_used_ += needed;
   vms_.emplace(raw->id_, std::move(vm));
+  obs::Registry().GetCounter("innet_vm_boots_total", {{"kind", KindLabel(kind)}})->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootStart, VmTarget(raw->id_));
+  }
   ScheduleBootCompletion(raw, std::move(on_ready));
   return raw;
 }
@@ -142,6 +180,10 @@ bool VmManager::Restart(Vm::VmId id, ReadyCallback on_ready, std::string* error)
   vm->state_ = VmState::kBooting;
   ++vm->epoch_;
   ++vm->restart_count_;
+  obs::Registry().GetCounter("innet_vm_restarts_total")->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kVmRestart, VmTarget(id));
+  }
   ScheduleBootCompletion(vm, std::move(on_ready));
   return true;
 }
@@ -165,6 +207,10 @@ bool VmManager::Crash(Vm::VmId id) {
   ++vm->epoch_;
   vm->graph_.reset();
   ++crash_count_;
+  obs::Registry().GetCounter("innet_vm_crashes_total")->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kVmCrash, VmTarget(id));
+  }
   NotifyCrash(vm);
   return true;
 }
@@ -180,7 +226,7 @@ bool VmManager::Suspend(Vm::VmId id, std::function<void()> done) {
   if (fault_ != nullptr) {
     latency = fault_->StretchSuspend(latency);
   }
-  clock_->ScheduleAfter(latency, [this, id, epoch = vm->epoch_, cb = std::move(done)] {
+  clock_->ScheduleAfter(latency, [this, id, latency, epoch = vm->epoch_, cb = std::move(done)] {
     Vm* target = Find(id);
     if (target != nullptr && target->state_ == VmState::kSuspending &&
         target->epoch_ == epoch) {
@@ -188,6 +234,14 @@ bool VmManager::Suspend(Vm::VmId id, std::function<void()> done) {
       ++target->epoch_;
       // Suspend-to-disk releases the guest's RAM.
       memory_used_ -= cost_model_.MemoryBytes(target->kind_);
+      obs::Registry().GetCounter("innet_vm_suspends_total")->Increment();
+      obs::Registry()
+          .GetHistogram("innet_vm_suspend_latency_ms", {}, LatencyBucketsMs())
+          ->Observe(sim::ToMillis(latency));
+      if (obs::Tracer().enabled()) {
+        obs::Tracer().Record(clock_->now(), obs::EventKind::kVmSuspend, VmTarget(id), "",
+                             static_cast<int64_t>(latency));
+      }
     }
     if (cb) {
       cb();
@@ -212,12 +266,20 @@ bool VmManager::Resume(Vm::VmId id, std::function<void()> done) {
   if (fault_ != nullptr) {
     latency = fault_->StretchResume(latency);
   }
-  clock_->ScheduleAfter(latency, [this, id, epoch = vm->epoch_, cb = std::move(done)] {
+  clock_->ScheduleAfter(latency, [this, id, latency, epoch = vm->epoch_, cb = std::move(done)] {
     Vm* target = Find(id);
     if (target != nullptr && target->state_ == VmState::kResuming &&
         target->epoch_ == epoch) {
       target->state_ = VmState::kRunning;
       ++target->epoch_;
+      obs::Registry().GetCounter("innet_vm_resumes_total")->Increment();
+      obs::Registry()
+          .GetHistogram("innet_vm_resume_latency_ms", {}, LatencyBucketsMs())
+          ->Observe(sim::ToMillis(latency));
+      if (obs::Tracer().enabled()) {
+        obs::Tracer().Record(clock_->now(), obs::EventKind::kVmResume, VmTarget(id), "",
+                             static_cast<int64_t>(latency));
+      }
       ArmCrashTimer(target);
     }
     if (cb) {

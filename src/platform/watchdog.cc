@@ -3,9 +3,24 @@
 #include <cmath>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/platform/platform.h"
 
 namespace innet::platform {
+
+Watchdog::Watchdog(sim::EventQueue* clock, InNetPlatform* platform, WatchdogConfig config)
+    : clock_(clock), platform_(platform), config_(config) {
+  // Per-instance labels keep stats() per-watchdog even though the registry is
+  // process-wide (tests build many platforms in one process).
+  static uint64_t next_instance = 0;
+  instance_ = std::to_string(next_instance++);
+  obs::Labels labels = {{"instance", instance_}};
+  auto& registry = obs::Registry();
+  ctr_crashes_observed_ = registry.GetCounter("innet_watchdog_crashes_observed_total", labels);
+  ctr_restarts_ = registry.GetCounter("innet_watchdog_restarts_total", labels);
+  ctr_restart_failures_ = registry.GetCounter("innet_watchdog_restart_failures_total", labels);
+  ctr_gave_up_ = registry.GetCounter("innet_watchdog_gave_up_total", labels);
+}
 
 void Watchdog::Start() {
   if (running_) {
@@ -23,13 +38,20 @@ sim::TimeNs Watchdog::BackoffDelay(int attempt) const {
 }
 
 WatchdogStats Watchdog::stats() const {
-  WatchdogStats out = stats_;
+  WatchdogStats out;
+  out.crashes_observed = ctr_crashes_observed_->value();
+  out.restarts = ctr_restarts_->value();
+  out.restart_failures = ctr_restart_failures_->value();
+  out.gave_up = ctr_gave_up_->value();
   out.packets_dropped_bounded = platform_->buffer_drops();
   return out;
 }
 
 void Watchdog::OnRestartComplete(Vm::VmId id) {
-  ++stats_.restarts;
+  ctr_restarts_->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kWatchdogRestart, "vm:" + std::to_string(id));
+  }
   pending_.erase(id);
 }
 
@@ -41,7 +63,7 @@ void Watchdog::Sweep() {
     auto it = pending_.find(id);
     if (it == pending_.end()) {
       // Fresh crash episode: schedule the first restart one backoff away.
-      ++stats_.crashes_observed;
+      ctr_crashes_observed_->Increment();
       Pending entry;
       entry.next_try = clock_->now() + BackoffDelay(0);
       pending_.emplace(id, entry);
@@ -52,11 +74,14 @@ void Watchdog::Sweep() {
       // The restart we launched ended crashed again (boot failure).
       pending.in_flight = false;
       ++pending.attempt;
-      ++stats_.restart_failures;
+      ctr_restart_failures_->Increment();
       pending.next_try = clock_->now() + BackoffDelay(pending.attempt);
     }
     if (pending.attempt > config_.max_retries) {
-      ++stats_.gave_up;
+      ctr_gave_up_->Increment();
+      if (obs::Tracer().enabled()) {
+        obs::Tracer().Record(clock_->now(), obs::EventKind::kWatchdogGiveUp, "vm:" + std::to_string(id));
+      }
       platform_->RetireCrashedVm(id);
       pending_.erase(it);
       continue;
@@ -70,9 +95,12 @@ void Watchdog::Sweep() {
     } else {
       // Immediate failure (memory exhausted): count it and back off.
       ++pending.attempt;
-      ++stats_.restart_failures;
+      ctr_restart_failures_->Increment();
       if (pending.attempt > config_.max_retries) {
-        ++stats_.gave_up;
+        ctr_gave_up_->Increment();
+        if (obs::Tracer().enabled()) {
+          obs::Tracer().Record(clock_->now(), obs::EventKind::kWatchdogGiveUp, "vm:" + std::to_string(id));
+        }
         platform_->RetireCrashedVm(id);
         pending_.erase(it);
         continue;

@@ -12,8 +12,10 @@
 #ifndef SRC_PLATFORM_WATCHDOG_H_
 #define SRC_PLATFORM_WATCHDOG_H_
 
+#include <string>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
 #include "src/platform/vm.h"
 #include "src/sim/event_queue.h"
 
@@ -44,8 +46,7 @@ struct WatchdogStats {
 
 class Watchdog {
  public:
-  Watchdog(sim::EventQueue* clock, InNetPlatform* platform, WatchdogConfig config)
-      : clock_(clock), platform_(platform), config_(config) {}
+  Watchdog(sim::EventQueue* clock, InNetPlatform* platform, WatchdogConfig config);
 
   // Arms the periodic sweep. Idempotent.
   void Start();
@@ -59,9 +60,14 @@ class Watchdog {
   // assert the schedule directly.
   sim::TimeNs BackoffDelay(int attempt) const;
 
-  // Snapshot of the counters (packets_dropped_bounded is read from the
-  // platform's bounded-buffer accounting).
+  // Snapshot of the counters. The authoritative values live in the metrics
+  // registry as innet_watchdog_*_total{instance="N"}; this is a thin wrapper
+  // reading them back (packets_dropped_bounded comes from the platform's
+  // bounded-buffer accounting).
   WatchdogStats stats() const;
+
+  // The instance label value this watchdog's registry counters carry.
+  const std::string& instance_label() const { return instance_; }
 
   // Called by the platform when a restart it launched reached running.
   void OnRestartComplete(Vm::VmId id);
@@ -80,7 +86,11 @@ class Watchdog {
   WatchdogConfig config_;
   bool running_ = false;
   std::unordered_map<Vm::VmId, Pending> pending_;
-  WatchdogStats stats_;
+  std::string instance_;
+  obs::Counter* ctr_crashes_observed_;
+  obs::Counter* ctr_restarts_;
+  obs::Counter* ctr_restart_failures_;
+  obs::Counter* ctr_gave_up_;
 };
 
 }  // namespace innet::platform

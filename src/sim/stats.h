@@ -7,12 +7,19 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
 namespace innet::sim {
 
-// Accumulates samples; percentiles sort a copy on demand.
+// Accumulates samples; order-dependent queries share one cached sorted view,
+// rebuilt lazily after the next Add instead of sorting per call.
 class Samples {
  public:
-  void Add(double value) { values_.push_back(value); }
+  void Add(double value) {
+    values_.push_back(value);
+    sorted_dirty_ = true;
+  }
   size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
@@ -24,12 +31,8 @@ class Samples {
     return s;
   }
   double Mean() const { return values_.empty() ? 0.0 : Sum() / static_cast<double>(count()); }
-  double Min() const {
-    return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
-  }
-  double Max() const {
-    return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
-  }
+  double Min() const { return values_.empty() ? 0.0 : Sorted().front(); }
+  double Max() const { return values_.empty() ? 0.0 : Sorted().back(); }
   double Stddev() const {
     if (values_.size() < 2) {
       return 0.0;
@@ -47,8 +50,7 @@ class Samples {
     if (values_.empty()) {
       return 0.0;
     }
-    std::vector<double> sorted = values_;
-    std::sort(sorted.begin(), sorted.end());
+    const std::vector<double>& sorted = Sorted();
     double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     size_t lo = static_cast<size_t>(rank);
     size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -65,8 +67,7 @@ class Samples {
     if (values_.empty()) {
       return cdf;
     }
-    std::vector<double> sorted = values_;
-    std::sort(sorted.begin(), sorted.end());
+    const std::vector<double>& sorted = Sorted();
     for (int i = 1; i <= points; ++i) {
       double frac = static_cast<double>(i) / points;
       size_t idx = std::min(sorted.size() - 1,
@@ -76,8 +77,40 @@ class Samples {
     return cdf;
   }
 
+  // Bridge into the metrics types: replays every sample into `histogram`
+  // (whose buckets were fixed at registration).
+  void ToHistogram(obs::Histogram* histogram) const {
+    for (double v : values_) {
+      histogram->Observe(v);
+    }
+  }
+
+  // Compact summary for bench snapshots.
+  obs::json::Value SummaryJson() const {
+    obs::json::Value out = obs::json::Value::Object();
+    out.Set("count", static_cast<uint64_t>(count()));
+    out.Set("mean", Mean());
+    out.Set("min", Min());
+    out.Set("max", Max());
+    out.Set("p50", Percentile(50));
+    out.Set("p90", Percentile(90));
+    out.Set("p99", Percentile(99));
+    return out;
+  }
+
  private:
+  const std::vector<double>& Sorted() const {
+    if (sorted_dirty_) {
+      sorted_ = values_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_dirty_ = false;
+    }
+    return sorted_;
+  }
+
   std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = false;
 };
 
 }  // namespace innet::sim

@@ -2,6 +2,9 @@
 
 #include <deque>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace innet::symexec {
 
 int SymGraph::AddNode(const std::string& name, std::shared_ptr<SymbolicModel> model) {
@@ -98,6 +101,24 @@ EngineResult Engine::Run(const SymGraph& graph, int start, int in_port, Symbolic
       }
       work.push_back({edge->second.first, edge->second.second, std::move(t.packet)});
     }
+  }
+
+  auto& registry = obs::Registry();
+  registry.GetCounter("innet_symexec_runs_total")->Increment();
+  registry.GetCounter("innet_symexec_steps_total")->Increment(result.steps);
+  if (result.truncated) {
+    registry.GetCounter("innet_symexec_truncated_total")->Increment();
+  }
+  size_t explored = result.delivered.size() + result.dropped.size();
+  registry
+      .GetHistogram("innet_symexec_paths_explored", {}, obs::ExponentialBuckets(1.0, 4.0, 10))
+      ->Observe(static_cast<double>(explored));
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().RecordNow(obs::EventKind::kSymexecRun,
+                            "node:" + graph.NodeName(start),
+                            "steps=" + std::to_string(result.steps) +
+                                (result.truncated ? " truncated" : ""),
+                            static_cast<int64_t>(explored));
   }
   return result;
 }

@@ -1,0 +1,191 @@
+// Tests for the observability layer: registry determinism, histogram
+// bucketing, tracer bounds, JSON round-trips, and the sim::Samples cache.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/stats.h"
+
+namespace innet::obs {
+namespace {
+
+TEST(Json, RoundTripsThroughParser) {
+  json::Value doc = json::Value::Object();
+  doc.Set("name", "innet_vm_boots_total");
+  doc.Set("count", uint64_t{42});
+  doc.Set("mean_ms", 87.5);
+  doc.Set("truncated", false);
+  json::Value items = json::Value::Array();
+  items.Push(1).Push(2.5).Push("three");
+  doc.Set("items", std::move(items));
+
+  std::string text = doc.ToString(2);
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::Value::Parse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("name")->string_value(), "innet_vm_boots_total");
+  EXPECT_EQ(parsed.Find("count")->int_number(), 42);
+  EXPECT_DOUBLE_EQ(parsed.Find("mean_ms")->number(), 87.5);
+  EXPECT_FALSE(parsed.Find("truncated")->bool_value());
+  ASSERT_EQ(parsed.Find("items")->size(), 3u);
+  // The round-trip is byte-stable: re-serializing the parse reproduces it.
+  EXPECT_EQ(parsed.ToString(2), text);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  json::Value out;
+  std::string error;
+  EXPECT_FALSE(json::Value::Parse("{\"a\": 1,}", &out, &error));
+  EXPECT_FALSE(json::Value::Parse("{\"a\": 1} trailing", &out, &error));
+  EXPECT_FALSE(json::Value::Parse("{'a': 1}", &out, &error));
+  EXPECT_FALSE(json::Value::Parse("", &out, &error));
+}
+
+TEST(Metrics, DumpIsDeterministicAcrossInsertionOrders) {
+  // Two registries fed the same instruments in different orders (and with
+  // label pairs given in different orders) must dump identical bytes.
+  MetricsRegistry a;
+  a.GetCounter("zeta_total", {{"kind", "x"}})->Increment(3);
+  a.GetGauge("alpha")->Set(1.5);
+  a.GetCounter("zeta_total", {{"b", "2"}, {"a", "1"}})->Increment();
+
+  MetricsRegistry b;
+  b.GetCounter("zeta_total", {{"a", "1"}, {"b", "2"}})->Increment();
+  b.GetCounter("zeta_total", {{"kind", "x"}})->Increment(3);
+  b.GetGauge("alpha")->Set(1.5);
+
+  std::ostringstream dump_a;
+  std::ostringstream dump_b;
+  a.DumpText(dump_a);
+  b.DumpText(dump_b);
+  EXPECT_EQ(dump_a.str(), dump_b.str());
+  EXPECT_EQ(a.ToJson().ToString(2), b.ToJson().ToString(2));
+}
+
+TEST(Metrics, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("x_total");
+  first->Increment(5);
+  Counter* again = registry.GetCounter("x_total");
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(again->value(), 5u);
+  // Distinct labels get a distinct instrument.
+  EXPECT_NE(registry.GetCounter("x_total", {{"k", "v"}}), first);
+
+  registry.ResetValues();
+  EXPECT_EQ(first->value(), 0u);  // zeroed, but the pointer stays valid
+  first->Increment();
+  EXPECT_EQ(registry.GetCounter("x_total")->value(), 1u);
+}
+
+TEST(Metrics, HistogramBucketsUseLowerBoundSemantics) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_ms", {}, {1.0, 2.0, 4.0});
+  h->Observe(0.5);   // <= 1.0
+  h->Observe(1.0);   // le-semantics: exactly on the bound lands in it
+  h->Observe(3.0);   // <= 4.0
+  h->Observe(100.0); // +inf overflow
+  ASSERT_EQ(h->buckets().size(), 4u);
+  EXPECT_EQ(h->buckets()[0], 2u);
+  EXPECT_EQ(h->buckets()[1], 0u);
+  EXPECT_EQ(h->buckets()[2], 1u);
+  EXPECT_EQ(h->buckets()[3], 1u);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 104.5);
+}
+
+TEST(Metrics, BucketLadders) {
+  EXPECT_EQ(ExponentialBuckets(1.0, 2.0, 4), (std::vector<double>{1, 2, 4, 8}));
+  EXPECT_EQ(LinearBuckets(10.0, 5.0, 3), (std::vector<double>{10, 15, 20}));
+}
+
+TEST(Metrics, JsonDumpParsesAndCarriesValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("pkts_total", {{"element", "f0"}})->Increment(7);
+  registry.GetHistogram("boot_ms", {}, {10.0, 100.0})->Observe(42.0);
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::Value::Parse(registry.ToJson().ToString(2), &parsed, &error)) << error;
+  const json::Value* metrics = parsed.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->size(), 2u);
+  // Sorted by name: boot_ms first.
+  EXPECT_EQ(metrics->at(0).Find("name")->string_value(), "boot_ms");
+  EXPECT_EQ(metrics->at(0).Find("type")->string_value(), "histogram");
+  EXPECT_EQ(metrics->at(0).Find("count")->int_number(), 1);
+  EXPECT_EQ(metrics->at(1).Find("name")->string_value(), "pkts_total");
+  EXPECT_EQ(metrics->at(1).Find("value")->int_number(), 7);
+  EXPECT_EQ(metrics->at(1).Find("labels")->Find("element")->string_value(), "f0");
+}
+
+TEST(Tracer, DisabledRecordIsANoOpAndCapacityBounds) {
+  EventTracer tracer;
+  tracer.Record(1, EventKind::kVmCrash, "vm:1");
+  EXPECT_TRUE(tracer.events().empty());  // disabled by default
+
+  tracer.Enable();
+  tracer.set_capacity(2);
+  tracer.Record(1, EventKind::kVmBootStart, "vm:1");
+  tracer.Record(2, EventKind::kVmBootReady, "vm:1", "", 1000);
+  tracer.Record(3, EventKind::kVmCrash, "vm:1");  // over capacity: dropped
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::Value::Parse(tracer.ToJson().ToString(2), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("dropped")->int_number(), 1);
+  ASSERT_EQ(parsed.Find("events")->size(), 2u);
+  EXPECT_EQ(parsed.Find("events")->at(0).Find("kind")->string_value(), "vm_boot_start");
+  EXPECT_EQ(parsed.Find("events")->at(1).Find("value")->int_number(), 1000);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RecordNowUsesTimeSource) {
+  EventTracer tracer;
+  tracer.Enable();
+  uint64_t now = 7;
+  tracer.SetTimeSource([&now] { return now; });
+  tracer.RecordNow(EventKind::kVerifyStart, "controller");
+  now = 9;
+  tracer.RecordNow(EventKind::kVerifyFinish, "controller", "accepted", 2);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].time_ns, 7u);
+  EXPECT_EQ(tracer.events()[1].time_ns, 9u);
+}
+
+TEST(Samples, PercentilesSurviveInterleavedAdds) {
+  // The cached sorted view must invalidate on Add.
+  sim::Samples samples;
+  samples.Add(10.0);
+  samples.Add(30.0);
+  EXPECT_DOUBLE_EQ(samples.Max(), 30.0);
+  samples.Add(50.0);  // after a sorted read
+  EXPECT_DOUBLE_EQ(samples.Max(), 50.0);
+  EXPECT_DOUBLE_EQ(samples.Min(), 10.0);
+  EXPECT_DOUBLE_EQ(samples.Percentile(50), 30.0);
+}
+
+TEST(Samples, ToHistogramReplaysEveryValue) {
+  sim::Samples samples;
+  samples.Add(0.5);
+  samples.Add(1.5);
+  samples.Add(9.0);
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("s", {}, {1.0, 2.0});
+  samples.ToHistogram(h);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->buckets()[0], 1u);
+  EXPECT_EQ(h->buckets()[1], 1u);
+  EXPECT_EQ(h->buckets()[2], 1u);
+}
+
+}  // namespace
+}  // namespace innet::obs

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
 #include "src/platform/consolidation.h"
 #include "src/platform/platform.h"
 #include "src/platform/sandbox.h"
@@ -149,6 +150,13 @@ TEST(Platform, StaticInstallRoutesTraffic) {
 
 TEST(Platform, OnDemandBootsPerFlowAndBuffers) {
   sim::EventQueue clock;
+  // Registry counters are process-wide aggregates: assert on deltas.
+  uint64_t boots_before =
+      obs::Registry().GetCounter("innet_platform_ondemand_boots_total")->value();
+  uint64_t misses_before =
+      obs::Registry().GetCounter("innet_platform_flow_misses_total")->value();
+  uint64_t buffered_before =
+      obs::Registry().GetCounter("innet_platform_buffered_packets_total")->value();
   InNetPlatform platform(&clock);
   platform.RegisterOnDemand(Ipv4Address::MustParse("172.16.3.10"), kForwarderConfig,
                             VmKind::kClickOs, /*per_flow=*/true);
@@ -163,6 +171,12 @@ TEST(Platform, OnDemandBootsPerFlowAndBuffers) {
   EXPECT_EQ(platform.ondemand_boots(), 1u);
   EXPECT_EQ(platform.buffered_count(), 3u);
   EXPECT_EQ(egressed, 0);
+  EXPECT_EQ(obs::Registry().GetCounter("innet_platform_ondemand_boots_total")->value(),
+            boots_before + 1u);
+  EXPECT_EQ(obs::Registry().GetCounter("innet_platform_flow_misses_total")->value(),
+            misses_before + 3u);  // all three pre-boot packets missed
+  EXPECT_EQ(obs::Registry().GetCounter("innet_platform_buffered_packets_total")->value(),
+            buffered_before + 3u);
 
   clock.RunUntil(sim::FromMillis(100));
   EXPECT_EQ(egressed, 3);  // flushed on boot

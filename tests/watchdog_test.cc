@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/platform/platform.h"
 #include "src/platform/watchdog.h"
 #include "src/sim/fault_injector.h"
@@ -64,6 +65,14 @@ TEST(Watchdog, RestartsCrashedVmAndFlushesBufferedTraffic) {
   EXPECT_EQ(stats.restart_failures, 0u);
   EXPECT_EQ(stats.gave_up, 0u);
 
+  // stats() is a thin wrapper over the registry: the per-instance counters
+  // hold the authoritative values.
+  obs::Labels instance = {{"instance", platform.watchdog()->instance_label()}};
+  EXPECT_EQ(obs::Registry().GetCounter("innet_watchdog_restarts_total", instance)->value(), 1u);
+  EXPECT_EQ(
+      obs::Registry().GetCounter("innet_watchdog_crashes_observed_total", instance)->value(),
+      1u);
+
   // The restarted guest keeps processing fresh traffic.
   Packet fresh = Udp("9.9.9.9", "172.16.3.10", 7100, 80);
   platform.HandlePacket(fresh);
@@ -121,6 +130,10 @@ TEST(Watchdog, GivesUpAfterMaxRetriesAndRetiresGuest) {
 
 TEST(Watchdog, BoundedBufferOverflowAccounting) {
   sim::EventQueue clock;
+  // The registry aggregates across platform instances (tests share the
+  // process), so assert on the delta.
+  uint64_t drops_before =
+      obs::Registry().GetCounter("innet_platform_buffer_drops_total")->value();
   InNetPlatform platform(&clock);
   platform.set_buffer_cap(4);
   platform.EnableWatchdog();
@@ -138,6 +151,8 @@ TEST(Watchdog, BoundedBufferOverflowAccounting) {
   }
   EXPECT_EQ(platform.buffer_drops(), 6u);  // cap 4, 10 arrivals
   EXPECT_EQ(platform.watchdog()->stats().packets_dropped_bounded, 6u);
+  EXPECT_EQ(obs::Registry().GetCounter("innet_platform_buffer_drops_total")->value(),
+            drops_before + 6u);
 
   clock.RunUntil(sim::FromSeconds(3));
   EXPECT_EQ(egressed, 4);  // exactly the buffered packets survive the outage

@@ -3,12 +3,20 @@
 //
 // Usage:
 //   innet_run --config FILE [--packets FILE] [--clock-until SECONDS]
+//             [--metrics-out FILE] [--trace-out FILE]
 //
 // The packets file has one packet per line:
 //   udp  SRC[:SPORT] DST[:DPORT] [payload "TEXT"] [at SECONDS]
 //   tcp  SRC[:SPORT] DST[:DPORT] [syn] [payload "TEXT"] [at SECONDS]
 //   icmp SRC DST [at SECONDS]
 // Without --packets, a single UDP probe to the first ToNetfront is sent.
+//
+// With --metrics-out/--trace-out, the config additionally goes through the
+// full stack — controller verification (Figure 3 topology) and a ClickOS
+// boot on an InNetPlatform — so the dump contains verification-latency and
+// boot-latency metrics next to the per-element packet counters. Everything
+// in the metrics dump derives from the simulated clock and deterministic
+// work counts: two runs produce byte-identical files.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,7 +26,12 @@
 
 #include "src/click/elements.h"
 #include "src/click/graph.h"
+#include "src/controller/controller.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/platform/platform.h"
 #include "src/sim/event_queue.h"
+#include "src/topology/network.h"
 
 namespace {
 
@@ -117,6 +130,8 @@ bool ParsePacketLine(const std::string& line, PacketSpec* spec, std::string* err
 int main(int argc, char** argv) {
   std::string config_path;
   std::string packets_path;
+  std::string metrics_out;
+  std::string trace_out;
   double clock_until = 1.0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -126,9 +141,14 @@ int main(int argc, char** argv) {
       packets_path = argv[++i];
     } else if (arg == "--clock-until" && i + 1 < argc) {
       clock_until = std::atof(argv[++i]);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s --config FILE [--packets FILE] [--clock-until SECONDS]\n",
+                   "usage: %s --config FILE [--packets FILE] [--clock-until SECONDS]\n"
+                   "          [--metrics-out FILE] [--trace-out FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -146,7 +166,12 @@ int main(int argc, char** argv) {
   std::ostringstream config_buf;
   config_buf << config_in.rdbuf();
 
+  const bool want_obs = !metrics_out.empty() || !trace_out.empty();
   sim::EventQueue clock;
+  if (want_obs) {
+    obs::Tracer().Enable();
+    obs::Tracer().SetTimeSource([&clock] { return clock.now(); });
+  }
   std::string error;
   auto graph = click::Graph::FromText(config_buf.str(), &error, &clock);
   if (graph == nullptr) {
@@ -214,6 +239,57 @@ int main(int argc, char** argv) {
       std::printf("  %-24s %llu dropped\n", element->name().c_str(),
                   static_cast<unsigned long long>(element->drops()));
     }
+  }
+
+  if (want_obs) {
+    // Full-stack pass: verify the same configuration with the controller
+    // (verification-latency metrics) and boot it as a ClickOS guest on a
+    // platform (boot-latency metrics + switch counters).
+    controller::Controller ctrl(topology::Network::MakeFigure3());
+    controller::ClientRequest request;
+    request.client_id = "run";
+    request.requester = controller::RequesterClass::kOperator;
+    request.click_config = config_buf.str();
+    controller::DeployOutcome outcome = ctrl.Deploy(request);
+    std::printf("\ncontroller verification: %s (%llu engine steps, %.3f ms simulated)\n",
+                outcome.accepted ? "accepted" : outcome.reason.c_str(),
+                static_cast<unsigned long long>(outcome.engine_steps),
+                static_cast<double>(outcome.sim_verify_ns) / 1e6);
+
+    platform::InNetPlatform platform(&clock);
+    std::string platform_error;
+    platform::Vm::VmId vm_id = platform.Install(Ipv4Address::MustParse("172.16.3.10"),
+                                                config_buf.str(), &platform_error);
+    if (vm_id == 0) {
+      std::fprintf(stderr, "platform install failed: %s\n", platform_error.c_str());
+      return 1;
+    }
+    // Let the boot finish, then replay the packets through the platform NIC
+    // so the switch delivery counters are live too.
+    clock.RunUntil(clock.now() + sim::FromSeconds(2));
+    for (const PacketSpec& spec : specs) {
+      Packet p = spec.packet;
+      platform.HandlePacket(p);
+    }
+    clock.RunUntil(clock.now() + sim::FromSeconds(1));
+    platform.ExportMetrics(&obs::Registry());
+  }
+  graph->ExportMetrics(&obs::Registry());
+
+  if (!metrics_out.empty()) {
+    if (!obs::Registry().WriteJsonFile(metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics: %zu instruments -> %s\n", obs::Registry().MetricNames().size(),
+                metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::Tracer().WriteJsonFile(trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s\n", obs::Tracer().events().size(), trace_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,34 @@
+// json_lint: validate JSON files with the obs strict parser. Exits 0 when
+// every file parses; prints position + message and exits 1 otherwise. Used
+// by scripts/regenerate_results.sh to gate BENCH_*.json artifacts.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    innet::obs::json::Value value;
+    std::string error;
+    if (!innet::obs::json::Value::Parse(buffer.str(), &value, &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
