@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# One-stop CI gate: tier-1 build + tests, the sanitizer suite, the
+# metrics-documentation lint, and a JSON lint over every committed
+# BENCH_*.json telemetry file. Any failure fails the whole run.
+#
+# Usage: scripts/ci.sh [--skip-asan]
+#   --skip-asan   skip the (slow) AddressSanitizer build + test pass
+set -u
+cd "$(dirname "$0")/.."
+
+skip_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) skip_asan=1 ;;
+    *) echo "ci.sh: unknown argument $arg" >&2; exit 2 ;;
+  esac
+done
+
+fail=0
+step() {
+  echo
+  echo "==== ci: $1 ===="
+}
+
+step "tier-1 build"
+cmake -B build -S . || fail=1
+cmake --build build -j "$(nproc)" || fail=1
+
+step "tier-1 tests"
+ctest --test-dir build --output-on-failure -j "$(nproc)" || fail=1
+
+if [ "$skip_asan" -eq 0 ]; then
+  step "sanitizer suite (check_asan.sh)"
+  scripts/check_asan.sh || fail=1
+else
+  step "sanitizer suite skipped (--skip-asan)"
+fi
+
+step "metrics documentation lint (check_metrics_docs.sh)"
+scripts/check_metrics_docs.sh || fail=1
+
+step "bench telemetry lint (json_lint over committed BENCH_*.json)"
+if [ ! -x build/tools/json_lint ]; then
+  echo "ERROR: build/tools/json_lint missing — build step failed?" >&2
+  fail=1
+else
+  found=0
+  for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    found=1
+    if ./build/tools/json_lint "$f"; then
+      echo "ok: $f"
+    else
+      echo "ERROR: malformed bench telemetry $f" >&2
+      fail=1
+    fi
+  done
+  if [ "$found" -eq 0 ]; then
+    echo "ERROR: no committed BENCH_*.json found at the repo root" >&2
+    fail=1
+  fi
+fi
+
+echo
+if [ "$fail" -ne 0 ]; then
+  echo "ci: FAILED" >&2
+  exit 1
+fi
+echo "ci: all checks passed"

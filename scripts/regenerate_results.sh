@@ -12,7 +12,7 @@ for b in build/bench/*; do
 done 2>&1 | tee bench_output.txt
 
 # Telemetry acceptance: these benches must emit parseable JSON.
-expected_bench_json="BENCH_fig05_boot_rtt.json BENCH_fig10_controller_scaling.json BENCH_recovery_under_faults.json"
+expected_bench_json="BENCH_fig05_boot_rtt.json BENCH_fig10_controller_scaling.json BENCH_placement_scaling.json BENCH_recovery_under_faults.json"
 fail=0
 for f in $expected_bench_json; do
   if [ ! -f "$f" ]; then

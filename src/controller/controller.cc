@@ -297,6 +297,12 @@ void Controller::RecordDeployMetrics(DeployOutcome* outcome, uint64_t graph_node
 }
 
 DeployOutcome Controller::Deploy(const ClientRequest& request) {
+  return Deploy(request, {});
+}
+
+DeployOutcome Controller::Deploy(const ClientRequest& request,
+                                 const std::vector<std::string>& candidate_platforms,
+                                 bool candidates_ranked) {
   DeployOutcome outcome;
   auto t_start = std::chrono::steady_clock::now();
   uint64_t graph_nodes = 0;
@@ -325,6 +331,30 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
                                    }),
                     platforms.end());
   }
+  // Candidate restriction: the scheduler's policy-ranked list, or the
+  // request's pinned platform, narrows the search and fixes its order. The
+  // verification loop below is unchanged — the scheduler proposes, the
+  // verifier disposes.
+  bool keep_caller_order = false;
+  {
+    std::vector<std::string> ordered = candidate_platforms;
+    if (ordered.empty() && !request.pinned_platform.empty()) {
+      ordered.push_back(request.pinned_platform);
+    }
+    if (!ordered.empty()) {
+      keep_caller_order = candidates_ranked;
+      std::vector<const topology::Node*> chosen;
+      for (const std::string& name : ordered) {
+        for (const topology::Node* node : platforms) {
+          if (node->name == name) {
+            chosen.push_back(node);
+            break;
+          }
+        }
+      }
+      platforms = std::move(chosen);
+    }
+  }
   if (platforms.empty()) {
     outcome.reason = "no processing platforms available";
     RecordDeployMetrics(&outcome, graph_nodes);
@@ -334,8 +364,8 @@ DeployOutcome Controller::Deploy(const ClientRequest& request) {
   // Geolocation-style placement: prefer platforms close (in hops) to the
   // traffic sources the client's requirements name — the mechanism behind
   // the CDN/DNS use cases (§8). Ties and requirement-free requests keep the
-  // declaration order.
-  {
+  // declaration order. A policy-ranked candidate list keeps its order.
+  if (!keep_caller_order) {
     policy::NodeResolver resolver = MakeResolver(nullptr);
     std::vector<std::string> anchors;
     for (const ReachSpec& spec : client_specs) {

@@ -30,6 +30,10 @@ struct ClientRequest {
   std::vector<Ipv4Address> whitelist;
   // Prefixes the client registered as its own source addresses.
   std::vector<Ipv4Prefix> owned_prefixes;
+  // When non-empty, placement is restricted to exactly this platform. The
+  // full verification pipeline still runs against it; the scheduler's
+  // policy ranking is skipped.
+  std::string pinned_platform;
 };
 
 struct Deployment {
@@ -83,6 +87,15 @@ class Controller {
   // Processes a deployment request: tries every platform, returns the first
   // placement satisfying security + operator policy + client requirements.
   DeployOutcome Deploy(const ClientRequest& request);
+
+  // As above, but only `candidate_platforms` are tried. With
+  // `candidates_ranked` (the scheduler's policy-ranked output) the given
+  // order is kept; otherwise the geolocation sort still applies within the
+  // restricted set. Unknown or failed names are skipped; an empty list
+  // means "no restriction".
+  DeployOutcome Deploy(const ClientRequest& request,
+                       const std::vector<std::string>& candidate_platforms,
+                       bool candidates_ranked = true);
 
   // Stops a deployed module. Returns false for unknown ids.
   bool Kill(const std::string& module_id);

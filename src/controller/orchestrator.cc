@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
+#include "src/obs/trace.h"
 #include "src/platform/consolidation.h"
 
 namespace innet::controller {
@@ -10,15 +12,32 @@ namespace innet::controller {
 using platform::InNetPlatform;
 using platform::TenantConfig;
 using platform::Vm;
+using platform::VmState;
 
 Orchestrator::Orchestrator(topology::Network network, sim::EventQueue* clock,
-                           platform::VmCostModel cost_model)
-    : controller_(std::move(network)), clock_(clock), cost_model_(cost_model) {
+                           OrchestratorOptions options)
+    : controller_(std::move(network)),
+      clock_(clock),
+      cost_model_(options.cost_model),
+      options_(options),
+      engine_(
+          [this](const std::string& name, scheduler::PlatformResources* out) {
+            return ProbePlatform(name, out);
+          },
+          options.policy) {
   for (const topology::Node* node : controller_.network().Platforms()) {
     PlatformState state;
-    state.box = std::make_unique<InNetPlatform>(clock_, cost_model_);
+    state.box =
+        std::make_unique<InNetPlatform>(clock_, cost_model_, options_.platform_memory_bytes);
     platforms_.emplace(node->name, std::move(state));
+    engine_.ledger().AddPlatform(node->name);
   }
+  ctr_migrations_started_ =
+      obs::Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "started"}});
+  ctr_migrations_completed_ =
+      obs::Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "completed"}});
+  ctr_migrations_aborted_ =
+      obs::Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "aborted"}});
 }
 
 InNetPlatform* Orchestrator::platform(const std::string& name) {
@@ -29,6 +48,37 @@ InNetPlatform* Orchestrator::platform(const std::string& name) {
 size_t Orchestrator::ConsolidatedTenantCount(const std::string& platform_name) const {
   auto it = platforms_.find(platform_name);
   return it == platforms_.end() ? 0 : it->second.consolidated.size();
+}
+
+const std::pair<std::string, Vm::VmId>* Orchestrator::FindPlacement(
+    const std::string& module_id) const {
+  auto it = placements_.find(module_id);
+  return it == placements_.end() ? nullptr : &it->second;
+}
+
+bool Orchestrator::ProbePlatform(const std::string& name, scheduler::PlatformResources* out) {
+  auto it = platforms_.find(name);
+  if (it == platforms_.end()) {
+    return false;
+  }
+  PlatformState& state = it->second;
+  out->memory_total = state.box->vms().memory_total();
+  out->memory_used = state.box->vms().memory_used();
+  out->vm_count = state.box->vms().vm_count();
+  out->running_vms = state.box->vms().running_count();
+  out->consolidated_tenants = state.consolidated.size();
+  out->buffer_occupancy = state.box->buffer_occupancy();
+  out->available = !controller_.IsPlatformFailed(name);
+  return true;
+}
+
+Ipv4Address Orchestrator::ModuleAddr(const std::string& module_id) const {
+  for (const Deployment& deployment : controller_.deployments()) {
+    if (deployment.module_id == module_id) {
+      return deployment.addr;
+    }
+  }
+  return Ipv4Address();
 }
 
 Vm::VmId Orchestrator::RebuildSharedVm(PlatformState* state, std::string* error) {
@@ -52,8 +102,28 @@ Vm::VmId Orchestrator::RebuildSharedVm(PlatformState* state, std::string* error)
 }
 
 OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
+  // Admission + placement ranking first: quota and headroom rejections must
+  // not burn verification time.
+  scheduler::PlacementRequest needs;
+  needs.memory_bytes = ModuleMemoryBytes();
+  needs.pinned_platform = request.pinned_platform;
+  scheduler::PlacementDecision decision = engine_.Decide(request.client_id, needs);
+  if (!decision.admitted) {
+    OrchestratedDeploy result;
+    result.outcome.reason = decision.reject_reason;
+    return result;
+  }
+  OrchestratedDeploy result = DeployOn(request, decision.candidates);
+  if (result.outcome.accepted) {
+    engine_.CommitPlacement(request.client_id, ModuleMemoryBytes());
+  }
+  return result;
+}
+
+OrchestratedDeploy Orchestrator::DeployOn(const ClientRequest& request,
+                                          const std::vector<std::string>& candidates) {
   OrchestratedDeploy result;
-  result.outcome = controller_.Deploy(request);
+  result.outcome = controller_.Deploy(request, candidates);
   if (!result.outcome.accepted) {
     return result;
   }
@@ -106,6 +176,279 @@ OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
   return result;
 }
 
+MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
+                                           const std::string& target_platform,
+                                           MigrationCallback on_done) {
+  MigrationStart start;
+  auto placement = placements_.find(module_id);
+  if (placement == placements_.end()) {
+    start.reason = "unknown module id";
+    return start;
+  }
+  const std::string source = placement->second.first;
+  Vm::VmId vm_id = placement->second.second;
+  if (source == target_platform) {
+    start.reason = "module already on target platform";
+    return start;
+  }
+  if (platforms_.count(target_platform) == 0) {
+    start.reason = "unknown target platform";
+    return start;
+  }
+  if (controller_.IsPlatformFailed(target_platform)) {
+    start.reason = "target platform is failed";
+    return start;
+  }
+  auto request_it = requests_.find(module_id);
+  if (request_it == requests_.end()) {
+    start.reason = "no recorded request for module";
+    return start;
+  }
+
+  if (vm_id == 0) {
+    // Consolidated (stateless) tenant: migration degenerates to
+    // make-before-break redeployment — there is no guest state to carry.
+    ctr_migrations_started_->Increment();
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateStart, "module:" + module_id,
+                           source + "->" + target_platform);
+    }
+    MigrationReport report;
+    report.module_id = module_id;
+    report.source = source;
+    report.target = target_platform;
+    report.old_addr = ModuleAddr(module_id);
+    ClientRequest request = request_it->second;
+    request.pinned_platform.clear();
+    OrchestratedDeploy redo = DeployOn(request, {target_platform});
+    if (!redo.outcome.accepted) {
+      ctr_migrations_aborted_->Increment();
+      if (obs::Tracer().enabled()) {
+        obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort, "module:" + module_id,
+                             redo.outcome.reason);
+      }
+      report.reason = "target verification failed: " + redo.outcome.reason;
+      if (on_done) {
+        on_done(report);
+      }
+      start.started = true;
+      return start;
+    }
+    engine_.CommitPlacement(request.client_id, ModuleMemoryBytes());
+    Kill(module_id);  // releases the old placement's quota share
+    report.ok = true;
+    report.new_module_id = redo.outcome.module_id;
+    report.new_addr = redo.outcome.module_addr;
+    ctr_migrations_completed_->Increment();
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateCutover, "module:" + module_id,
+                           source + "->" + target_platform);
+    }
+    if (on_done) {
+      on_done(report);
+    }
+    start.started = true;
+    return start;
+  }
+
+  // Stateful guest: announce the migration (parks stalled traffic instead of
+  // resuming), then suspend; the continuation runs when the suspend lands.
+  PlatformState& src = platforms_.at(source);
+  src.box->PrepareMigrationOut(vm_id);
+  bool suspending = src.box->vms().Suspend(
+      vm_id, [this, module_id, source, target_platform, vm_id, on_done] {
+        FinishMigration(module_id, source, target_platform, vm_id, on_done);
+      });
+  if (!suspending) {
+    src.box->CancelMigrationOut(vm_id);
+    start.reason = "source guest not running";
+    return start;
+  }
+  ctr_migrations_started_->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateStart, "module:" + module_id,
+                         source + "->" + target_platform);
+  }
+  start.started = true;
+  return start;
+}
+
+void Orchestrator::FinishMigration(const std::string& module_id, const std::string& source,
+                                   const std::string& target, Vm::VmId vm_id,
+                                   MigrationCallback on_done) {
+  MigrationReport report;
+  report.module_id = module_id;
+  report.source = source;
+  report.target = target;
+  report.live = true;
+  auto abort = [&](const std::string& reason) {
+    ctr_migrations_aborted_->Increment();
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort, "module:" + module_id,
+                           reason);
+    }
+    report.reason = reason;
+    if (on_done) {
+      on_done(report);
+    }
+  };
+
+  auto src_it = platforms_.find(source);
+  auto request_it = requests_.find(module_id);
+  if (src_it == platforms_.end() || platforms_.count(target) == 0 ||
+      request_it == requests_.end() || placements_.count(module_id) == 0) {
+    abort("module disappeared during suspend");
+    return;
+  }
+  PlatformState& src = src_it->second;
+  Vm* guest = src.box->vms().Find(vm_id);
+  if (guest == nullptr || guest->state() != VmState::kSuspended) {
+    // Crashed (or was torn down) while suspending: the watchdog path owns
+    // whatever is left of it.
+    src.box->CancelMigrationOut(vm_id);
+    abort("source guest lost during suspend");
+    return;
+  }
+  report.old_addr = ModuleAddr(module_id);
+
+  // Re-verify on the target while the guest is frozen. The old deployment
+  // stays committed during the check, so the verifier sees the worst-case
+  // network with both copies present; only after the target passes does the
+  // old one disappear.
+  ClientRequest request = request_it->second;
+  request.pinned_platform.clear();
+  DeployOutcome redo = controller_.Deploy(request, {target});
+  if (!redo.accepted) {
+    src.box->CancelMigrationOut(vm_id);
+    abort("target verification failed: " + redo.reason);
+    return;
+  }
+
+  auto moved = src.box->DetachForMigration(vm_id);
+  if (!moved) {  // unreachable after the state check above
+    controller_.Kill(redo.module_id);
+    src.box->CancelMigrationOut(vm_id);
+    abort("detach failed");
+    return;
+  }
+  report.parked_packets = moved->parked.size();
+
+  PlatformState& tgt = platforms_.at(target);
+  std::string error;
+  Vm::VmId new_vm = tgt.box->InstallMigrated(redo.module_addr, &moved->snapshot, &error);
+  if (new_vm == 0) {
+    // Target ran out of guest memory after verification. Re-adopt on the
+    // source: its RAM was freed by the suspend, so the import fits.
+    controller_.Kill(redo.module_id);
+    std::string back_error;
+    Vm::VmId back = src.box->InstallMigrated(report.old_addr, &moved->snapshot, &back_error);
+    if (back != 0) {
+      placements_[module_id].second = back;
+      for (Packet& packet : moved->parked) {
+        src.box->HandlePacket(packet);
+      }
+    }
+    abort("target install failed: " + error);
+    return;
+  }
+
+  // Cutover: retarget the blackout traffic at the new address and replay it
+  // on the target (it parks in the stalled buffer until the resume lands),
+  // then switch the control-plane records over.
+  for (Packet& packet : moved->parked) {
+    packet.set_ip_dst(redo.module_addr);
+    tgt.box->HandlePacket(packet);
+  }
+  placements_.erase(module_id);
+  requests_.erase(module_id);
+  controller_.Kill(module_id);
+  placements_[redo.module_id] = {target, new_vm};
+  requests_[redo.module_id] = request;
+  engine_.ReleasePlacement(request.client_id, ModuleMemoryBytes());
+  engine_.CommitPlacement(request.client_id, ModuleMemoryBytes());
+  report.ok = true;
+  report.new_module_id = redo.module_id;
+  report.new_addr = redo.module_addr;
+  ctr_migrations_completed_->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateCutover, "module:" + module_id,
+                         source + "->" + target, static_cast<int64_t>(report.parked_packets));
+  }
+  if (on_done) {
+    on_done(report);
+  }
+}
+
+RebalanceReport Orchestrator::Rebalance(double drain_above_utilization) {
+  RebalanceReport report;
+  std::vector<scheduler::PlatformResources> snapshot = engine_.ledger().Snapshot();
+  // Moves started here have not landed yet (the suspend takes simulated
+  // time), so project their memory effect onto every later ranking.
+  std::unordered_map<std::string, int64_t> planned_delta;
+  auto projected_used = [&](const scheduler::PlatformResources& res) {
+    auto it = planned_delta.find(res.name);
+    int64_t delta = it == planned_delta.end() ? 0 : it->second;
+    return static_cast<double>(static_cast<int64_t>(res.memory_used) + delta);
+  };
+
+  const uint64_t per_module = ModuleMemoryBytes();
+  for (const scheduler::PlatformResources& hot : snapshot) {
+    if (!hot.available || hot.memory_total == 0 ||
+        hot.utilization() <= drain_above_utilization) {
+      continue;
+    }
+    ++report.hot_platforms;
+    // Only dedicated-VM (stateful) tenants are drained: consolidated ones
+    // are stateless and cheap to re-place individually on demand.
+    std::vector<std::string> movable;
+    for (const auto& [module_id, placement] : placements_) {
+      if (placement.first == hot.name && placement.second != 0) {
+        movable.push_back(module_id);
+      }
+    }
+    std::sort(movable.begin(), movable.end());
+
+    for (const std::string& module_id : movable) {
+      if (projected_used(hot) / static_cast<double>(hot.memory_total) <=
+          drain_above_utilization) {
+        break;  // drained enough
+      }
+      // Rank the non-hot survivors by the active policy, with planned moves
+      // projected in so one rebalance pass cannot overfill a target.
+      std::vector<scheduler::PlatformResources> candidates;
+      for (scheduler::PlatformResources res : snapshot) {
+        if (res.name == hot.name || !res.available || res.memory_total == 0) {
+          continue;
+        }
+        auto delta = planned_delta.find(res.name);
+        if (delta != planned_delta.end()) {
+          res.memory_used = static_cast<uint64_t>(
+              std::max<int64_t>(0, static_cast<int64_t>(res.memory_used) + delta->second));
+        }
+        if (res.utilization() > drain_above_utilization) {
+          continue;  // don't drain one hot platform into another
+        }
+        candidates.push_back(std::move(res));
+      }
+      scheduler::PlacementRequest needs;
+      needs.memory_bytes = per_module;
+      std::vector<std::string> ranked =
+          scheduler::RankPlatforms(engine_.policy(), candidates, needs);
+      if (ranked.empty()) {
+        break;  // nowhere left to drain to
+      }
+      MigrationStart started = MigrateTenant(module_id, ranked.front());
+      if (started.started) {
+        ++report.migrations_started;
+        report.moves.emplace_back(module_id, ranked.front());
+        planned_delta[hot.name] -= static_cast<int64_t>(per_module);
+        planned_delta[ranked.front()] += static_cast<int64_t>(per_module);
+      }
+    }
+  }
+  return report;
+}
+
 FailoverReport Orchestrator::MarkPlatformFailed(const std::string& platform_name) {
   FailoverReport report;
   report.failed_platform = platform_name;
@@ -135,23 +478,29 @@ FailoverReport Orchestrator::MarkPlatformFailed(const std::string& platform_name
   // data-plane instance wholesale rather than tearing guests down one by
   // one (which would schedule suspend/boot events on a dead box).
   PlatformState& state = it->second;
-  state.box = std::make_unique<InNetPlatform>(clock_, cost_model_);
+  state.box =
+      std::make_unique<InNetPlatform>(clock_, cost_model_, options_.platform_memory_bytes);
   state.consolidated.clear();
   state.consolidated_module_ids.clear();
   state.shared_vm = 0;
 
   for (const auto& [module_id, request] : stranded) {
     controller_.Kill(module_id);
+    engine_.ReleasePlacement(request.client_id, ModuleMemoryBytes());
     placements_.erase(module_id);
     requests_.erase(module_id);
   }
 
-  // Re-verify and re-place every stranded tenant on the survivors. Deploy
-  // runs the full pipeline again, so a tenant whose requirements only the
-  // dead platform satisfied is reported lost rather than silently misplaced.
+  // Re-verify and re-place every stranded tenant on the survivors — a
+  // degenerate migration with no state to carry (the node crash destroyed
+  // it). Deploy runs the full pipeline again, so a tenant whose
+  // requirements only the dead platform satisfied is reported lost rather
+  // than silently misplaced.
   auto t_start = std::chrono::steady_clock::now();
   for (const auto& [old_module_id, request] : stranded) {
-    OrchestratedDeploy redo = Deploy(request);
+    ClientRequest retry = request;
+    retry.pinned_platform.clear();  // the pin died with the node
+    OrchestratedDeploy redo = Deploy(retry);
     if (redo.outcome.accepted) {
       ++report.recovered;
       report.remapped.emplace_back(old_module_id, redo.outcome.module_id);
@@ -177,7 +526,7 @@ void Orchestrator::RestorePlatform(const std::string& platform_name) {
 bool Orchestrator::Kill(const std::string& module_id) {
   auto placement = placements_.find(module_id);
   if (placement == placements_.end()) {
-    return false;
+    return false;  // never placed (or already killed): clean no-op
   }
   const auto& [platform_name, vm_id] = placement->second;
   PlatformState& state = platforms_.at(platform_name);
@@ -195,8 +544,12 @@ bool Orchestrator::Kill(const std::string& module_id) {
     std::string error;
     RebuildSharedVm(&state, &error);
   }
+  auto request = requests_.find(module_id);
+  if (request != requests_.end()) {
+    engine_.ReleasePlacement(request->second.client_id, ModuleMemoryBytes());
+    requests_.erase(request);
+  }
   placements_.erase(placement);
-  requests_.erase(module_id);
   return controller_.Kill(module_id);
 }
 

@@ -9,16 +9,27 @@
 //     the demux enforces explicit addressing);
 //   - stateful or sandbox-verdict modules get their own VM, wrapped with a
 //     ChangeEnforcer when required.
+//
+// Placement is resource-aware: every request passes the scheduler's
+// admission control (per-tenant quotas), then its placement engine ranks the
+// platforms with headroom by the active policy; the controller verifies the
+// candidates in that order, so the engine proposes but never bypasses
+// verification. Stateful tenants can be live-migrated between platforms
+// (suspend → re-verify on target → transfer → resume → cutover), and
+// Rebalance() drains hot platforms through the same path.
 #ifndef SRC_CONTROLLER_ORCHESTRATOR_H_
 #define SRC_CONTROLLER_ORCHESTRATOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/controller/controller.h"
 #include "src/platform/platform.h"
+#include "src/scheduler/engine.h"
 
 namespace innet::controller {
 
@@ -44,22 +55,80 @@ struct FailoverReport {
   double reverify_ms = 0;
 };
 
+// Synchronous answer to MigrateTenant: whether the migration mechanism was
+// engaged. The outcome arrives later through the MigrationCallback (the
+// suspend takes simulated time).
+struct MigrationStart {
+  bool started = false;
+  std::string reason;  // why it could not start
+};
+
+// Outcome of one migration, delivered when the cutover (or abort) happened.
+struct MigrationReport {
+  bool ok = false;
+  bool live = false;  // suspend/resume state transfer (vs. stateless redeploy)
+  std::string reason;
+  std::string module_id;      // the pre-migration id
+  std::string new_module_id;  // the post-migration id (re-verified deployment)
+  std::string source;
+  std::string target;
+  Ipv4Address old_addr;
+  Ipv4Address new_addr;
+  // Packets that arrived during the blackout and were carried to the target.
+  size_t parked_packets = 0;
+};
+
+struct RebalanceReport {
+  size_t hot_platforms = 0;
+  size_t migrations_started = 0;
+  // module id -> chosen target, in start order.
+  std::vector<std::pair<std::string, std::string>> moves;
+};
+
+struct OrchestratorOptions {
+  platform::VmCostModel cost_model;
+  uint64_t platform_memory_bytes = 16ull << 30;
+  scheduler::PlacementPolicyKind policy = scheduler::PlacementPolicyKind::kFirstFit;
+};
+
 class Orchestrator {
  public:
+  using MigrationCallback = std::function<void(const MigrationReport&)>;
+
   // Creates one InNetPlatform per platform node in the network.
+  Orchestrator(topology::Network network, sim::EventQueue* clock, OrchestratorOptions options);
   Orchestrator(topology::Network network, sim::EventQueue* clock,
-               platform::VmCostModel cost_model = {});
+               platform::VmCostModel cost_model = {})
+      : Orchestrator(std::move(network), clock, OrchestratorOptions{cost_model}) {}
 
   bool AddOperatorPolicy(const std::string& reach_statement, std::string* error = nullptr) {
     return controller_.AddOperatorPolicy(reach_statement, error);
   }
 
-  // Verify + realize. On rejection, `outcome.accepted` is false and nothing
-  // is instantiated.
+  // Verify + realize: admission (quotas) → placement engine (headroom +
+  // policy ranking, skipped for pinned requests) → controller verification
+  // over the candidates in order → instantiation. On rejection,
+  // `outcome.accepted` is false and nothing is instantiated or accounted.
   OrchestratedDeploy Deploy(const ClientRequest& request);
 
   // Stops a module: removes its VM or rebuilds the shared VM without it.
+  // A never-placed module id is a clean no-op returning false.
   bool Kill(const std::string& module_id);
+
+  // Live-migrates a module to `target_platform`. Stateful tenants move via
+  // suspend → re-verify on target → state transfer → resume → switch-rule
+  // cutover; traffic arriving during the blackout parks in the source's
+  // bounded stall buffer and is re-addressed + replayed on the target.
+  // Consolidated (stateless) tenants degenerate to make-before-break
+  // redeployment — nothing to carry. `on_done` fires exactly once when the
+  // migration completes or aborts (never when started=false).
+  MigrationStart MigrateTenant(const std::string& module_id, const std::string& target_platform,
+                               MigrationCallback on_done = nullptr);
+
+  // Background drain: migrates dedicated-VM tenants off every platform whose
+  // memory utilization exceeds `drain_above_utilization`, choosing targets
+  // with the active placement policy among the non-hot platforms.
+  RebalanceReport Rebalance(double drain_above_utilization = 0.7);
 
   // Declares a platform node dead and fails its tenants over: every module
   // placed there is killed, then re-deployed through the full verification
@@ -74,10 +143,19 @@ class Orchestrator {
   void RestorePlatform(const std::string& platform_name);
 
   Controller& controller() { return controller_; }
+  scheduler::PlacementEngine& engine() { return engine_; }
   platform::InNetPlatform* platform(const std::string& name);
 
   // Tenants currently sharing the consolidated VM on `platform`.
   size_t ConsolidatedTenantCount(const std::string& platform_name) const;
+
+  size_t placement_count() const { return placements_.size(); }
+  bool HasPlacement(const std::string& module_id) const {
+    return placements_.count(module_id) != 0;
+  }
+  // (platform name, dedicated VM id or 0 when consolidated), or nullptr.
+  const std::pair<std::string, platform::Vm::VmId>* FindPlacement(
+      const std::string& module_id) const;
 
  private:
   struct PlatformState {
@@ -91,15 +169,43 @@ class Orchestrator {
   // fills *error on failure (the old VM is kept in that case).
   platform::Vm::VmId RebuildSharedVm(PlatformState* state, std::string* error);
 
+  // Verification + instantiation over an explicit candidate order, without
+  // admission (Deploy and the migration paths wrap it).
+  OrchestratedDeploy DeployOn(const ClientRequest& request,
+                              const std::vector<std::string>& candidates);
+
+  // Ledger prober: fills *out from the named platform's live state.
+  bool ProbePlatform(const std::string& name, scheduler::PlatformResources* out);
+
+  // Continuation of a stateful migration, invoked when the suspend lands.
+  void FinishMigration(const std::string& module_id, const std::string& source,
+                       const std::string& target, platform::Vm::VmId vm_id,
+                       MigrationCallback on_done);
+
+  // The module address currently assigned to `module_id` (0.0.0.0 if gone).
+  Ipv4Address ModuleAddr(const std::string& module_id) const;
+
+  // Every orchestrated module costs one ClickOS guest (consolidation makes
+  // the marginal cost lower, but admission charges the worst case: the
+  // shared-VM rebuild transiently needs a full extra guest).
+  uint64_t ModuleMemoryBytes() const {
+    return cost_model_.MemoryBytes(platform::VmKind::kClickOs);
+  }
+
   Controller controller_;
   sim::EventQueue* clock_;
   platform::VmCostModel cost_model_;
+  OrchestratorOptions options_;
+  scheduler::PlacementEngine engine_;
   std::unordered_map<std::string, PlatformState> platforms_;
   // module id -> (platform name, dedicated VM id or 0 when consolidated)
   std::unordered_map<std::string, std::pair<std::string, platform::Vm::VmId>> placements_;
-  // The original request behind every live module, kept so failover can
-  // re-verify and re-place stranded tenants from first principles.
+  // The original request behind every live module, kept so failover and
+  // migration can re-verify and re-place tenants from first principles.
   std::unordered_map<std::string, ClientRequest> requests_;
+  obs::Counter* ctr_migrations_started_ = nullptr;
+  obs::Counter* ctr_migrations_completed_ = nullptr;
+  obs::Counter* ctr_migrations_aborted_ = nullptr;
 };
 
 }  // namespace innet::controller

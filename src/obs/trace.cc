@@ -20,6 +20,9 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kVerifyStart: return "verify_start";
     case EventKind::kVerifyFinish: return "verify_finish";
     case EventKind::kSymexecRun: return "symexec_run";
+    case EventKind::kMigrateStart: return "migrate_start";
+    case EventKind::kMigrateCutover: return "migrate_cutover";
+    case EventKind::kMigrateAbort: return "migrate_abort";
   }
   return "unknown";
 }

@@ -35,6 +35,9 @@ enum class EventKind {
   kVerifyStart,
   kVerifyFinish,
   kSymexecRun,
+  kMigrateStart,
+  kMigrateCutover,
+  kMigrateAbort,
 };
 
 // Stable wire name ("vm_boot_start", ...), used in the JSON dump.

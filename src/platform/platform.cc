@@ -82,7 +82,70 @@ bool InNetPlatform::UninstallVm(Vm::VmId vm_id) {
     }
   }
   vm_rules_.erase(vm_id);
+  migrating_out_.erase(vm_id);
   return vms_.Destroy(vm_id) || found;
+}
+
+void InNetPlatform::CancelMigrationOut(Vm::VmId vm_id) {
+  if (migrating_out_.erase(vm_id) == 0) {
+    return;
+  }
+  Vm* vm = vms_.Find(vm_id);
+  if (vm != nullptr && vm->state() == VmState::kSuspended &&
+      stalled_buffers_.count(vm_id) != 0) {
+    ++resumes_on_traffic_;
+    ctr_traffic_resumes_->Increment();
+    vms_.Resume(vm_id, [this, vm_id] { FlushStalled(vm_id); });
+  }
+}
+
+std::optional<InNetPlatform::MigratedVm> InNetPlatform::DetachForMigration(Vm::VmId vm_id) {
+  Vm* vm = vms_.Find(vm_id);
+  if (vm == nullptr || vm->state() != VmState::kSuspended) {
+    return std::nullopt;
+  }
+  MigratedVm moved;
+  auto stalled = stalled_buffers_.find(vm_id);
+  if (stalled != stalled_buffers_.end()) {
+    moved.parked = std::move(stalled->second);
+    stalled_buffers_.erase(stalled);
+  }
+  auto snapshot = vms_.ExportSuspended(vm_id);
+  if (!snapshot) {  // unreachable given the state check; keep the buffer safe
+    if (!moved.parked.empty()) {
+      stalled_buffers_[vm_id] = std::move(moved.parked);
+    }
+    return std::nullopt;
+  }
+  moved.snapshot = std::move(*snapshot);
+  for (auto it = installed_.begin(); it != installed_.end();) {
+    it = it->second == vm_id ? installed_.erase(it) : std::next(it);
+  }
+  switch_.RemoveRulesForVm(vm_id);
+  for (auto& [addr, entry] : ondemand_) {
+    if (entry.shared_vm == vm_id) {
+      entry.shared_vm = 0;
+    }
+  }
+  vm_rules_.erase(vm_id);
+  migrating_out_.erase(vm_id);
+  return moved;
+}
+
+Vm::VmId InNetPlatform::InstallMigrated(Ipv4Address addr, VmSnapshot* snapshot,
+                                        std::string* error) {
+  Vm* vm = vms_.ImportSnapshot(snapshot, [this](Vm* ready) { FlushStalled(ready->id()); },
+                               error);
+  if (vm == nullptr) {
+    return 0;
+  }
+  // The graph's egress sinks still point into the source platform: re-bind
+  // them before any packet can reach the guest.
+  AttachEgress(vm);
+  switch_.AddAddressRule(addr, vm->id());
+  installed_[addr.value()] = vm->id();
+  vm_rules_[vm->id()].addrs.push_back(addr.value());
+  return vm->id();
 }
 
 bool InNetPlatform::Uninstall(Ipv4Address addr) {
@@ -143,7 +206,8 @@ void InNetPlatform::IdleSweep() {
   for (const auto& [addr, vm_id] : installed_) {
     Vm* vm = vms_.Find(vm_id);
     if (vm != nullptr && vm->state() == VmState::kRunning &&
-        clock_->now() - vm->last_activity_ns() >= idle_timeout_) {
+        clock_->now() - vm->last_activity_ns() >= idle_timeout_ &&
+        migrating_out_.count(vm_id) == 0) {
       idle.push_back(vm_id);
     }
   }
@@ -184,6 +248,9 @@ bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet) {
 void InNetPlatform::OnStalled(Packet& packet, Vm::VmId vm_id) {
   BufferWithCap(&stalled_buffers_[vm_id], packet);
   Vm* vm = vms_.Find(vm_id);
+  if (migrating_out_.count(vm_id) != 0) {
+    return;  // migrating out: the parked traffic moves with the guest
+  }
   if (vm != nullptr && vm->state() == VmState::kSuspended) {
     ++resumes_on_traffic_;
     ctr_traffic_resumes_->Increment();

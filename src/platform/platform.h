@@ -16,8 +16,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/obs/metrics.h"
@@ -93,6 +95,31 @@ class InNetPlatform {
   size_t suspended_count() const;
   uint64_t idle_suspends() const { return idle_suspends_; }
   uint64_t resumes_on_traffic() const { return resumes_on_traffic_; }
+
+  // --- Live migration (scheduler-driven) -----------------------------------------
+  // Marks a guest as migrating out: traffic arriving while it is suspended
+  // parks in its bounded stalled buffer instead of resuming it, and the idle
+  // sweeper leaves it alone. Call before suspending the guest.
+  void PrepareMigrationOut(Vm::VmId vm_id) { migrating_out_.insert(vm_id); }
+  // Aborts an announced migration: clears the mark and, if parked traffic
+  // accumulated against a suspended guest meanwhile, resumes it to drain
+  // the buffer (the normal resume-on-traffic path).
+  void CancelMigrationOut(Vm::VmId vm_id);
+  struct MigratedVm {
+    VmSnapshot snapshot;
+    std::deque<Packet> parked;  // traffic that arrived during the blackout
+  };
+  // Removes a suspended guest from this platform and returns its frozen
+  // state plus the parked traffic — which is NOT counted abandoned: the
+  // caller re-addresses and replays it on the target after cutover. Switch
+  // rules and all bookkeeping for the guest are torn down.
+  std::optional<MigratedVm> DetachForMigration(Vm::VmId vm_id);
+  // Adopts a migrated guest at `addr`: the switch rule lands immediately
+  // (new traffic parks in the stalled buffer across the resume), egress is
+  // re-bound to this platform, and the buffer flushes once the guest is up.
+  // Returns the new VM id, or 0 + *error with *snapshot left intact so the
+  // caller can re-import it on the source.
+  Vm::VmId InstallMigrated(Ipv4Address addr, VmSnapshot* snapshot, std::string* error);
 
   // --- Failure handling ----------------------------------------------------------
   // Attaches the deterministic fault injector to the VM manager (boot
@@ -192,6 +219,9 @@ class InNetPlatform {
   std::unordered_map<uint32_t, Vm::VmId> installed_;
   std::unordered_map<Vm::VmId, std::deque<Packet>> stalled_buffers_;
   std::unordered_map<Vm::VmId, VmRules> vm_rules_;
+  // Guests announced for migration: stalled traffic parks instead of
+  // resuming them, and the idle sweeper skips them.
+  std::unordered_set<Vm::VmId> migrating_out_;
   sim::TimeNs idle_timeout_ = 0;  // 0 = idle suspend disabled
   bool idle_sweeper_armed_ = false;
   size_t buffer_cap_ = 256;

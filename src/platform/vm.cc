@@ -289,6 +289,82 @@ bool VmManager::Resume(Vm::VmId id, std::function<void()> done) {
   return true;
 }
 
+std::optional<VmSnapshot> VmManager::ExportSuspended(Vm::VmId id) {
+  auto it = vms_.find(id);
+  if (it == vms_.end() || it->second->state_ != VmState::kSuspended) {
+    return std::nullopt;
+  }
+  Vm* vm = it->second.get();
+  VmSnapshot snapshot;
+  snapshot.kind = vm->kind_;
+  snapshot.config_text = std::move(vm->config_text_);
+  snapshot.graph = std::move(vm->graph_);
+  snapshot.injected_count = vm->injected_count_;
+  snapshot.restart_count = vm->restart_count_;
+  vm->state_ = VmState::kDestroyed;
+  ++vm->epoch_;
+  vms_.erase(it);
+  obs::Registry().GetCounter("innet_vm_migrate_exports_total")->Increment();
+  return snapshot;
+}
+
+Vm* VmManager::ImportSnapshot(VmSnapshot* snapshot, ReadyCallback on_ready, std::string* error) {
+  if (snapshot == nullptr || snapshot->graph == nullptr) {
+    if (error != nullptr) {
+      *error = "snapshot carries no graph";
+    }
+    return nullptr;
+  }
+  uint64_t needed = cost_model_.MemoryBytes(snapshot->kind);
+  if (memory_used_ + needed > memory_total_) {
+    if (error != nullptr) {
+      *error = "platform out of guest memory";
+    }
+    return nullptr;
+  }
+  auto vm = std::unique_ptr<Vm>(new Vm());
+  vm->id_ = next_id_++;
+  vm->kind_ = snapshot->kind;
+  vm->state_ = VmState::kResuming;
+  vm->graph_ = std::move(snapshot->graph);
+  vm->config_text_ = std::move(snapshot->config_text);
+  vm->injected_count_ = snapshot->injected_count;
+  vm->restart_count_ = snapshot->restart_count;
+  vm->clock_ = clock_;
+  Vm* raw = vm.get();
+  memory_used_ += needed;
+  vms_.emplace(raw->id_, std::move(vm));
+  obs::Registry().GetCounter("innet_vm_migrate_imports_total")->Increment();
+  sim::TimeNs latency = cost_model_.ResumeTime(vm_count());
+  if (fault_ != nullptr) {
+    latency = fault_->StretchResume(latency);
+  }
+  clock_->ScheduleAfter(
+      latency, [this, id = raw->id_, latency, epoch = raw->epoch_, cb = std::move(on_ready)] {
+        Vm* target = Find(id);
+        if (target == nullptr || target->state_ != VmState::kResuming ||
+            target->epoch_ != epoch) {
+          return;  // destroyed or crashed before the import finished
+        }
+        target->state_ = VmState::kRunning;
+        ++target->epoch_;
+        target->last_activity_ns_ = clock_->now();
+        obs::Registry().GetCounter("innet_vm_resumes_total")->Increment();
+        obs::Registry()
+            .GetHistogram("innet_vm_resume_latency_ms", {}, LatencyBucketsMs())
+            ->Observe(sim::ToMillis(latency));
+        if (obs::Tracer().enabled()) {
+          obs::Tracer().Record(clock_->now(), obs::EventKind::kVmResume, VmTarget(id),
+                               "migrated", static_cast<int64_t>(latency));
+        }
+        ArmCrashTimer(target);
+        if (cb) {
+          cb(target);
+        }
+      });
+  return raw;
+}
+
 bool VmManager::Destroy(Vm::VmId id) {
   auto it = vms_.find(id);
   if (it == vms_.end()) {

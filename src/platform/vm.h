@@ -14,6 +14,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -86,6 +87,19 @@ class Vm {
   sim::EventQueue* clock_ = nullptr;
 };
 
+// A suspended guest's frozen state, detached from its manager for live
+// migration. The Click graph object moves as-is, so element state (counters,
+// flow tables, queued packets) survives the transfer byte-for-byte. Both
+// managers must share the same event queue — the graph's timed elements keep
+// their clock binding across the move.
+struct VmSnapshot {
+  VmKind kind = VmKind::kClickOs;
+  std::string config_text;
+  std::unique_ptr<click::Graph> graph;
+  uint64_t injected_count = 0;
+  uint64_t restart_count = 0;
+};
+
 class VmManager {
  public:
   using ReadyCallback = std::function<void(Vm*)>;
@@ -124,6 +138,20 @@ class VmManager {
   // be re-attached by the caller — the graph is new). Returns false when the
   // guest is not crashed or memory is exhausted.
   bool Restart(Vm::VmId id, ReadyCallback on_ready, std::string* error);
+
+  // --- Live migration -------------------------------------------------------
+  // Detaches a suspended guest's frozen state for transfer to another
+  // manager. Only legal from kSuspended: the suspend already quiesced the
+  // graph and released the guest's RAM, so there is nothing left to race
+  // with. The id is retired; any still-pending callback for it is a no-op.
+  std::optional<VmSnapshot> ExportSuspended(Vm::VmId id);
+  // Adopts a snapshot under a fresh id: the guest appears in kResuming
+  // (RAM re-acquired up front) and reaches kRunning after ResumeTime,
+  // exactly like a local resume. On failure returns nullptr + *error and
+  // leaves *snapshot intact so the caller can re-import it elsewhere.
+  // Egress handlers must be re-attached by the caller — the sink closures
+  // in the graph still point into the source platform.
+  Vm* ImportSnapshot(VmSnapshot* snapshot, ReadyCallback on_ready, std::string* error);
 
   void AddCrashObserver(CrashObserver observer) {
     crash_observers_.push_back(std::move(observer));

@@ -1,0 +1,49 @@
+#include "src/scheduler/engine.h"
+
+namespace innet::scheduler {
+
+PlacementEngine::PlacementEngine(ResourceLedger::Prober prober, PlacementPolicyKind policy)
+    : ledger_(std::move(prober)), policy_(policy) {
+  ctr_accepted_ =
+      obs::Registry().GetCounter("innet_scheduler_admission_total", {{"outcome", "accepted"}});
+  ctr_rejected_ =
+      obs::Registry().GetCounter("innet_scheduler_admission_total", {{"outcome", "rejected"}});
+}
+
+PlacementDecision PlacementEngine::Decide(const std::string& client_id,
+                                          const PlacementRequest& request) {
+  PlacementDecision decision;
+  if (!admission_.Admit(client_id, request.memory_bytes, &decision.reject_reason)) {
+    ctr_rejected_->Increment();
+    return decision;
+  }
+  if (!request.pinned_platform.empty()) {
+    decision.admitted = true;
+    decision.candidates.push_back(request.pinned_platform);
+    ctr_accepted_->Increment();
+    return decision;
+  }
+  decision.candidates = RankPlatforms(policy_, ledger_.Snapshot(), request);
+  if (decision.candidates.empty()) {
+    decision.reject_reason = "placement: no platform has headroom (policy=" +
+                             std::string(PlacementPolicyName(policy_)) +
+                             ", need=" + std::to_string(request.memory_bytes) + " bytes)";
+    ctr_rejected_->Increment();
+    return decision;
+  }
+  decision.admitted = true;
+  ctr_accepted_->Increment();
+  return decision;
+}
+
+void PlacementEngine::CommitPlacement(const std::string& client_id, uint64_t memory_bytes) {
+  admission_.Commit(client_id, memory_bytes);
+  ledger_.ExportHeadroomGauges();
+}
+
+void PlacementEngine::ReleasePlacement(const std::string& client_id, uint64_t memory_bytes) {
+  admission_.Release(client_id, memory_bytes);
+  ledger_.ExportHeadroomGauges();
+}
+
+}  // namespace innet::scheduler

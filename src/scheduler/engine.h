@@ -1,0 +1,59 @@
+// PlacementEngine: the scheduler's front door, combining admission control,
+// the resource ledger, and the active placement policy into one decision:
+// "which platforms, in which order, may this request be verified against?"
+// The engine never instantiates anything itself — the orchestrator feeds its
+// candidate list through the controller, so every placement the engine
+// proposes is still SymNet-verified before it exists.
+#ifndef SRC_SCHEDULER_ENGINE_H_
+#define SRC_SCHEDULER_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/scheduler/admission.h"
+#include "src/scheduler/ledger.h"
+#include "src/scheduler/policy.h"
+
+namespace innet::scheduler {
+
+struct PlacementDecision {
+  bool admitted = false;
+  std::string reject_reason;  // deterministic; set iff !admitted
+  // Headroom-filtered candidate platforms in policy order (or exactly the
+  // pinned platform when the request pinned one).
+  std::vector<std::string> candidates;
+};
+
+class PlacementEngine {
+ public:
+  explicit PlacementEngine(ResourceLedger::Prober prober,
+                           PlacementPolicyKind policy = PlacementPolicyKind::kFirstFit);
+
+  ResourceLedger& ledger() { return ledger_; }
+  AdmissionController& admission() { return admission_; }
+  PlacementPolicyKind policy() const { return policy_; }
+  void set_policy(PlacementPolicyKind policy) { policy_ = policy; }
+
+  // Quota check, then headroom filter + policy ranking over a fresh ledger
+  // snapshot. Bumps innet_scheduler_admission_total{outcome=...}. A pinned
+  // request skips ranking (and the headroom filter — the install will fail
+  // loudly instead) but not the quota check.
+  PlacementDecision Decide(const std::string& client_id, const PlacementRequest& request);
+
+  // Usage bookkeeping once a placement lands / dies; refreshes the
+  // per-platform headroom gauges as a side effect.
+  void CommitPlacement(const std::string& client_id, uint64_t memory_bytes);
+  void ReleasePlacement(const std::string& client_id, uint64_t memory_bytes);
+
+ private:
+  ResourceLedger ledger_;
+  AdmissionController admission_;
+  PlacementPolicyKind policy_;
+  obs::Counter* ctr_accepted_ = nullptr;
+  obs::Counter* ctr_rejected_ = nullptr;
+};
+
+}  // namespace innet::scheduler
+
+#endif  // SRC_SCHEDULER_ENGINE_H_

@@ -1,0 +1,64 @@
+#include "src/scheduler/policy.h"
+
+#include <algorithm>
+
+namespace innet::scheduler {
+
+const char* PlacementPolicyName(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kFirstFit: return "first_fit";
+    case PlacementPolicyKind::kLeastLoaded: return "least_loaded";
+    case PlacementPolicyKind::kBinPack: return "bin_pack";
+  }
+  return "unknown";
+}
+
+bool ParsePlacementPolicy(const std::string& text, PlacementPolicyKind* out) {
+  if (text == "first_fit") {
+    *out = PlacementPolicyKind::kFirstFit;
+  } else if (text == "least_loaded") {
+    *out = PlacementPolicyKind::kLeastLoaded;
+  } else if (text == "bin_pack") {
+    *out = PlacementPolicyKind::kBinPack;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> RankPlatforms(PlacementPolicyKind kind,
+                                       const std::vector<PlatformResources>& platforms,
+                                       const PlacementRequest& request) {
+  std::vector<const PlatformResources*> fitting;
+  for (const PlatformResources& platform : platforms) {
+    if (platform.available && platform.memory_free() >= request.memory_bytes) {
+      fitting.push_back(&platform);
+    }
+  }
+  // The snapshot arrives name-sorted; stable_sort preserves that order as
+  // the tiebreak, which is also exactly first-fit's ranking.
+  switch (kind) {
+    case PlacementPolicyKind::kFirstFit:
+      break;
+    case PlacementPolicyKind::kLeastLoaded:
+      std::stable_sort(fitting.begin(), fitting.end(),
+                       [](const PlatformResources* a, const PlatformResources* b) {
+                         return a->utilization() < b->utilization();
+                       });
+      break;
+    case PlacementPolicyKind::kBinPack:
+      std::stable_sort(fitting.begin(), fitting.end(),
+                       [](const PlatformResources* a, const PlatformResources* b) {
+                         return a->utilization() > b->utilization();
+                       });
+      break;
+  }
+  std::vector<std::string> names;
+  names.reserve(fitting.size());
+  for (const PlatformResources* platform : fitting) {
+    names.push_back(platform->name);
+  }
+  return names;
+}
+
+}  // namespace innet::scheduler

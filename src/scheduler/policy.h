@@ -1,0 +1,44 @@
+// Placement policies: how the scheduler orders platforms with headroom for a
+// new tenant. The policy only *proposes* an order — every candidate still
+// passes through the controller's static verification before anything is
+// instantiated, so a policy can never place an unverifiable module.
+#ifndef SRC_SCHEDULER_POLICY_H_
+#define SRC_SCHEDULER_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/scheduler/ledger.h"
+
+namespace innet::scheduler {
+
+enum class PlacementPolicyKind {
+  kFirstFit,     // ledger (name) order: predictable, cheapest to reason about
+  kLeastLoaded,  // lowest memory utilization first: spread load, spare hot nodes
+  kBinPack,      // highest utilization that still fits first: consolidate,
+                 // keeping empty platforms free for large tenants
+};
+
+// Stable wire name ("first_fit", ...), used by flags and bench JSON.
+const char* PlacementPolicyName(PlacementPolicyKind kind);
+bool ParsePlacementPolicy(const std::string& text, PlacementPolicyKind* out);
+
+// What a placement needs from a platform.
+struct PlacementRequest {
+  uint64_t memory_bytes = 0;
+  // When set, placement is restricted to exactly this platform (the client
+  // pinned it); policy ranking is skipped but quotas still apply.
+  std::string pinned_platform;
+};
+
+// Filters `platforms` down to available ones with at least
+// `request.memory_bytes` free and orders the survivors by `kind`. All ties
+// break by name, so the ranking is deterministic for a given snapshot.
+std::vector<std::string> RankPlatforms(PlacementPolicyKind kind,
+                                       const std::vector<PlatformResources>& platforms,
+                                       const PlacementRequest& request);
+
+}  // namespace innet::scheduler
+
+#endif  // SRC_SCHEDULER_POLICY_H_

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/controller/controller.h"
+#include "src/controller/orchestrator.h"
 #include "src/controller/security.h"
 #include "src/controller/stock_modules.h"
 #include "src/topology/network.h"
@@ -356,6 +357,95 @@ TEST_F(ControllerDeploy, StockDnsDeploysAndIsReachable) {
   DeployOutcome outcome = controller_.Deploy(request);
   ASSERT_TRUE(outcome.accepted) << outcome.reason;
   EXPECT_EQ(outcome.platform, "platform3");
+}
+
+// --- Orchestrator reject-path bookkeeping ----------------------------------------------
+
+// Rejected deployments must leave no trace: no placement entry, no committed
+// deployment, no admission usage. The pinned request bypasses the scheduler's
+// headroom filter, so the failure happens late — at shared-VM rebuild, after
+// verification already passed — the worst case for stale bookkeeping.
+TEST(OrchestratorBookkeeping, FailedInstallLeavesNoStaleState) {
+  sim::EventQueue clock;
+  OrchestratorOptions options;
+  // Room for exactly one 8 MB ClickOS guest: the second tenant's shared-VM
+  // rebuild (which transiently needs a second guest) must fail.
+  options.platform_memory_bytes = 12ull << 20;
+  Orchestrator orch(topology::Network::MakeFigure3(), &clock, options);
+
+  ClientRequest request;
+  request.client_id = "web1";
+  request.requester = RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() -> IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+  request.pinned_platform = "platform1";
+
+  auto first = orch.Deploy(request);
+  ASSERT_TRUE(first.outcome.accepted) << first.outcome.reason;
+  ASSERT_TRUE(first.consolidated);
+
+  ClientRequest second_request = request;
+  second_request.client_id = "web2";
+  auto second = orch.Deploy(second_request);
+  EXPECT_FALSE(second.outcome.accepted);
+  EXPECT_NE(second.outcome.reason.find("consolidation failed"), std::string::npos);
+  // No stale placement, deployment record, shared-VM tenant, or quota usage.
+  EXPECT_EQ(orch.placement_count(), 1u);
+  EXPECT_FALSE(orch.HasPlacement(second.outcome.module_id));
+  EXPECT_EQ(orch.controller().deployments().size(), 1u);
+  EXPECT_EQ(orch.ConsolidatedTenantCount("platform1"), 1u);
+  EXPECT_EQ(orch.engine().admission().UsageFor("web2").modules, 0u);
+  // The surviving tenant is untouched.
+  EXPECT_EQ(orch.platform("platform1")->vms().vm_count(), 1u);
+}
+
+// Headroom rejection happens before verification: nothing is committed.
+TEST(OrchestratorBookkeeping, NoHeadroomRejectsBeforeVerification) {
+  sim::EventQueue clock;
+  OrchestratorOptions options;
+  options.platform_memory_bytes = 4ull << 20;  // below one ClickOS guest
+  Orchestrator orch(topology::Network::MakeFigure3(), &clock, options);
+
+  ClientRequest request;
+  request.client_id = "web1";
+  request.requester = RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() -> IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+
+  auto result = orch.Deploy(request);
+  EXPECT_FALSE(result.outcome.accepted);
+  EXPECT_NE(result.outcome.reason.find("no platform has headroom"), std::string::npos);
+  EXPECT_EQ(result.outcome.engine_steps, 0u);  // the verifier never ran
+  EXPECT_TRUE(orch.controller().deployments().empty());
+  EXPECT_EQ(orch.placement_count(), 0u);
+}
+
+// Kill of a module id that never placed (or already died) is a clean no-op.
+TEST(OrchestratorBookkeeping, KillOfNeverPlacedModuleIsCleanNoOp) {
+  sim::EventQueue clock;
+  Orchestrator orch(topology::Network::MakeFigure3(), &clock);
+  EXPECT_FALSE(orch.Kill("module-never-existed"));
+  EXPECT_FALSE(orch.Kill(""));
+  EXPECT_EQ(orch.placement_count(), 0u);
+  for (const char* name : {"platform1", "platform2", "platform3"}) {
+    EXPECT_EQ(orch.platform(name)->vms().vm_count(), 0u) << name;
+  }
+  // Double-kill: the second call finds nothing and says so.
+  ClientRequest request;
+  request.client_id = "cdn";
+  request.requester = RequesterClass::kThirdParty;
+  request.click_config = StockDnsServer();
+  auto deployed = orch.Deploy(request);
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+  EXPECT_TRUE(orch.Kill(deployed.outcome.module_id));
+  EXPECT_FALSE(orch.Kill(deployed.outcome.module_id));
+  EXPECT_EQ(orch.placement_count(), 0u);
 }
 
 }  // namespace

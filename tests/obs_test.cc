@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "src/controller/orchestrator.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/scheduler/engine.h"
 #include "src/sim/stats.h"
+#include "src/topology/network.h"
 
 namespace innet::obs {
 namespace {
@@ -159,6 +162,119 @@ TEST(Tracer, RecordNowUsesTimeSource) {
   ASSERT_EQ(tracer.events().size(), 2u);
   EXPECT_EQ(tracer.events()[0].time_ns, 7u);
   EXPECT_EQ(tracer.events()[1].time_ns, 9u);
+}
+
+// --- Scheduler instruments ------------------------------------------------------------
+// The registry is process-global, so these check deltas, never absolutes.
+
+TEST(SchedulerMetrics, AdmissionCountersTrackDecisions) {
+  Counter* accepted =
+      Registry().GetCounter("innet_scheduler_admission_total", {{"outcome", "accepted"}});
+  Counter* rejected =
+      Registry().GetCounter("innet_scheduler_admission_total", {{"outcome", "rejected"}});
+  uint64_t accepted_before = accepted->value();
+  uint64_t rejected_before = rejected->value();
+
+  scheduler::PlacementEngine engine(
+      [](const std::string&, scheduler::PlatformResources* out) {
+        out->memory_total = 100;
+        out->memory_used = 0;
+        return true;
+      });
+  engine.ledger().AddPlatform("box");
+  engine.admission().SetQuota("capped", scheduler::TenantQuota{.max_modules = 1});
+
+  scheduler::PlacementRequest request;
+  request.memory_bytes = 10;
+  EXPECT_TRUE(engine.Decide("capped", request).admitted);
+  engine.CommitPlacement("capped", 10);
+  EXPECT_FALSE(engine.Decide("capped", request).admitted);  // quota
+  request.memory_bytes = 1000;
+  EXPECT_FALSE(engine.Decide("other", request).admitted);  // no headroom
+
+  EXPECT_EQ(accepted->value() - accepted_before, 1u);
+  EXPECT_EQ(rejected->value() - rejected_before, 2u);
+}
+
+TEST(SchedulerMetrics, HeadroomGaugeTracksLedgerState) {
+  uint64_t used = 40;
+  bool known = true;
+  scheduler::PlacementEngine engine(
+      [&](const std::string&, scheduler::PlatformResources* out) {
+        if (!known) {
+          return false;
+        }
+        out->memory_total = 100;
+        out->memory_used = used;
+        return true;
+      });
+  // Unique platform name: gauges are keyed by label and the registry is
+  // shared across tests.
+  const std::string name = "obs-test-headroom-box";
+  engine.ledger().AddPlatform(name);
+  Gauge* gauge =
+      Registry().GetGauge("innet_scheduler_platform_headroom_bytes", {{"platform", name}});
+
+  engine.ledger().ExportHeadroomGauges();
+  EXPECT_DOUBLE_EQ(gauge->value(), 60.0);
+
+  used = 70;  // data-plane change shows up on the next export (live probe)
+  engine.CommitPlacement("tenant", 30);
+  EXPECT_DOUBLE_EQ(gauge->value(), 30.0);
+
+  engine.ledger().SetAvailable(name, false);  // drained: no headroom offered
+  engine.ledger().ExportHeadroomGauges();
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+}
+
+TEST(SchedulerMetrics, MigrationCountersTrackOutcomes) {
+  Counter* started =
+      Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "started"}});
+  Counter* completed =
+      Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "completed"}});
+  Counter* aborted =
+      Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "aborted"}});
+  uint64_t started_before = started->value();
+  uint64_t completed_before = completed->value();
+  uint64_t aborted_before = aborted->value();
+
+  sim::EventQueue clock;
+  controller::Orchestrator orch(topology::Network::MakeFigure3(), &clock);
+
+  // A stateless tenant migrates make-before-break: started + completed.
+  controller::ClientRequest request;
+  request.client_id = "web";
+  request.requester = controller::RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() -> IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+  auto stateless = orch.Deploy(request);
+  ASSERT_TRUE(stateless.outcome.accepted) << stateless.outcome.reason;
+  const std::string target = stateless.outcome.platform == "platform2" ? "platform1" : "platform2";
+  ASSERT_TRUE(orch.MigrateTenant(stateless.outcome.module_id, target).started);
+  EXPECT_EQ(started->value() - started_before, 1u);
+  EXPECT_EQ(completed->value() - completed_before, 1u);
+
+  // The Figure 4 batcher only verifies on platform3: migrating it away
+  // starts, then aborts at target re-verification.
+  controller::ClientRequest batcher = request;
+  batcher.client_id = "mobile1";
+  batcher.click_config =
+      "FromNetfront() -> IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> TimedUnqueue(120,100) -> ToNetfront();";
+  batcher.requirements =
+      "reach from internet udp -> client dst port 1500 const proto && dst port && payload";
+  auto stateful = orch.Deploy(batcher);
+  ASSERT_TRUE(stateful.outcome.accepted) << stateful.outcome.reason;
+  ASSERT_EQ(stateful.outcome.platform, "platform3");
+  clock.RunUntil(clock.now() + sim::FromSeconds(1));  // guest boots
+  ASSERT_TRUE(orch.MigrateTenant(stateful.outcome.module_id, "platform1").started);
+  clock.RunUntil(clock.now() + sim::FromSeconds(2));  // suspend lands, verify fails
+  EXPECT_EQ(started->value() - started_before, 2u);
+  EXPECT_EQ(completed->value() - completed_before, 1u);
+  EXPECT_EQ(aborted->value() - aborted_before, 1u);
 }
 
 TEST(Samples, PercentilesSurviveInterleavedAdds) {

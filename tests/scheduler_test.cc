@@ -1,0 +1,523 @@
+// Scheduler subsystem: placement policies, admission control, the resource
+// ledger, and the orchestrator-driven flows built on them — policy spread,
+// quota enforcement, and suspend/resume live migration (the §5 mechanism
+// turned into a placement primitive).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/click/elements.h"
+#include "src/controller/orchestrator.h"
+#include "src/scheduler/admission.h"
+#include "src/scheduler/engine.h"
+#include "src/scheduler/ledger.h"
+#include "src/scheduler/policy.h"
+#include "src/topology/network.h"
+
+namespace innet::scheduler {
+namespace {
+
+PlatformResources MakeRes(const std::string& name, uint64_t total, uint64_t used,
+                          bool available = true) {
+  PlatformResources res;
+  res.name = name;
+  res.memory_total = total;
+  res.memory_used = used;
+  res.available = available;
+  return res;
+}
+
+// --- Placement policies ----------------------------------------------------------------
+
+TEST(PlacementPolicy, FirstFitKeepsSnapshotOrder) {
+  std::vector<PlatformResources> snapshot = {
+      MakeRes("a", 100, 90), MakeRes("b", 100, 10), MakeRes("c", 100, 50)};
+  PlacementRequest request;
+  request.memory_bytes = 10;
+  EXPECT_EQ(RankPlatforms(PlacementPolicyKind::kFirstFit, snapshot, request),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PlacementPolicy, LeastLoadedOrdersByUtilizationAscending) {
+  std::vector<PlatformResources> snapshot = {
+      MakeRes("a", 100, 90), MakeRes("b", 100, 10), MakeRes("c", 100, 50)};
+  PlacementRequest request;
+  request.memory_bytes = 10;
+  EXPECT_EQ(RankPlatforms(PlacementPolicyKind::kLeastLoaded, snapshot, request),
+            (std::vector<std::string>{"b", "c", "a"}));
+}
+
+TEST(PlacementPolicy, BinPackOrdersByUtilizationDescending) {
+  std::vector<PlatformResources> snapshot = {
+      MakeRes("a", 100, 90), MakeRes("b", 100, 10), MakeRes("c", 100, 50)};
+  PlacementRequest request;
+  request.memory_bytes = 10;
+  EXPECT_EQ(RankPlatforms(PlacementPolicyKind::kBinPack, snapshot, request),
+            (std::vector<std::string>{"a", "c", "b"}));
+}
+
+TEST(PlacementPolicy, FiltersUnavailableAndFullPlatforms) {
+  std::vector<PlatformResources> snapshot = {
+      MakeRes("dead", 100, 0, /*available=*/false),  // failed over
+      MakeRes("full", 100, 95),                      // 5 bytes free < 10 needed
+      MakeRes("ok", 100, 50)};
+  PlacementRequest request;
+  request.memory_bytes = 10;
+  for (PlacementPolicyKind kind : {PlacementPolicyKind::kFirstFit,
+                                   PlacementPolicyKind::kLeastLoaded,
+                                   PlacementPolicyKind::kBinPack}) {
+    EXPECT_EQ(RankPlatforms(kind, snapshot, request), (std::vector<std::string>{"ok"}));
+  }
+}
+
+TEST(PlacementPolicy, TiesBreakBySnapshotOrder) {
+  // Equal utilization everywhere: every policy degenerates to name order, so
+  // rankings stay deterministic.
+  std::vector<PlatformResources> snapshot = {
+      MakeRes("a", 100, 40), MakeRes("b", 100, 40), MakeRes("c", 100, 40)};
+  PlacementRequest request;
+  request.memory_bytes = 10;
+  for (PlacementPolicyKind kind : {PlacementPolicyKind::kLeastLoaded,
+                                   PlacementPolicyKind::kBinPack}) {
+    EXPECT_EQ(RankPlatforms(kind, snapshot, request),
+              (std::vector<std::string>{"a", "b", "c"}));
+  }
+}
+
+TEST(PlacementPolicy, WireNamesRoundTrip) {
+  for (PlacementPolicyKind kind : {PlacementPolicyKind::kFirstFit,
+                                   PlacementPolicyKind::kLeastLoaded,
+                                   PlacementPolicyKind::kBinPack}) {
+    PlacementPolicyKind parsed;
+    ASSERT_TRUE(ParsePlacementPolicy(PlacementPolicyName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  PlacementPolicyKind parsed;
+  EXPECT_FALSE(ParsePlacementPolicy("round_robin", &parsed));
+}
+
+// --- Admission control -----------------------------------------------------------------
+
+TEST(Admission, ModuleQuotaRejectsWithStableReason) {
+  AdmissionController admission;
+  admission.SetQuota("tenant", TenantQuota{.max_modules = 2});
+  std::string reason;
+  EXPECT_TRUE(admission.Admit("tenant", 100, &reason));
+  admission.Commit("tenant", 100);
+  admission.Commit("tenant", 100);
+  EXPECT_FALSE(admission.Admit("tenant", 100, &reason));
+  EXPECT_EQ(reason, "admission: client tenant at module quota (2 of 2)");
+}
+
+TEST(Admission, MemoryQuotaRejectsAndReleaseRestores) {
+  AdmissionController admission;
+  admission.SetQuota("tenant", TenantQuota{.max_memory_bytes = 250});
+  admission.Commit("tenant", 200);
+  std::string reason;
+  EXPECT_FALSE(admission.Admit("tenant", 100, &reason));
+  EXPECT_NE(reason.find("memory quota"), std::string::npos);
+  admission.Release("tenant", 200);
+  EXPECT_TRUE(admission.Admit("tenant", 100, &reason));
+  EXPECT_EQ(admission.UsageFor("tenant").modules, 0u);
+}
+
+TEST(Admission, QuotasArePerClient) {
+  AdmissionController admission;
+  admission.SetQuota("small", TenantQuota{.max_modules = 1});
+  admission.Commit("small", 10);
+  std::string reason;
+  EXPECT_FALSE(admission.Admit("small", 10, &reason));
+  EXPECT_TRUE(admission.Admit("other", 10, &reason));  // default quota: unlimited
+}
+
+// --- Resource ledger -------------------------------------------------------------------
+
+TEST(Ledger, SnapshotIsNameSortedAndLive) {
+  uint64_t used_b = 10;
+  ResourceLedger ledger([&](const std::string& name, PlatformResources* out) {
+    out->memory_total = 100;
+    out->memory_used = name == "b" ? used_b : 50;
+    return true;
+  });
+  ledger.AddPlatform("b");
+  ledger.AddPlatform("a");
+  std::vector<PlatformResources> snapshot = ledger.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].name, "a");
+  EXPECT_EQ(snapshot[1].name, "b");
+  EXPECT_EQ(snapshot[1].memory_used, 10u);
+  used_b = 70;  // no write-back bookkeeping: the next snapshot sees the probe
+  EXPECT_EQ(ledger.Snapshot()[1].memory_used, 70u);
+}
+
+TEST(Ledger, SetAvailableOverridesProbe) {
+  ResourceLedger ledger([](const std::string&, PlatformResources* out) {
+    out->memory_total = 100;
+    return true;
+  });
+  ledger.AddPlatform("a");
+  ledger.SetAvailable("a", false);
+  EXPECT_FALSE(ledger.Snapshot()[0].available);
+  ledger.SetAvailable("a", true);
+  EXPECT_TRUE(ledger.Snapshot()[0].available);
+}
+
+TEST(Ledger, VanishedPlatformsDropFromSnapshot) {
+  ResourceLedger ledger(
+      [](const std::string& name, PlatformResources*) { return name != "gone"; });
+  ledger.AddPlatform("gone");
+  ledger.AddPlatform("here");
+  std::vector<PlatformResources> snapshot = ledger.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "here");
+}
+
+// --- Placement engine ------------------------------------------------------------------
+
+TEST(Engine, RejectsWhenNoPlatformHasHeadroom) {
+  PlacementEngine engine([](const std::string&, PlatformResources* out) {
+    out->memory_total = 100;
+    out->memory_used = 100;
+    return true;
+  });
+  engine.ledger().AddPlatform("a");
+  PlacementRequest request;
+  request.memory_bytes = 10;
+  PlacementDecision decision = engine.Decide("tenant", request);
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_EQ(decision.reject_reason,
+            "placement: no platform has headroom (policy=first_fit, need=10 bytes)");
+}
+
+TEST(Engine, PinnedRequestSkipsRankingButNotQuota) {
+  PlacementEngine engine([](const std::string&, PlatformResources* out) {
+    out->memory_total = 100;
+    out->memory_used = 100;  // no headroom anywhere — pinning bypasses the filter
+    return true;
+  });
+  engine.ledger().AddPlatform("a");
+  PlacementRequest request;
+  request.memory_bytes = 10;
+  request.pinned_platform = "a";
+  PlacementDecision decision = engine.Decide("tenant", request);
+  ASSERT_TRUE(decision.admitted);
+  EXPECT_EQ(decision.candidates, (std::vector<std::string>{"a"}));
+
+  engine.admission().SetQuota("tenant", TenantQuota{.max_modules = 0});
+  decision = engine.Decide("tenant", request);
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_NE(decision.reject_reason.find("module quota"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace innet::scheduler
+
+// --- Orchestrator + scheduler: spread, quotas, live migration --------------------------
+
+namespace innet::controller {
+namespace {
+
+using platform::Vm;
+using platform::VmState;
+
+// Stateful but statically safe: FlowMeter keeps per-flow state (so the
+// orchestrator gives it a dedicated VM — migratable), and the config passes
+// the Table 1 checks for plain clients. `client_addr` must be whitelisted.
+ClientRequest MeterRequest(const std::string& client_id, const std::string& client_addr,
+                           const std::string& owned_prefix) {
+  ClientRequest request;
+  request.client_id = client_id;
+  request.requester = RequesterClass::kClient;
+  request.click_config = "FromNetfront() -> FlowMeter() -> IPRewriter(pattern - - " +
+                         client_addr + " - 0 0) -> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse(client_addr)};
+  request.owned_prefixes = {Ipv4Prefix::MustParse(owned_prefix)};
+  return request;
+}
+
+// The Figure 4 batcher: its reach requirement only holds on platform3, which
+// makes it the canonical "target fails verification" migration victim.
+ClientRequest BatcherRequest() {
+  ClientRequest request;
+  request.client_id = "mobile1";
+  request.requester = RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() ->"
+      "IPFilter(allow udp dst port 1500) ->"
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0)"
+      "-> TimedUnqueue(120,100)"
+      "-> dst :: ToNetfront();";
+  request.requirements =
+      "reach from internet udp -> client dst port 1500 "
+      "const proto && dst port && payload";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+  return request;
+}
+
+ClientRequest StatelessRequest(const std::string& client_id, uint16_t port) {
+  ClientRequest request;
+  request.client_id = client_id;
+  request.requester = RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() -> IPFilter(allow udp dst port " + std::to_string(port) +
+      ") -> IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+  return request;
+}
+
+uint64_t FlowCount(Vm* vm) {
+  auto* meter = dynamic_cast<click::FlowMeter*>(vm->graph()->FindByClass("FlowMeter"));
+  return meter == nullptr ? 0 : meter->flow_count();
+}
+
+TEST(SchedulerSpread, FirstFitStacksLeastLoadedSpreads) {
+  for (bool spread : {false, true}) {
+    sim::EventQueue clock;
+    OrchestratorOptions options;
+    options.policy = spread ? scheduler::PlacementPolicyKind::kLeastLoaded
+                            : scheduler::PlacementPolicyKind::kFirstFit;
+    Orchestrator orch(topology::Network::MakeMultiPop(4), &clock, options);
+    for (int i = 0; i < 4; ++i) {
+      auto result = orch.Deploy(
+          MeterRequest("meter" + std::to_string(i), "10.1.0.5", "10.1.0.0/16"));
+      ASSERT_TRUE(result.outcome.accepted) << result.outcome.reason;
+      EXPECT_NE(result.vm_id, 0u);  // stateful -> dedicated VM
+    }
+    if (spread) {
+      // One 8 MB guest per platform: each deploy lands on the emptiest box.
+      for (const char* name : {"platform0", "platform1", "platform2", "platform3"}) {
+        EXPECT_EQ(orch.platform(name)->vms().vm_count(), 1u) << name;
+      }
+    } else {
+      // First-fit keeps stacking the name-first platform while it has room.
+      EXPECT_EQ(orch.platform("platform0")->vms().vm_count(), 4u);
+    }
+  }
+}
+
+TEST(SchedulerSpread, BinPackRefillsThePartiallyLoadedPlatform) {
+  sim::EventQueue clock;
+  OrchestratorOptions options;
+  options.policy = scheduler::PlacementPolicyKind::kBinPack;
+  Orchestrator orch(topology::Network::MakeMultiPop(3), &clock, options);
+  // Seed one tenant (all platforms empty: tie broken by name -> platform0),
+  // then every later tenant bin-packs onto the same partially loaded box.
+  for (int i = 0; i < 3; ++i) {
+    auto result =
+        orch.Deploy(MeterRequest("meter" + std::to_string(i), "10.1.0.5", "10.1.0.0/16"));
+    ASSERT_TRUE(result.outcome.accepted) << result.outcome.reason;
+    EXPECT_EQ(result.outcome.platform, "platform0");
+  }
+}
+
+TEST(SchedulerQuota, DeployEnforcesAndKillReleases) {
+  sim::EventQueue clock;
+  Orchestrator orch(topology::Network::MakeFigure3(), &clock);
+  orch.engine().admission().SetQuota("mobile1", scheduler::TenantQuota{.max_modules = 1});
+
+  auto first = orch.Deploy(BatcherRequest());
+  ASSERT_TRUE(first.outcome.accepted) << first.outcome.reason;
+  auto second = orch.Deploy(BatcherRequest());
+  EXPECT_FALSE(second.outcome.accepted);
+  EXPECT_NE(second.outcome.reason.find("module quota"), std::string::npos);
+  EXPECT_EQ(orch.placement_count(), 1u);
+
+  ASSERT_TRUE(orch.Kill(first.outcome.module_id));
+  auto third = orch.Deploy(BatcherRequest());
+  EXPECT_TRUE(third.outcome.accepted) << third.outcome.reason;
+}
+
+class Migration : public ::testing::Test {
+ protected:
+  Migration() : orch_(topology::Network::MakeFigure3(), &clock_) {}
+
+  sim::EventQueue clock_;
+  Orchestrator orch_;
+};
+
+TEST_F(Migration, StartRejectsBadArguments) {
+  EXPECT_EQ(orch_.MigrateTenant("nope", "platform2").reason, "unknown module id");
+  auto result = orch_.Deploy(MeterRequest("meter", "10.10.0.5", "10.10.0.0/24"));
+  ASSERT_TRUE(result.outcome.accepted) << result.outcome.reason;
+  EXPECT_EQ(orch_.MigrateTenant(result.outcome.module_id, result.outcome.platform).reason,
+            "module already on target platform");
+  EXPECT_EQ(orch_.MigrateTenant(result.outcome.module_id, "platform9").reason,
+            "unknown target platform");
+}
+
+// THE acceptance test: a stateful tenant keeps serving traffic across a live
+// migration. Packets arriving during the suspend/transfer blackout park in
+// the source's bounded stall buffer and are re-addressed + replayed on the
+// target; the flow table and injection counters carry over byte-for-byte.
+TEST_F(Migration, LiveMigrationPreservesStatefulTenant) {
+  auto deployed = orch_.Deploy(MeterRequest("meter", "10.10.0.5", "10.10.0.0/24"));
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+  ASSERT_NE(deployed.vm_id, 0u);
+  const std::string source = deployed.outcome.platform;
+  const std::string target = source == "platform2" ? "platform1" : "platform2";
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(1));  // guest boots
+
+  int egress_source = 0;
+  int egress_target = 0;
+  orch_.platform(source)->SetEgressHandler([&](Packet&) { ++egress_source; });
+  orch_.platform(target)->SetEgressHandler([&](Packet&) { ++egress_target; });
+
+  auto send = [&](const std::string& platform, Ipv4Address dst, uint16_t src_port) {
+    Packet packet =
+        Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"), dst, src_port, 53, 64);
+    orch_.platform(platform)->HandlePacket(packet);
+  };
+
+  // Phase 1: three flows through the source.
+  for (uint16_t port : {4000, 4001, 4002}) {
+    send(source, deployed.outcome.module_addr, port);
+  }
+  EXPECT_EQ(egress_source, 3);
+  EXPECT_EQ(FlowCount(orch_.platform(source)->vms().Find(deployed.vm_id)), 3u);
+
+  std::optional<MigrationReport> report;
+  MigrationStart start = orch_.MigrateTenant(
+      deployed.outcome.module_id, target,
+      [&](const MigrationReport& r) { report = r; });
+  ASSERT_TRUE(start.started) << start.reason;
+
+  // Phase 2: the blackout. The guest is suspending; traffic parks in the
+  // stall buffer instead of resuming it (the migration announced itself).
+  for (uint16_t port : {4003, 4004}) {
+    send(source, deployed.outcome.module_addr, port);
+  }
+  EXPECT_EQ(egress_source, 3);  // nothing leaked out mid-blackout
+
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(2));  // suspend + transfer + resume
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->ok) << report->reason;
+  EXPECT_TRUE(report->live);
+  EXPECT_EQ(report->source, source);
+  EXPECT_EQ(report->target, target);
+  EXPECT_EQ(report->parked_packets, 2u);
+  // Re-verification on the target minted a fresh deployment.
+  EXPECT_NE(report->new_module_id, report->module_id);
+  EXPECT_FALSE(orch_.HasPlacement(deployed.outcome.module_id));
+  const auto* placement = orch_.FindPlacement(report->new_module_id);
+  ASSERT_NE(placement, nullptr);
+  EXPECT_EQ(placement->first, target);
+  // The blackout traffic was re-addressed and delivered on the target.
+  EXPECT_EQ(egress_target, 2);
+
+  // Phase 3: new traffic to the new address.
+  for (uint16_t port : {4005, 4006}) {
+    send(target, report->new_addr, port);
+  }
+  EXPECT_EQ(egress_target, 4);
+  EXPECT_EQ(egress_source + egress_target, 7);  // every packet delivered
+
+  // State continuity: the flow table still holds the pre-migration flows
+  // (7 distinct flows total; a reboot would have forgotten the first 3), and
+  // the injection counter carried across the transfer.
+  Vm* moved = orch_.platform(target)->vms().Find(placement->second);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->state(), VmState::kRunning);
+  EXPECT_EQ(FlowCount(moved), 7u);
+  EXPECT_EQ(moved->injected_count(), 7u);
+  // The source forgot the guest entirely.
+  EXPECT_EQ(orch_.platform(source)->vms().Find(deployed.vm_id), nullptr);
+}
+
+// The target must re-pass the full verification pipeline; when it cannot,
+// the migration aborts and the tenant stays (and keeps serving) on the
+// source. The batcher's reach requirement only holds on platform3.
+TEST_F(Migration, AbortsWhenTargetFailsVerification) {
+  auto deployed = orch_.Deploy(BatcherRequest());
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+  ASSERT_EQ(deployed.outcome.platform, "platform3");
+  ASSERT_NE(deployed.vm_id, 0u);
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(1));
+
+  std::optional<MigrationReport> report;
+  MigrationStart start = orch_.MigrateTenant(
+      deployed.outcome.module_id, "platform1",
+      [&](const MigrationReport& r) { report = r; });
+  ASSERT_TRUE(start.started) << start.reason;  // the suspend did start
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(2));
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_FALSE(report->ok);
+  EXPECT_NE(report->reason.find("target verification failed"), std::string::npos);
+  // The tenant never left platform3.
+  const auto* placement = orch_.FindPlacement(deployed.outcome.module_id);
+  ASSERT_NE(placement, nullptr);
+  EXPECT_EQ(placement->first, "platform3");
+  EXPECT_EQ(orch_.platform("platform1")->vms().vm_count(), 0u);
+
+  // It still serves traffic: the next packet resumes the suspended guest.
+  platform::InNetPlatform* box = orch_.platform("platform3");
+  Packet packet = Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"),
+                                  deployed.outcome.module_addr, 4000, 1500, 64);
+  box->HandlePacket(packet);
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(1));
+  Vm* guest = box->vms().Find(deployed.vm_id);
+  ASSERT_NE(guest, nullptr);
+  EXPECT_EQ(guest->state(), VmState::kRunning);
+  EXPECT_EQ(guest->injected_count(), 1u);
+}
+
+TEST_F(Migration, ConsolidatedTenantMovesMakeBeforeBreak) {
+  auto deployed = orch_.Deploy(StatelessRequest("web", 1500));
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+  ASSERT_TRUE(deployed.consolidated);
+  const std::string source = deployed.outcome.platform;
+  const std::string target = source == "platform2" ? "platform1" : "platform2";
+
+  std::optional<MigrationReport> report;
+  MigrationStart start = orch_.MigrateTenant(
+      deployed.outcome.module_id, target,
+      [&](const MigrationReport& r) { report = r; });
+  ASSERT_TRUE(start.started) << start.reason;
+  // Stateless: nothing to suspend, the report is synchronous.
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->ok) << report->reason;
+  EXPECT_FALSE(report->live);
+  const auto* placement = orch_.FindPlacement(report->new_module_id);
+  ASSERT_NE(placement, nullptr);
+  EXPECT_EQ(placement->first, target);
+  EXPECT_EQ(placement->second, 0u);  // re-consolidated on the target
+  EXPECT_EQ(orch_.ConsolidatedTenantCount(source), 0u);
+  EXPECT_EQ(orch_.ConsolidatedTenantCount(target), 1u);
+}
+
+TEST(Rebalance, DrainsHotPlatformsThroughLiveMigration) {
+  sim::EventQueue clock;
+  OrchestratorOptions options;
+  options.platform_memory_bytes = 32ull << 20;  // 4 ClickOS guests per box
+  Orchestrator orch(topology::Network::MakeFigure3(), &clock, options);
+  // First-fit packs all four stateful tenants onto platform1 -> 100% full.
+  for (int i = 0; i < 4; ++i) {
+    auto result = orch.Deploy(
+        MeterRequest("meter" + std::to_string(i), "10.10.0.5", "10.10.0.0/24"));
+    ASSERT_TRUE(result.outcome.accepted) << result.outcome.reason;
+    ASSERT_EQ(result.outcome.platform, "platform1");
+  }
+  clock.RunUntil(clock.now() + sim::FromSeconds(1));
+
+  RebalanceReport report = orch.Rebalance(/*drain_above_utilization=*/0.5);
+  EXPECT_EQ(report.hot_platforms, 1u);
+  EXPECT_EQ(report.migrations_started, 2u);  // 100% -> 50% needs two moves
+  clock.RunUntil(clock.now() + sim::FromSeconds(2));
+
+  EXPECT_EQ(orch.placement_count(), 4u);  // nobody was lost
+  EXPECT_EQ(orch.platform("platform1")->vms().vm_count(), 2u);
+  EXPECT_EQ(orch.platform("platform2")->vms().vm_count() +
+                orch.platform("platform3")->vms().vm_count(),
+            2u);
+  // A second pass finds nothing hot.
+  RebalanceReport again = orch.Rebalance(/*drain_above_utilization=*/0.5);
+  EXPECT_EQ(again.hot_platforms, 0u);
+  EXPECT_EQ(again.migrations_started, 0u);
+}
+
+}  // namespace
+}  // namespace innet::controller

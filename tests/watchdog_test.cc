@@ -79,6 +79,68 @@ TEST(Watchdog, RestartsCrashedVmAndFlushesBufferedTraffic) {
   EXPECT_EQ(egressed, 4);
 }
 
+// Lifecycle edges the migration path leans on, pinned here so a change in
+// their semantics shows up as an explicit test failure, not a scheduler bug.
+TEST(Watchdog, ResumeOnCrashedVmIsRefused) {
+  sim::EventQueue clock;
+  InNetPlatform platform(&clock);
+  std::string error;
+  Vm::VmId id = platform.Install(Ipv4Address::MustParse("172.16.3.10"), kEchoConfig, &error);
+  ASSERT_NE(id, 0u) << error;
+  clock.RunUntil(sim::FromSeconds(1));
+  ASSERT_TRUE(platform.vms().Crash(id));
+  // A crashed guest lost its graph; only Restart (full reboot) revives it.
+  EXPECT_FALSE(platform.vms().Resume(id));
+  EXPECT_EQ(platform.vms().Find(id)->state(), VmState::kCrashed);
+}
+
+TEST(Watchdog, SuspendDuringBootIsRefused) {
+  sim::EventQueue clock;
+  InNetPlatform platform(&clock);
+  std::string error;
+  Vm::VmId id = platform.Install(Ipv4Address::MustParse("172.16.3.10"), kEchoConfig, &error);
+  ASSERT_NE(id, 0u) << error;
+  // Still booting: there is no quiesced state to save yet.
+  ASSERT_EQ(platform.vms().Find(id)->state(), VmState::kBooting);
+  EXPECT_FALSE(platform.vms().Suspend(id));
+  clock.RunUntil(sim::FromSeconds(1));
+  EXPECT_EQ(platform.vms().Find(id)->state(), VmState::kRunning);
+  EXPECT_TRUE(platform.vms().Suspend(id));
+}
+
+TEST(Watchdog, SuspendedGuestIsInvisibleToTheWatchdog) {
+  sim::EventQueue clock;
+  InNetPlatform platform(&clock);
+  platform.EnableWatchdog();
+  std::string error;
+  Ipv4Address addr = Ipv4Address::MustParse("172.16.3.10");
+  Vm::VmId id = platform.Install(addr, kEchoConfig, &error);
+  ASSERT_NE(id, 0u) << error;
+  clock.RunUntil(sim::FromSeconds(1));
+  ASSERT_TRUE(platform.vms().Suspend(id));
+  clock.RunUntil(sim::FromSeconds(2));
+  ASSERT_EQ(platform.vms().Find(id)->state(), VmState::kSuspended);
+
+  // A suspended-to-disk guest holds no RAM: it cannot crash, and many sweep
+  // periods later the watchdog has still not touched it.
+  EXPECT_FALSE(platform.vms().Crash(id));
+  clock.RunUntil(sim::FromSeconds(30));
+  EXPECT_EQ(platform.vms().Find(id)->state(), VmState::kSuspended);
+  EXPECT_EQ(platform.watchdog()->stats().crashes_observed, 0u);
+  EXPECT_EQ(platform.watchdog()->stats().restarts, 0u);
+
+  // Traffic still resumes it transparently (the §5 path, unaffected by the
+  // watchdog running alongside).
+  int egressed = 0;
+  platform.SetEgressHandler([&](Packet&) { ++egressed; });
+  Packet p = Udp("9.9.9.9", "172.16.3.10", 7000, 80);
+  platform.HandlePacket(p);
+  clock.RunUntil(sim::FromSeconds(31));
+  EXPECT_EQ(platform.vms().Find(id)->state(), VmState::kRunning);
+  EXPECT_EQ(egressed, 1);
+  EXPECT_EQ(platform.resumes_on_traffic(), 1u);
+}
+
 TEST(Watchdog, BackoffScheduleIsExponentialAndCapped) {
   sim::EventQueue clock;
   InNetPlatform platform(&clock);

@@ -4,6 +4,7 @@
 // Usage:
 //   innet_run --config FILE [--packets FILE] [--clock-until SECONDS]
 //             [--metrics-out FILE] [--trace-out FILE]
+//             [--placement-policy first_fit|least_loaded|bin_pack]
 //
 // The packets file has one packet per line:
 //   udp  SRC[:SPORT] DST[:DPORT] [payload "TEXT"] [at SECONDS]
@@ -17,6 +18,11 @@
 // boot-latency metrics next to the per-element packet counters. Everything
 // in the metrics dump derives from the simulated clock and deterministic
 // work counts: two runs produce byte-identical files.
+//
+// With --placement-policy, the full-stack pass goes through the
+// orchestrator's placement engine instead: the scheduler ranks the Figure 3
+// platforms by the chosen policy, the controller verifies the candidates in
+// that order, and the tool reports where the module landed.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +33,7 @@
 #include "src/click/elements.h"
 #include "src/click/graph.h"
 #include "src/controller/controller.h"
+#include "src/controller/orchestrator.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/platform/platform.h"
@@ -132,6 +139,7 @@ int main(int argc, char** argv) {
   std::string packets_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string placement_policy;
   double clock_until = 1.0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -145,10 +153,13 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--placement-policy" && i + 1 < argc) {
+      placement_policy = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s --config FILE [--packets FILE] [--clock-until SECONDS]\n"
-                   "          [--metrics-out FILE] [--trace-out FILE]\n",
+                   "          [--metrics-out FILE] [--trace-out FILE]\n"
+                   "          [--placement-policy first_fit|least_loaded|bin_pack]\n",
                    argv[0]);
       return 2;
     }
@@ -166,7 +177,15 @@ int main(int argc, char** argv) {
   std::ostringstream config_buf;
   config_buf << config_in.rdbuf();
 
+  scheduler::PlacementPolicyKind policy_kind = scheduler::PlacementPolicyKind::kFirstFit;
+  if (!placement_policy.empty() &&
+      !scheduler::ParsePlacementPolicy(placement_policy, &policy_kind)) {
+    std::fprintf(stderr, "unknown placement policy '%s' (want first_fit|least_loaded|bin_pack)\n",
+                 placement_policy.c_str());
+    return 2;
+  }
   const bool want_obs = !metrics_out.empty() || !trace_out.empty();
+  const bool want_stack = want_obs || !placement_policy.empty();
   sim::EventQueue clock;
   if (want_obs) {
     obs::Tracer().Enable();
@@ -241,7 +260,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (want_obs) {
+  if (want_stack && !placement_policy.empty()) {
+    // Scheduler pass: the placement engine ranks the Figure 3 platforms by
+    // the chosen policy; the controller verifies candidates in that order.
+    controller::OrchestratorOptions options;
+    options.policy = policy_kind;
+    controller::Orchestrator orch(topology::Network::MakeFigure3(), &clock, options);
+    controller::ClientRequest request;
+    request.client_id = "run";
+    request.requester = controller::RequesterClass::kOperator;
+    request.click_config = config_buf.str();
+    controller::OrchestratedDeploy deployed = orch.Deploy(request);
+    if (!deployed.outcome.accepted) {
+      std::printf("\nplacement: policy=%s rejected: %s\n",
+                  scheduler::PlacementPolicyName(policy_kind),
+                  deployed.outcome.reason.c_str());
+    } else {
+      std::printf("\nplacement: policy=%s -> %s at %s (%s, vm %llu)\n",
+                  scheduler::PlacementPolicyName(policy_kind),
+                  deployed.outcome.platform.c_str(),
+                  deployed.outcome.module_addr.ToString().c_str(),
+                  deployed.consolidated ? "consolidated" : "dedicated",
+                  static_cast<unsigned long long>(deployed.vm_id));
+      clock.RunUntil(clock.now() + sim::FromSeconds(2));
+      platform::InNetPlatform* box = orch.platform(deployed.outcome.platform);
+      for (const PacketSpec& spec : specs) {
+        Packet p = spec.packet;
+        p.set_ip_dst(deployed.outcome.module_addr);
+        box->HandlePacket(p);
+      }
+      clock.RunUntil(clock.now() + sim::FromSeconds(1));
+      box->ExportMetrics(&obs::Registry());
+      orch.engine().ledger().ExportHeadroomGauges();
+    }
+  } else if (want_stack) {
     // Full-stack pass: verify the same configuration with the controller
     // (verification-latency metrics) and boot it as a ClickOS guest on a
     // platform (boot-latency metrics + switch counters).
