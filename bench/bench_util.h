@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/obs/json.h"
+#include "src/obs/metrics.h"
 
 namespace innet::bench {
 
@@ -47,6 +48,19 @@ inline bool WriteBenchJson(const std::string& name, obs::json::Value results) {
   }
   std::printf("telemetry -> %s\n", path.c_str());
   return true;
+}
+
+// Summarizes a registry histogram with its deterministic quantile accessors
+// (bucket interpolation, no sample retention) — the bench-side counterpart
+// of what innet_top computes from a serialized dump.
+inline obs::json::Value HistogramSummaryJson(const obs::Histogram& histogram) {
+  obs::json::Value out = obs::json::Value::Object();
+  out.Set("count", histogram.count());
+  out.Set("sum", histogram.sum());
+  out.Set("p50", histogram.P50());
+  out.Set("p90", histogram.P90());
+  out.Set("p99", histogram.P99());
+  return out;
 }
 
 }  // namespace innet::bench

@@ -4,6 +4,10 @@
 # literals matching "innet_[a-z0-9_]+" passed to GetCounter/GetGauge/
 # GetHistogram; grepping for the quoted literal keeps identifiers like
 # innet_run out of the net.
+#
+# The same applies to trace event wire names: every EventKind name returned
+# by EventKindName() in src/obs/trace.cc must appear in DESIGN.md, so the
+# trace dump format stays documented.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -15,8 +19,16 @@ while IFS= read -r name; do
   fi
 done < <(grep -rhoE '"innet_[a-z0-9_]+"' src tools bench | tr -d '"' | sort -u)
 
+while IFS= read -r kind; do
+  if ! grep -q "\`$kind\`" DESIGN.md; then
+    echo "ERROR: trace event kind $kind is emitted by the tracer but not documented in DESIGN.md" >&2
+    missing=1
+  fi
+done < <(grep -hoE 'return "[a-z0-9_]+"' src/obs/trace.cc | sed 's/return "\(.*\)"/\1/' \
+         | grep -v '^unknown$' | sort -u)
+
 if [ "$missing" -ne 0 ]; then
-  echo "check_metrics_docs: FAILED — add the metrics above to DESIGN.md §8" >&2
+  echo "check_metrics_docs: FAILED — add the metrics/event kinds above to DESIGN.md §8" >&2
   exit 1
 fi
-echo "check_metrics_docs: all registered metrics are documented"
+echo "check_metrics_docs: all registered metrics and trace event kinds are documented"

@@ -61,6 +61,17 @@ else
   fi
 fi
 
+step "inspector smoke test (innet_top over a committed bench snapshot)"
+if [ ! -x build/tools/innet_top ]; then
+  echo "ERROR: build/tools/innet_top missing — build step failed?" >&2
+  fail=1
+elif ./build/tools/innet_top --metrics BENCH_placement_scaling.json; then
+  echo "ok: innet_top rendered BENCH_placement_scaling.json"
+else
+  echo "ERROR: innet_top failed on BENCH_placement_scaling.json" >&2
+  fail=1
+fi
+
 echo
 if [ "$fail" -ne 0 ]; then
   echo "ci: FAILED" >&2

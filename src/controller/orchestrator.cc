@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <unordered_map>
 
+#include "src/obs/health.h"
 #include "src/obs/trace.h"
 #include "src/platform/consolidation.h"
 
@@ -102,21 +104,47 @@ Vm::VmId Orchestrator::RebuildSharedVm(PlatformState* state, std::string* error)
 }
 
 OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
+  // The request span roots the whole deploy tree: admission, placement
+  // ranking, verification, and the on-platform boot all auto-parent to it.
+  std::optional<obs::SpanScope> deploy_span;
+  if (obs::Tracer().enabled()) {
+    deploy_span.emplace(obs::Tracer(), clock_->now(), obs::EventKind::kDeployRequest,
+                        "client:" + request.client_id);
+  }
   // Admission + placement ranking first: quota and headroom rejections must
   // not burn verification time.
   scheduler::PlacementRequest needs;
   needs.memory_bytes = ModuleMemoryBytes();
   needs.pinned_platform = request.pinned_platform;
   scheduler::PlacementDecision decision = engine_.Decide(request.client_id, needs);
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kAdmission,
+                         "client:" + request.client_id,
+                         decision.admitted ? "admitted" : "rejected: " + decision.reject_reason);
+  }
   if (!decision.admitted) {
     OrchestratedDeploy result;
     result.outcome.reason = decision.reject_reason;
     return result;
   }
+  if (obs::Tracer().enabled()) {
+    std::string ranked;
+    for (const std::string& candidate : decision.candidates) {
+      if (!ranked.empty()) {
+        ranked += ',';
+      }
+      ranked += candidate;
+    }
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kPlacementRanked,
+                         "client:" + request.client_id, ranked,
+                         static_cast<int64_t>(decision.candidates.size()));
+  }
   OrchestratedDeploy result = DeployOn(request, decision.candidates);
   if (result.outcome.accepted) {
     engine_.CommitPlacement(request.client_id, ModuleMemoryBytes());
   }
+  obs::Health().ObserveVerifyLatency(request.client_id,
+                                     static_cast<double>(result.outcome.sim_verify_ns) / 1e6);
   return result;
 }
 
@@ -157,6 +185,11 @@ OrchestratedDeploy Orchestrator::DeployOn(const ClientRequest& request,
     result.vm_id = vm;
     placements_[result.outcome.module_id] = {result.outcome.platform, 0};
     requests_[result.outcome.module_id] = request;
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(clock_->now(), obs::EventKind::kDeployCutover,
+                           "module:" + result.outcome.module_id,
+                           result.outcome.platform + " consolidated", static_cast<int64_t>(vm));
+    }
     return result;
   }
 
@@ -171,8 +204,16 @@ OrchestratedDeploy Orchestrator::DeployOn(const ClientRequest& request,
     return result;
   }
   result.vm_id = vm;
+  // Dedicated guests are attributable: tag the owner before the boot
+  // completion fires so lifecycle events feed the tenant's health record.
+  state.box->SetVmOwner(vm, request.client_id);
   placements_[result.outcome.module_id] = {result.outcome.platform, vm};
   requests_[result.outcome.module_id] = request;
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kDeployCutover,
+                         "module:" + result.outcome.module_id, result.outcome.platform,
+                         static_cast<int64_t>(vm));
+  }
   return result;
 }
 
@@ -208,10 +249,13 @@ MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
   if (vm_id == 0) {
     // Consolidated (stateless) tenant: migration degenerates to
     // make-before-break redeployment — there is no guest state to carry.
+    // The whole exchange is synchronous, so one SpanScope parents the
+    // redeploy and the abort/cutover records below.
     ctr_migrations_started_->Increment();
+    std::optional<obs::SpanScope> migrate_span;
     if (obs::Tracer().enabled()) {
-      obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateStart, "module:" + module_id,
-                           source + "->" + target_platform);
+      migrate_span.emplace(obs::Tracer(), clock_->now(), obs::EventKind::kMigrateStart,
+                           "module:" + module_id, source + "->" + target_platform);
     }
     MigrationReport report;
     report.module_id = module_id;
@@ -253,29 +297,44 @@ MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
 
   // Stateful guest: announce the migration (parks stalled traffic instead of
   // resuming), then suspend; the continuation runs when the suspend lands.
+  // The migrate-start span is opened before the suspend so the suspend's
+  // completion event and the whole FinishMigration continuation (which
+  // re-enters it via ScopedParent) hang off one migration tree.
+  uint64_t migrate_span = 0;
+  if (obs::Tracer().enabled()) {
+    migrate_span = obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateStart,
+                                        "module:" + module_id, source + "->" + target_platform);
+  }
   PlatformState& src = platforms_.at(source);
   src.box->PrepareMigrationOut(vm_id);
-  bool suspending = src.box->vms().Suspend(
-      vm_id, [this, module_id, source, target_platform, vm_id, on_done] {
-        FinishMigration(module_id, source, target_platform, vm_id, on_done);
-      });
+  bool suspending;
+  {
+    obs::ScopedParent in_migration(obs::Tracer(), migrate_span);
+    suspending = src.box->vms().Suspend(
+        vm_id, [this, module_id, source, target_platform, vm_id, migrate_span, on_done] {
+          FinishMigration(module_id, source, target_platform, vm_id, migrate_span, on_done);
+        });
+  }
   if (!suspending) {
     src.box->CancelMigrationOut(vm_id);
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort, "module:" + module_id,
+                           "source guest not running", 0, migrate_span);
+    }
     start.reason = "source guest not running";
     return start;
   }
   ctr_migrations_started_->Increment();
-  if (obs::Tracer().enabled()) {
-    obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateStart, "module:" + module_id,
-                         source + "->" + target_platform);
-  }
   start.started = true;
   return start;
 }
 
 void Orchestrator::FinishMigration(const std::string& module_id, const std::string& source,
                                    const std::string& target, Vm::VmId vm_id,
-                                   MigrationCallback on_done) {
+                                   uint64_t migrate_span, MigrationCallback on_done) {
+  // Re-enter the migration span: the re-verify, detach, import, and cutover
+  // records below all parent to the kMigrateStart event.
+  obs::ScopedParent in_migration(obs::Tracer(), migrate_span);
   MigrationReport report;
   report.module_id = module_id;
   report.source = source;
@@ -381,6 +440,9 @@ void Orchestrator::FinishMigration(const std::string& module_id, const std::stri
 
 RebalanceReport Orchestrator::Rebalance(double drain_above_utilization) {
   RebalanceReport report;
+  // Refresh every tenant's health state first: the drain order below moves
+  // the least-healthy tenants off hot platforms before the merely-loaded.
+  obs::Health().EvaluateAll();
   std::vector<scheduler::PlatformResources> snapshot = engine_.ledger().Snapshot();
   // Moves started here have not landed yet (the suspend takes simulated
   // time), so project their memory effect onto every later ranking.
@@ -407,6 +469,20 @@ RebalanceReport Orchestrator::Rebalance(double drain_above_utilization) {
       }
     }
     std::sort(movable.begin(), movable.end());
+    if (obs::Health().enabled()) {
+      // Drain the least-healthy tenants first (violated > degraded > ok);
+      // the stable sort keeps module-id order within a severity class.
+      std::stable_sort(movable.begin(), movable.end(),
+                       [this](const std::string& a, const std::string& b) {
+                         auto severity = [this](const std::string& module_id) {
+                           auto it = requests_.find(module_id);
+                           return it == requests_.end()
+                                      ? 0
+                                      : obs::Health().Severity(it->second.client_id);
+                         };
+                         return severity(a) > severity(b);
+                       });
+    }
 
     for (const std::string& module_id : movable) {
       if (projected_used(hot) / static_cast<double>(hot.memory_total) <=

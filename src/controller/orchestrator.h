@@ -178,9 +178,11 @@ class Orchestrator {
   bool ProbePlatform(const std::string& name, scheduler::PlatformResources* out);
 
   // Continuation of a stateful migration, invoked when the suspend lands.
+  // `migrate_span` is the kMigrateStart trace span the continuation re-enters
+  // (0 when the tracer was off at start time).
   void FinishMigration(const std::string& module_id, const std::string& source,
                        const std::string& target, platform::Vm::VmId vm_id,
-                       MigrationCallback on_done);
+                       uint64_t migrate_span, MigrationCallback on_done);
 
   // The module address currently assigned to `module_id` (0.0.0.0 if gone).
   Ipv4Address ModuleAddr(const std::string& module_id) const;

@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,6 +22,39 @@ void Histogram::Observe(double value) {
   ++buckets_[idx];
   ++count_;
   sum_ += value;
+}
+
+double Histogram::Quantile(double q) const { return HistogramQuantile(bounds_, buckets_, q); }
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank target, 1-based; ceil keeps p100 on the last observation.
+  uint64_t rank = std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t cum_before = 0;
+  size_t i = 0;
+  for (; i < buckets.size(); ++i) {
+    if (cum_before + buckets[i] >= rank) {
+      break;
+    }
+    cum_before += buckets[i];
+  }
+  if (i >= bounds.size()) {
+    // +inf overflow bucket: clamp to the highest finite bound (Prometheus
+    // convention) — there is no upper edge to interpolate toward.
+    return bounds.empty() ? 0 : bounds.back();
+  }
+  double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+  double upper = bounds[i];
+  double fraction = static_cast<double>(rank - cum_before) / static_cast<double>(buckets[i]);
+  return lower + (upper - lower) * fraction;
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor, int count) {

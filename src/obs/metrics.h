@@ -70,6 +70,16 @@ class Histogram {
   // overflow bucket. Counts are per-bucket, not cumulative.
   const std::vector<uint64_t>& buckets() const { return buckets_; }
 
+  // Deterministic quantile estimate (q in [0, 1]) linearly interpolated
+  // inside the bucket holding the target rank — a pure function of the
+  // observations, so it belongs in dumps and SLO evaluation (unlike sampled
+  // percentiles). Ranks landing in the +inf overflow bucket clamp to the
+  // highest finite bound (the Prometheus convention); 0 when empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P99() const { return Quantile(0.99); }
+
  private:
   friend class MetricsRegistry;
   explicit Histogram(std::vector<double> bounds);
@@ -82,6 +92,13 @@ class Histogram {
 // Standard bucket ladders.
 std::vector<double> ExponentialBuckets(double start, double factor, int count);
 std::vector<double> LinearBuckets(double start, double width, int count);
+
+// Histogram::Quantile's core, exposed for consumers that only have the
+// serialized bucket arrays (tools/innet_top reading a metrics dump).
+// `buckets` holds per-bucket counts with the +inf overflow bucket last
+// (buckets.size() == bounds.size() + 1).
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q);
 
 class MetricsRegistry {
  public:

@@ -1,5 +1,9 @@
 #include "src/obs/trace.h"
 
+#include <map>
+
+#include "src/obs/metrics.h"
+
 namespace innet::obs {
 
 const char* EventKindName(EventKind kind) {
@@ -23,20 +27,35 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kMigrateStart: return "migrate_start";
     case EventKind::kMigrateCutover: return "migrate_cutover";
     case EventKind::kMigrateAbort: return "migrate_abort";
+    case EventKind::kDeployRequest: return "deploy_request";
+    case EventKind::kAdmission: return "admission_decision";
+    case EventKind::kPlacementRanked: return "placement_ranked";
+    case EventKind::kDeployCutover: return "deploy_cutover";
+    case EventKind::kHealthTransition: return "health_transition";
+    case EventKind::kSpanEnd: return "span_end";
   }
   return "unknown";
 }
 
-void EventTracer::Record(uint64_t time_ns, EventKind kind, std::string target,
-                         std::string detail, int64_t value) {
+uint64_t EventTracer::Record(uint64_t time_ns, EventKind kind, std::string target,
+                             std::string detail, int64_t value, uint64_t parent) {
   if (!enabled_) {
-    return;
+    return 0;
+  }
+  // The id is allocated before the capacity check: a dropped event still
+  // consumes its id, so the links of surviving children keep pointing at the
+  // same (now truncated) span instead of silently re-binding to a later one.
+  uint64_t span = next_span_id_++;
+  if (parent == 0) {
+    parent = current_span();
   }
   if (events_.size() >= capacity_) {
     ++dropped_;
-    return;
+    return span;
   }
-  events_.push_back(TraceEvent{time_ns, kind, std::move(target), std::move(detail), value});
+  events_.push_back(
+      TraceEvent{time_ns, kind, std::move(target), std::move(detail), value, span, parent});
+  return span;
 }
 
 json::Value EventTracer::ToJson() const {
@@ -50,6 +69,8 @@ json::Value EventTracer::ToJson() const {
       entry.Set("detail", event.detail);
     }
     entry.Set("value", event.value);
+    entry.Set("span", event.span);
+    entry.Set("parent", event.parent);
     list.Push(std::move(entry));
   }
   json::Value root = json::Value::Object();
@@ -60,6 +81,83 @@ json::Value EventTracer::ToJson() const {
 
 bool EventTracer::WriteJsonFile(const std::string& path) const {
   return ToJson().WriteFile(path);
+}
+
+json::Value EventTracer::ToPerfettoJson() const {
+  // A SpanScope records its end as kSpanEnd with parent == the span it
+  // closes: collect those to turn span-opening events into "X" slices.
+  std::map<uint64_t, uint64_t> span_end_ns;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == EventKind::kSpanEnd) {
+      span_end_ns.emplace(event.parent, event.time_ns);
+    }
+  }
+
+  // Targets become thread tracks, numbered in order of first appearance so
+  // the export is a pure function of the event sequence.
+  std::map<std::string, uint64_t> tids;
+  json::Value trace_events = json::Value::Array();
+  auto tid_for = [&](const std::string& target) {
+    auto it = tids.find(target);
+    if (it != tids.end()) {
+      return it->second;
+    }
+    uint64_t tid = tids.size() + 1;
+    tids.emplace(target, tid);
+    json::Value meta = json::Value::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", static_cast<uint64_t>(1));
+    meta.Set("tid", tid);
+    json::Value args = json::Value::Object();
+    args.Set("name", target.empty() ? "(none)" : target);
+    meta.Set("args", std::move(args));
+    trace_events.Push(std::move(meta));
+    return tid;
+  };
+
+  for (const TraceEvent& event : events_) {
+    if (event.kind == EventKind::kSpanEnd) {
+      continue;  // folded into the opening event's duration
+    }
+    json::Value entry = json::Value::Object();
+    entry.Set("name", EventKindName(event.kind));
+    entry.Set("cat", "innet");
+    entry.Set("pid", static_cast<uint64_t>(1));
+    entry.Set("tid", tid_for(event.target));
+    entry.Set("ts", static_cast<double>(event.time_ns) / 1e3);  // microseconds
+    auto end = span_end_ns.find(event.span);
+    if (end != span_end_ns.end()) {
+      entry.Set("ph", "X");
+      uint64_t dur_ns = end->second >= event.time_ns ? end->second - event.time_ns : 0;
+      entry.Set("dur", static_cast<double>(dur_ns) / 1e3);
+    } else {
+      entry.Set("ph", "i");
+      entry.Set("s", "t");
+    }
+    json::Value args = json::Value::Object();
+    args.Set("span", event.span);
+    args.Set("parent", event.parent);
+    if (!event.detail.empty()) {
+      args.Set("detail", event.detail);
+    }
+    args.Set("value", event.value);
+    entry.Set("args", std::move(args));
+    trace_events.Push(std::move(entry));
+  }
+
+  json::Value root = json::Value::Object();
+  root.Set("displayTimeUnit", "ms");
+  root.Set("traceEvents", std::move(trace_events));
+  return root;
+}
+
+bool EventTracer::WritePerfettoFile(const std::string& path) const {
+  return ToPerfettoJson().WriteFile(path);
+}
+
+void EventTracer::ExportMetrics(MetricsRegistry* registry) const {
+  registry->GetCounter("innet_trace_dropped_total")->SetTo(dropped_);
 }
 
 EventTracer& EventTracer::Global() {

@@ -1,5 +1,6 @@
 #include "src/platform/platform.h"
 
+#include "src/obs/health.h"
 #include "src/obs/trace.h"
 
 namespace innet::platform {
@@ -225,10 +226,12 @@ void InNetPlatform::IdleSweep() {
   clock_->ScheduleAfter(idle_timeout_ / 2, [this] { IdleSweep(); });
 }
 
-bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet) {
+bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet,
+                                  const std::string& owner) {
   if (buffer->size() >= buffer_cap_) {
     ++buffer_drops_;
     ctr_buffer_drops_->Increment();
+    obs::Health().CountDrop(owner);
     if (obs::Tracer().enabled()) {
       obs::Tracer().Record(clock_->now(), obs::EventKind::kBufferDrop, "platform", "",
                            static_cast<int64_t>(buffer->size()));
@@ -238,6 +241,7 @@ bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet) {
   buffer->push_back(packet);
   ++buffered_;
   ctr_buffered_->Increment();
+  obs::Health().CountBuffered(owner);
   if (obs::Tracer().enabled()) {
     obs::Tracer().Record(clock_->now(), obs::EventKind::kBufferEnqueue, "platform", "",
                          static_cast<int64_t>(buffer->size()));
@@ -246,7 +250,7 @@ bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet) {
 }
 
 void InNetPlatform::OnStalled(Packet& packet, Vm::VmId vm_id) {
-  BufferWithCap(&stalled_buffers_[vm_id], packet);
+  BufferWithCap(&stalled_buffers_[vm_id], packet, OwnerOf(vm_id));
   Vm* vm = vms_.Find(vm_id);
   if (migrating_out_.count(vm_id) != 0) {
     return;  // migrating out: the parked traffic moves with the guest
@@ -362,9 +366,12 @@ void InNetPlatform::OnMiss(Packet& packet) {
     return;  // genuinely unknown traffic: dropped at the controller port
   }
   ctr_flow_misses_->Increment();
+  // The miss opens a span: the buffer events and on-demand boot below parent
+  // to it, so one first-packet event reads as a single tree in the trace.
+  std::optional<obs::SpanScope> miss_span;
   if (obs::Tracer().enabled()) {
-    obs::Tracer().Record(clock_->now(), obs::EventKind::kFlowFirstPacketMiss, "platform",
-                         "dst=" + packet.ip_dst().ToString());
+    miss_span.emplace(obs::Tracer(), clock_->now(), obs::EventKind::kFlowFirstPacketMiss,
+                      "platform", "dst=" + packet.ip_dst().ToString());
   }
   OnDemandEntry& entry = entry_it->second;
 

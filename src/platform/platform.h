@@ -168,6 +168,22 @@ class InNetPlatform {
   VmManager& vms() { return vms_; }
   SoftwareSwitch& software_switch() { return switch_; }
 
+  // Tags a guest with the tenant it serves (see Vm::owner()); lifecycle
+  // events and buffer accounting for it then feed the per-tenant health
+  // monitor. No-op for unknown ids.
+  void SetVmOwner(Vm::VmId vm_id, std::string owner) {
+    Vm* vm = vms_.Find(vm_id);
+    if (vm != nullptr) {
+      vm->set_owner(std::move(owner));
+    }
+  }
+  // The owning tenant of a guest ("" when unknown or unattributed).
+  const std::string& OwnerOf(Vm::VmId vm_id) {
+    static const std::string kNone;
+    Vm* vm = vms_.Find(vm_id);
+    return vm != nullptr ? vm->owner() : kNone;
+  }
+
   uint64_t buffered_count() const { return buffered_; }
   uint64_t ondemand_boots() const { return ondemand_boots_; }
 
@@ -199,7 +215,9 @@ class InNetPlatform {
   };
 
   // Appends to a bounded buffer; drops + counts when the cap is reached.
-  bool BufferWithCap(std::deque<Packet>* buffer, Packet& packet);
+  // `owner` (the tenant the buffer serves, when known) attributes the
+  // enqueue/drop to the health monitor.
+  bool BufferWithCap(std::deque<Packet>* buffer, Packet& packet, const std::string& owner = "");
   void ReinstallRules(Vm::VmId vm_id);
   void FlushPendingFor(Vm::VmId vm_id, Vm* vm);
   void OnMiss(Packet& packet);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -73,7 +74,8 @@ void VmManager::ScheduleBootCompletion(Vm* vm, ReadyCallback on_ready) {
               .GetCounter("innet_vm_boot_failures_total", {{"kind", KindLabel(target->kind_)}})
               ->Increment();
           if (obs::Tracer().enabled()) {
-            obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootFailed, VmTarget(id));
+            obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootFailed, VmTarget(id), "",
+                                 0, target->trace_span_);
           }
           Crash(id);
           return;
@@ -85,9 +87,10 @@ void VmManager::ScheduleBootCompletion(Vm* vm, ReadyCallback on_ready) {
             .GetHistogram("innet_vm_boot_latency_ms", {{"kind", KindLabel(target->kind_)}},
                           LatencyBucketsMs())
             ->Observe(sim::ToMillis(boot));
+        obs::Health().ObserveBootLatency(target->owner_, sim::ToMillis(boot));
         if (obs::Tracer().enabled()) {
           obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootReady, VmTarget(id), "",
-                               static_cast<int64_t>(boot));
+                               static_cast<int64_t>(boot), target->trace_span_);
         }
         ArmCrashTimer(target);
         if (cb) {
@@ -143,7 +146,10 @@ Vm* VmManager::Create(VmKind kind, const std::string& config_text, ReadyCallback
   vms_.emplace(raw->id_, std::move(vm));
   obs::Registry().GetCounter("innet_vm_boots_total", {{"kind", KindLabel(kind)}})->Increment();
   if (obs::Tracer().enabled()) {
-    obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootStart, VmTarget(raw->id_));
+    // The boot-start span roots this guest's lifecycle tree; it parents to
+    // the current scope (e.g. an enclosing deploy or first-packet span).
+    raw->trace_span_ =
+        obs::Tracer().Record(clock_->now(), obs::EventKind::kVmBootStart, VmTarget(raw->id_));
   }
   ScheduleBootCompletion(raw, std::move(on_ready));
   return raw;
@@ -181,8 +187,12 @@ bool VmManager::Restart(Vm::VmId id, ReadyCallback on_ready, std::string* error)
   ++vm->epoch_;
   ++vm->restart_count_;
   obs::Registry().GetCounter("innet_vm_restarts_total")->Increment();
+  obs::Health().CountRestart(vm->owner_);
   if (obs::Tracer().enabled()) {
-    obs::Tracer().Record(clock_->now(), obs::EventKind::kVmRestart, VmTarget(id));
+    // Chain the restart to the previous incarnation's boot/restart span so
+    // the whole crash-restart history hangs off one tree.
+    vm->trace_span_ = obs::Tracer().Record(clock_->now(), obs::EventKind::kVmRestart,
+                                           VmTarget(id), "", 0, vm->trace_span_);
   }
   ScheduleBootCompletion(vm, std::move(on_ready));
   return true;
@@ -209,7 +219,8 @@ bool VmManager::Crash(Vm::VmId id) {
   ++crash_count_;
   obs::Registry().GetCounter("innet_vm_crashes_total")->Increment();
   if (obs::Tracer().enabled()) {
-    obs::Tracer().Record(clock_->now(), obs::EventKind::kVmCrash, VmTarget(id));
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kVmCrash, VmTarget(id), "", 0,
+                         vm->trace_span_);
   }
   NotifyCrash(vm);
   return true;
@@ -226,7 +237,11 @@ bool VmManager::Suspend(Vm::VmId id, std::function<void()> done) {
   if (fault_ != nullptr) {
     latency = fault_->StretchSuspend(latency);
   }
-  clock_->ScheduleAfter(latency, [this, id, latency, epoch = vm->epoch_, cb = std::move(done)] {
+  // The completion runs from the event queue with an empty span stack, so
+  // capture the initiator's scope (e.g. a migration span) now.
+  uint64_t parent = obs::Tracer().enabled() ? obs::Tracer().current_span() : 0;
+  clock_->ScheduleAfter(latency, [this, id, latency, parent, epoch = vm->epoch_,
+                                  cb = std::move(done)] {
     Vm* target = Find(id);
     if (target != nullptr && target->state_ == VmState::kSuspending &&
         target->epoch_ == epoch) {
@@ -240,7 +255,7 @@ bool VmManager::Suspend(Vm::VmId id, std::function<void()> done) {
           ->Observe(sim::ToMillis(latency));
       if (obs::Tracer().enabled()) {
         obs::Tracer().Record(clock_->now(), obs::EventKind::kVmSuspend, VmTarget(id), "",
-                             static_cast<int64_t>(latency));
+                             static_cast<int64_t>(latency), parent);
       }
     }
     if (cb) {
@@ -266,7 +281,9 @@ bool VmManager::Resume(Vm::VmId id, std::function<void()> done) {
   if (fault_ != nullptr) {
     latency = fault_->StretchResume(latency);
   }
-  clock_->ScheduleAfter(latency, [this, id, latency, epoch = vm->epoch_, cb = std::move(done)] {
+  uint64_t parent = obs::Tracer().enabled() ? obs::Tracer().current_span() : 0;
+  clock_->ScheduleAfter(latency, [this, id, latency, parent, epoch = vm->epoch_,
+                                  cb = std::move(done)] {
     Vm* target = Find(id);
     if (target != nullptr && target->state_ == VmState::kResuming &&
         target->epoch_ == epoch) {
@@ -278,7 +295,7 @@ bool VmManager::Resume(Vm::VmId id, std::function<void()> done) {
           ->Observe(sim::ToMillis(latency));
       if (obs::Tracer().enabled()) {
         obs::Tracer().Record(clock_->now(), obs::EventKind::kVmResume, VmTarget(id), "",
-                             static_cast<int64_t>(latency));
+                             static_cast<int64_t>(latency), parent);
       }
       ArmCrashTimer(target);
     }
@@ -298,6 +315,7 @@ std::optional<VmSnapshot> VmManager::ExportSuspended(Vm::VmId id) {
   VmSnapshot snapshot;
   snapshot.kind = vm->kind_;
   snapshot.config_text = std::move(vm->config_text_);
+  snapshot.owner = std::move(vm->owner_);
   snapshot.graph = std::move(vm->graph_);
   snapshot.injected_count = vm->injected_count_;
   snapshot.restart_count = vm->restart_count_;
@@ -328,6 +346,7 @@ Vm* VmManager::ImportSnapshot(VmSnapshot* snapshot, ReadyCallback on_ready, std:
   vm->state_ = VmState::kResuming;
   vm->graph_ = std::move(snapshot->graph);
   vm->config_text_ = std::move(snapshot->config_text);
+  vm->owner_ = std::move(snapshot->owner);
   vm->injected_count_ = snapshot->injected_count;
   vm->restart_count_ = snapshot->restart_count;
   vm->clock_ = clock_;
@@ -339,8 +358,10 @@ Vm* VmManager::ImportSnapshot(VmSnapshot* snapshot, ReadyCallback on_ready, std:
   if (fault_ != nullptr) {
     latency = fault_->StretchResume(latency);
   }
+  uint64_t parent = obs::Tracer().enabled() ? obs::Tracer().current_span() : 0;
   clock_->ScheduleAfter(
-      latency, [this, id = raw->id_, latency, epoch = raw->epoch_, cb = std::move(on_ready)] {
+      latency,
+      [this, id = raw->id_, latency, parent, epoch = raw->epoch_, cb = std::move(on_ready)] {
         Vm* target = Find(id);
         if (target == nullptr || target->state_ != VmState::kResuming ||
             target->epoch_ != epoch) {
@@ -354,8 +375,9 @@ Vm* VmManager::ImportSnapshot(VmSnapshot* snapshot, ReadyCallback on_ready, std:
             .GetHistogram("innet_vm_resume_latency_ms", {}, LatencyBucketsMs())
             ->Observe(sim::ToMillis(latency));
         if (obs::Tracer().enabled()) {
-          obs::Tracer().Record(clock_->now(), obs::EventKind::kVmResume, VmTarget(id),
-                               "migrated", static_cast<int64_t>(latency));
+          target->trace_span_ =
+              obs::Tracer().Record(clock_->now(), obs::EventKind::kVmResume, VmTarget(id),
+                                   "migrated", static_cast<int64_t>(latency), parent);
         }
         ArmCrashTimer(target);
         if (cb) {

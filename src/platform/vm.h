@@ -64,6 +64,18 @@ class Vm {
   // the platform's idle-suspend policy.
   sim::TimeNs last_activity_ns() const { return last_activity_ns_; }
 
+  // The tenant (client id) this guest serves; "" for shared/unattributed
+  // guests. Set by the orchestrator at deploy time so lifecycle events can
+  // feed the per-tenant health monitor, and carried across restart and
+  // migration.
+  const std::string& owner() const { return owner_; }
+  void set_owner(std::string owner) { owner_ = std::move(owner); }
+
+  // Span id of this guest's most recent boot/restart trace event (0 when the
+  // tracer was off). Boot completions, crashes, and watchdog restarts parent
+  // to it so a guest's lifecycle forms one trace tree.
+  uint64_t trace_span() const { return trace_span_; }
+
  private:
   friend class VmManager;
   friend class InNetPlatform;
@@ -75,8 +87,10 @@ class Vm {
   std::unique_ptr<click::Graph> graph_;
   EgressHandler egress_;
   std::string config_text_;
+  std::string owner_;
   uint64_t injected_count_ = 0;
   uint64_t restart_count_ = 0;
+  uint64_t trace_span_ = 0;
   // Bumped on every lifecycle transition a scheduled callback could race
   // with (boot, suspend, resume, restart, crash, destroy). Callbacks capture
   // the epoch they were scheduled under and become no-ops when it moved —
@@ -95,6 +109,7 @@ class Vm {
 struct VmSnapshot {
   VmKind kind = VmKind::kClickOs;
   std::string config_text;
+  std::string owner;
   std::unique_ptr<click::Graph> graph;
   uint64_t injected_count = 0;
   uint64_t restart_count = 0;

@@ -1,8 +1,10 @@
 #include "src/platform/watchdog.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
+#include "src/obs/health.h"
 #include "src/obs/trace.h"
 #include "src/platform/platform.h"
 
@@ -50,7 +52,11 @@ WatchdogStats Watchdog::stats() const {
 void Watchdog::OnRestartComplete(Vm::VmId id) {
   ctr_restarts_->Increment();
   if (obs::Tracer().enabled()) {
-    obs::Tracer().Record(clock_->now(), obs::EventKind::kWatchdogRestart, "vm:" + std::to_string(id));
+    // Parent to the guest's restart span so the recovery reads as one tree.
+    Vm* vm = platform_->vms().Find(id);
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kWatchdogRestart,
+                         "vm:" + std::to_string(id), "", 0,
+                         vm != nullptr ? vm->trace_span() : 0);
   }
   pending_.erase(id);
 }
@@ -59,7 +65,17 @@ void Watchdog::Sweep() {
   if (!running_) {
     return;
   }
-  for (Vm::VmId id : platform_->vms().CrashedIds()) {
+  // Recover the least-healthy tenants' guests first: crashed ids come back
+  // ascending, then a stable sort moves higher health severity (violated >
+  // degraded > ok/unattributed) to the front — deterministic either way.
+  std::vector<Vm::VmId> crashed = platform_->vms().CrashedIds();
+  if (obs::Health().enabled()) {
+    std::stable_sort(crashed.begin(), crashed.end(), [this](Vm::VmId a, Vm::VmId b) {
+      return obs::Health().Severity(platform_->OwnerOf(a)) >
+             obs::Health().Severity(platform_->OwnerOf(b));
+    });
+  }
+  for (Vm::VmId id : crashed) {
     auto it = pending_.find(id);
     if (it == pending_.end()) {
       // Fresh crash episode: schedule the first restart one backoff away.

@@ -52,6 +52,9 @@ void ResourceLedger::ExportHeadroomGauges() const {
     obs::Registry()
         .GetGauge("innet_scheduler_platform_headroom_bytes", {{"platform", resources.name}})
         ->Set(resources.available ? static_cast<double>(resources.memory_free()) : 0.0);
+    obs::Registry()
+        .GetGauge("innet_scheduler_platform_utilization", {{"platform", resources.name}})
+        ->Set(resources.available ? resources.utilization() : 1.0);
   }
 }
 

@@ -56,8 +56,9 @@ class ResourceLedger {
   // consumer (policies, benches, metric dumps) iterates deterministically.
   std::vector<PlatformResources> Snapshot() const;
 
-  // Refreshes the innet_scheduler_platform_headroom_bytes{platform=...}
-  // gauges from a fresh snapshot (0 for unavailable platforms).
+  // Refreshes the innet_scheduler_platform_headroom_bytes{platform=...} and
+  // innet_scheduler_platform_utilization{platform=...} gauges from a fresh
+  // snapshot (headroom 0 / utilization 1 for unavailable platforms).
   void ExportHeadroomGauges() const;
 
   size_t platform_count() const { return entries_.size(); }

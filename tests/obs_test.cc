@@ -277,6 +277,225 @@ TEST(SchedulerMetrics, MigrationCountersTrackOutcomes) {
   EXPECT_EQ(aborted->value() - aborted_before, 1u);
 }
 
+TEST(Metrics, QuantileInterpolatesWithinTheTargetBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q_ms", {}, {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 10; ++i) {
+    h->Observe(5.0);   // bucket [0, 10]
+  }
+  for (int i = 0; i < 10; ++i) {
+    h->Observe(15.0);  // bucket (10, 20]
+  }
+  // p50: rank 10 of 20 is the last observation of the first bucket — the
+  // interpolation walks the full bucket width.
+  EXPECT_DOUBLE_EQ(h->P50(), 10.0);
+  // p75: rank 15, 5 of 10 into the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.75), 15.0);
+  // The accessor and the free function on the serialized arrays agree.
+  EXPECT_DOUBLE_EQ(h->P99(), HistogramQuantile(h->bounds(), h->buckets(), 0.99));
+}
+
+TEST(Metrics, QuantileClampsOverflowToHighestFiniteBound) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("overflow_ms", {}, {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(100.0);  // +inf bucket
+  EXPECT_DOUBLE_EQ(h->P99(), 2.0);  // rank lands in overflow: clamp
+  // q=0 still means rank 1; a lone observation interpolates to its bucket's
+  // upper edge (the histogram only knows the bucket, not the raw value).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 1.0);
+}
+
+TEST(Tracer, SpanIdsAreUniqueAndParentDefaultsToTheStackTop) {
+  EventTracer tracer;
+  tracer.Enable();
+  uint64_t outer = tracer.Record(1, EventKind::kDeployRequest, "client:a");
+  EXPECT_NE(outer, 0u);
+  tracer.PushSpan(outer);
+  uint64_t inner = tracer.Record(2, EventKind::kAdmission, "client:a", "admitted");
+  uint64_t explicit_parent = tracer.Record(3, EventKind::kVmBootReady, "vm:1", "", 0, inner);
+  tracer.PopSpan();
+  uint64_t root_again = tracer.Record(4, EventKind::kVmCrash, "vm:1");
+
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_NE(inner, outer);
+  EXPECT_EQ(events[0].parent, 0u);          // stack empty: root
+  EXPECT_EQ(events[1].parent, outer);       // defaulted to stack top
+  EXPECT_EQ(events[2].parent, inner);       // explicit parent wins
+  EXPECT_EQ(events[3].parent, 0u);          // popped back to root
+  EXPECT_EQ(events[3].span, root_again);
+}
+
+TEST(Tracer, SpanScopePairsBeginWithEndAndAutoParents) {
+  EventTracer tracer;
+  tracer.Enable();
+  {
+    SpanScope deploy(tracer, 10, EventKind::kDeployRequest, "client:a");
+    EXPECT_EQ(tracer.current_span(), deploy.id());
+    tracer.Record(11, EventKind::kAdmission, "client:a", "admitted");
+  }
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].parent, events[0].span);
+  EXPECT_EQ(events[2].kind, EventKind::kSpanEnd);
+  EXPECT_EQ(events[2].parent, events[0].span);  // end pairs with its begin
+  EXPECT_EQ(events[2].time_ns, 10u);            // end reuses the opening time
+  EXPECT_EQ(tracer.current_span(), 0u);         // scope popped
+}
+
+TEST(Tracer, ScopedParentReentersAndZeroIsANoOp) {
+  EventTracer tracer;
+  tracer.Enable();
+  {
+    ScopedParent reenter(tracer, 42);
+    EXPECT_EQ(tracer.current_span(), 42u);
+    tracer.Record(5, EventKind::kVmResume, "vm:7");
+  }
+  EXPECT_EQ(tracer.current_span(), 0u);
+  {
+    ScopedParent noop(tracer, 0);  // span never opened (tracer was off then)
+    EXPECT_EQ(tracer.current_span(), 0u);
+  }
+  EXPECT_EQ(tracer.events()[0].parent, 42u);
+}
+
+TEST(Tracer, DroppedEventsStillConsumeSpanIdsAndExportToMetrics) {
+  EventTracer tracer;
+  tracer.Enable();
+  tracer.set_capacity(2);
+  uint64_t first = tracer.Record(1, EventKind::kVmBootStart, "vm:1");
+  uint64_t second = tracer.Record(2, EventKind::kVmBootStart, "vm:2");
+  uint64_t third = tracer.Record(3, EventKind::kVmBootStart, "vm:3");   // dropped
+  uint64_t fourth = tracer.Record(4, EventKind::kVmBootReady, "vm:3", "", 0, third);  // dropped
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  // Ids keep advancing under capacity pressure, so a parent link handed to an
+  // async completion stays stable even when the begin event was dropped.
+  EXPECT_EQ(second, first + 1);
+  EXPECT_EQ(third, second + 1);
+  EXPECT_EQ(fourth, third + 1);
+
+  MetricsRegistry registry;
+  tracer.ExportMetrics(&registry);
+  EXPECT_EQ(registry.GetCounter("innet_trace_dropped_total")->value(), 2u);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.current_span(), 0u);
+  EXPECT_EQ(tracer.Record(9, EventKind::kVmCrash, "vm:1"), 1u);  // ids restart
+  tracer.ExportMetrics(&registry);
+  EXPECT_EQ(registry.GetCounter("innet_trace_dropped_total")->value(), 0u);
+}
+
+TEST(Tracer, PerfettoExportFoldsSpansIntoCompleteSlices) {
+  EventTracer tracer;
+  tracer.Enable();
+  {
+    SpanScope deploy(tracer, 1000, EventKind::kDeployRequest, "client:a");
+    tracer.Record(2000, EventKind::kAdmission, "client:a", "admitted");
+  }
+  json::Value doc = tracer.ToPerfettoJson();
+  EXPECT_EQ(doc.Find("displayTimeUnit")->string_value(), "ms");
+  const json::Value* trace_events = doc.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+
+  bool saw_metadata = false;
+  bool saw_complete_slice = false;
+  bool saw_instant = false;
+  for (size_t i = 0; i < trace_events->size(); ++i) {
+    const json::Value& event = trace_events->at(i);
+    const std::string phase = event.Find("ph")->string_value();
+    const std::string name = event.Find("name")->string_value();
+    EXPECT_NE(name, "span_end");  // end markers fold into durations
+    if (phase == "M") {
+      saw_metadata = true;
+    } else if (phase == "X" && name == "deploy_request") {
+      saw_complete_slice = true;
+      EXPECT_NE(event.Find("dur"), nullptr);
+    } else if (phase == "i" && name == "admission_decision") {
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_TRUE(saw_complete_slice);
+  EXPECT_TRUE(saw_instant);
+}
+
+// THE tentpole acceptance check: one orchestrated deploy forms a single
+// connected span tree — admission, placement, verification, boot, and
+// cutover all reachable from the deploy_request root by parent links.
+TEST(TraceSpans, OrchestratorDeployFormsOneConnectedTree) {
+  sim::EventQueue clock;
+  Tracer().Clear();
+  Tracer().Enable();
+  Tracer().SetTimeSource([&clock] { return clock.now(); });
+
+  controller::Orchestrator orch(topology::Network::MakeFigure3(), &clock);
+  controller::ClientRequest request;
+  request.client_id = "spans";
+  request.requester = controller::RequesterClass::kClient;
+  request.click_config =
+      "FromNetfront() -> FlowMeter() -> IPRewriter(pattern - - 10.10.0.5 - 0 0) "
+      "-> ToNetfront();";
+  request.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+  request.owned_prefixes = {Ipv4Prefix::MustParse("10.10.0.0/24")};
+  auto deployed = orch.Deploy(request);
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+  clock.RunUntil(clock.now() + sim::FromSeconds(1));  // guest boots
+
+  std::vector<TraceEvent> events = Tracer().events();
+  Tracer().Clear();
+  Tracer().Enable(false);
+  Tracer().SetTimeSource(nullptr);
+
+  uint64_t root = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kDeployRequest) {
+      root = event.span;
+    }
+  }
+  ASSERT_NE(root, 0u);
+  auto reachable_from_root = [&](const TraceEvent& event) {
+    uint64_t at = event.span;
+    for (int hops = 0; hops < 64; ++hops) {
+      if (at == root) {
+        return true;
+      }
+      if (at == 0) {
+        return false;
+      }
+      uint64_t parent = 0;
+      for (const TraceEvent& candidate : events) {
+        if (candidate.span == at) {
+          parent = candidate.parent;
+        }
+      }
+      at = parent;
+    }
+    return false;
+  };
+  bool saw[5] = {false, false, false, false, false};
+  for (const TraceEvent& event : events) {
+    EventKind k = event.kind;
+    if (k == EventKind::kAdmission || k == EventKind::kPlacementRanked ||
+        k == EventKind::kVerifyFinish || k == EventKind::kVmBootStart ||
+        k == EventKind::kDeployCutover || k == EventKind::kVmBootReady) {
+      EXPECT_TRUE(reachable_from_root(event))
+          << EventKindName(k) << " span " << event.span << " is disconnected";
+      if (k == EventKind::kAdmission) saw[0] = true;
+      if (k == EventKind::kPlacementRanked) saw[1] = true;
+      if (k == EventKind::kVerifyFinish) saw[2] = true;
+      if (k == EventKind::kVmBootStart) saw[3] = true;
+      if (k == EventKind::kDeployCutover) saw[4] = true;
+    }
+  }
+  for (bool got : saw) {
+    EXPECT_TRUE(got);  // every stage of the deploy left a traced event
+  }
+}
+
 TEST(Samples, PercentilesSurviveInterleavedAdds) {
   // The cached sorted view must invalidate on Add.
   sim::Samples samples;

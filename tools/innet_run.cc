@@ -3,7 +3,8 @@
 //
 // Usage:
 //   innet_run --config FILE [--packets FILE] [--clock-until SECONDS]
-//             [--metrics-out FILE] [--trace-out FILE]
+//             [--metrics-out FILE] [--trace-out FILE] [--perfetto-out FILE]
+//             [--health-out FILE]
 //             [--placement-policy first_fit|least_loaded|bin_pack]
 //
 // The packets file has one packet per line:
@@ -12,17 +13,19 @@
 //   icmp SRC DST [at SECONDS]
 // Without --packets, a single UDP probe to the first ToNetfront is sent.
 //
-// With --metrics-out/--trace-out, the config additionally goes through the
-// full stack — controller verification (Figure 3 topology) and a ClickOS
-// boot on an InNetPlatform — so the dump contains verification-latency and
-// boot-latency metrics next to the per-element packet counters. Everything
-// in the metrics dump derives from the simulated clock and deterministic
-// work counts: two runs produce byte-identical files.
+// With any of the dump flags, the config additionally goes through the full
+// stack: the orchestrator admits the request, the placement engine ranks the
+// Figure 3 platforms (--placement-policy, default first_fit), the controller
+// verifies the candidates in order, and a ClickOS guest boots on the chosen
+// platform — so the dump contains admission/verification/boot telemetry next
+// to the per-element packet counters, and the trace contains one connected
+// deploy span tree (deploy_request → admission → verify → boot → cutover).
+// Everything derives from the simulated clock and deterministic work counts:
+// two runs produce byte-identical files.
 //
-// With --placement-policy, the full-stack pass goes through the
-// orchestrator's placement engine instead: the scheduler ranks the Figure 3
-// platforms by the chosen policy, the controller verifies the candidates in
-// that order, and the tool reports where the module landed.
+// --trace-out writes the native event dump; --perfetto-out writes the same
+// events as Chrome/Perfetto trace_event JSON (load in ui.perfetto.dev).
+// --health-out writes the per-tenant SLO health report.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +37,7 @@
 #include "src/click/graph.h"
 #include "src/controller/controller.h"
 #include "src/controller/orchestrator.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/platform/platform.h"
@@ -139,6 +143,8 @@ int main(int argc, char** argv) {
   std::string packets_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string perfetto_out;
+  std::string health_out;
   std::string placement_policy;
   double clock_until = 1.0;
   for (int i = 1; i < argc; ++i) {
@@ -153,12 +159,17 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--perfetto-out" && i + 1 < argc) {
+      perfetto_out = argv[++i];
+    } else if (arg == "--health-out" && i + 1 < argc) {
+      health_out = argv[++i];
     } else if (arg == "--placement-policy" && i + 1 < argc) {
       placement_policy = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s --config FILE [--packets FILE] [--clock-until SECONDS]\n"
-                   "          [--metrics-out FILE] [--trace-out FILE]\n"
+                   "          [--metrics-out FILE] [--trace-out FILE] [--perfetto-out FILE]\n"
+                   "          [--health-out FILE]\n"
                    "          [--placement-policy first_fit|least_loaded|bin_pack]\n",
                    argv[0]);
       return 2;
@@ -184,12 +195,14 @@ int main(int argc, char** argv) {
                  placement_policy.c_str());
     return 2;
   }
-  const bool want_obs = !metrics_out.empty() || !trace_out.empty();
+  const bool want_obs =
+      !metrics_out.empty() || !trace_out.empty() || !perfetto_out.empty() || !health_out.empty();
   const bool want_stack = want_obs || !placement_policy.empty();
   sim::EventQueue clock;
   if (want_obs) {
     obs::Tracer().Enable();
     obs::Tracer().SetTimeSource([&clock] { return clock.now(); });
+    obs::Health().Enable();
   }
   std::string error;
   auto graph = click::Graph::FromText(config_buf.str(), &error, &clock);
@@ -260,9 +273,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (want_stack && !placement_policy.empty()) {
-    // Scheduler pass: the placement engine ranks the Figure 3 platforms by
-    // the chosen policy; the controller verifies candidates in that order.
+  if (want_stack) {
+    // Full-stack pass: the orchestrator admits the request, the placement
+    // engine ranks the Figure 3 platforms by the chosen policy, the
+    // controller verifies the candidates in order, and the module boots as a
+    // ClickOS guest on the chosen platform — one connected deploy span tree.
     controller::OrchestratorOptions options;
     options.policy = policy_kind;
     controller::Orchestrator orch(topology::Network::MakeFigure3(), &clock, options);
@@ -293,40 +308,10 @@ int main(int argc, char** argv) {
       box->ExportMetrics(&obs::Registry());
       orch.engine().ledger().ExportHeadroomGauges();
     }
-  } else if (want_stack) {
-    // Full-stack pass: verify the same configuration with the controller
-    // (verification-latency metrics) and boot it as a ClickOS guest on a
-    // platform (boot-latency metrics + switch counters).
-    controller::Controller ctrl(topology::Network::MakeFigure3());
-    controller::ClientRequest request;
-    request.client_id = "run";
-    request.requester = controller::RequesterClass::kOperator;
-    request.click_config = config_buf.str();
-    controller::DeployOutcome outcome = ctrl.Deploy(request);
-    std::printf("\ncontroller verification: %s (%llu engine steps, %.3f ms simulated)\n",
-                outcome.accepted ? "accepted" : outcome.reason.c_str(),
-                static_cast<unsigned long long>(outcome.engine_steps),
-                static_cast<double>(outcome.sim_verify_ns) / 1e6);
-
-    platform::InNetPlatform platform(&clock);
-    std::string platform_error;
-    platform::Vm::VmId vm_id = platform.Install(Ipv4Address::MustParse("172.16.3.10"),
-                                                config_buf.str(), &platform_error);
-    if (vm_id == 0) {
-      std::fprintf(stderr, "platform install failed: %s\n", platform_error.c_str());
-      return 1;
-    }
-    // Let the boot finish, then replay the packets through the platform NIC
-    // so the switch delivery counters are live too.
-    clock.RunUntil(clock.now() + sim::FromSeconds(2));
-    for (const PacketSpec& spec : specs) {
-      Packet p = spec.packet;
-      platform.HandlePacket(p);
-    }
-    clock.RunUntil(clock.now() + sim::FromSeconds(1));
-    platform.ExportMetrics(&obs::Registry());
+    obs::Health().EvaluateAll();
   }
   graph->ExportMetrics(&obs::Registry());
+  obs::Tracer().ExportMetrics(&obs::Registry());
 
   if (!metrics_out.empty()) {
     if (!obs::Registry().WriteJsonFile(metrics_out)) {
@@ -342,6 +327,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace: %zu events -> %s\n", obs::Tracer().events().size(), trace_out.c_str());
+  }
+  if (!perfetto_out.empty()) {
+    if (!obs::Tracer().WritePerfettoFile(perfetto_out)) {
+      std::fprintf(stderr, "cannot write %s\n", perfetto_out.c_str());
+      return 1;
+    }
+    std::printf("perfetto: %zu events -> %s\n", obs::Tracer().events().size(),
+                perfetto_out.c_str());
+  }
+  if (!health_out.empty()) {
+    if (!obs::Health().WriteJsonFile(health_out)) {
+      std::fprintf(stderr, "cannot write %s\n", health_out.c_str());
+      return 1;
+    }
+    std::printf("health: %zu tenants -> %s\n", obs::Health().tenant_count(),
+                health_out.c_str());
   }
   return 0;
 }

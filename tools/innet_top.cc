@@ -1,0 +1,462 @@
+// innet_top: a deterministic status-table inspector for In-Net telemetry —
+// the operator's "why is this tenant slow?" view.
+//
+// Usage:
+//   innet_top --metrics FILE [--trace FILE] [--health FILE]
+//   innet_top --run CONFIG [--placement-policy first_fit|least_loaded|bin_pack]
+//
+// Offline mode reads a metrics dump (either the registry's native
+// {"metrics": [...]} shape, or a bench snapshot whose results embed one under
+// results.metrics, e.g. BENCH_placement_scaling.json) and renders per-tenant
+// health/latency/drop rows, per-platform utilization rows, and the fleet
+// totals. --trace adds a per-kind event summary from a trace dump; --health
+// overrides the health-state column with a health report file.
+//
+// Live mode (--run) performs one full-stack orchestrated deploy of CONFIG on
+// the Figure 3 topology — admission, placement, verification, ClickOS boot,
+// a few probe packets — and renders the same tables from the fresh registry.
+//
+// All output derives from the dump contents (or the simulated clock in live
+// mode): the same input always renders byte-identical tables.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/controller/orchestrator.h"
+#include "src/obs/health.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/platform/platform.h"
+#include "src/sim/event_queue.h"
+#include "src/topology/network.h"
+
+namespace {
+
+using namespace innet;
+
+// One instrument row lifted out of the JSON dump.
+struct Instrument {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  std::string type;
+  double value = 0;  // counter / gauge
+  uint64_t count = 0;
+  double sum = 0;
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+
+  const std::string* Label(const std::string& key) const {
+    auto it = labels.find(key);
+    return it == labels.end() ? nullptr : &it->second;
+  }
+};
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Accepts the registry's native dump ({"metrics": [...]}) or a bench
+// snapshot embedding one under results.metrics.
+const obs::json::Value* FindMetricsArray(const obs::json::Value& root) {
+  const obs::json::Value* metrics = root.Find("metrics");
+  if (metrics != nullptr && metrics->is_array()) {
+    return metrics;
+  }
+  const obs::json::Value* results = root.Find("results");
+  if (results != nullptr) {
+    const obs::json::Value* embedded = results->Find("metrics");
+    if (embedded != nullptr) {
+      metrics = embedded->Find("metrics");
+      if (metrics != nullptr && metrics->is_array()) {
+        return metrics;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Instrument> ParseInstruments(const obs::json::Value& metrics) {
+  std::vector<Instrument> out;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const obs::json::Value& entry = metrics.at(i);
+    Instrument inst;
+    if (const auto* name = entry.Find("name")) {
+      inst.name = name->string_value();
+    }
+    if (const auto* type = entry.Find("type")) {
+      inst.type = type->string_value();
+    }
+    if (const auto* labels = entry.Find("labels")) {
+      for (const auto& [key, value] : labels->members()) {
+        inst.labels[key] = value.string_value();
+      }
+    }
+    if (const auto* value = entry.Find("value")) {
+      inst.value = value->number();
+    }
+    if (const auto* count = entry.Find("count")) {
+      inst.count = static_cast<uint64_t>(count->int_number());
+    }
+    if (const auto* sum = entry.Find("sum")) {
+      inst.sum = sum->number();
+    }
+    if (const auto* bounds = entry.Find("bounds")) {
+      for (size_t b = 0; b < bounds->size(); ++b) {
+        inst.bounds.push_back(bounds->at(b).number());
+      }
+    }
+    if (const auto* buckets = entry.Find("buckets")) {
+      for (size_t b = 0; b < buckets->size(); ++b) {
+        inst.buckets.push_back(static_cast<uint64_t>(buckets->at(b).int_number()));
+      }
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+const Instrument* FindInstrument(const std::vector<Instrument>& instruments,
+                                 const std::string& name, const std::string& label_key = "",
+                                 const std::string& label_value = "") {
+  for (const Instrument& inst : instruments) {
+    if (inst.name != name) {
+      continue;
+    }
+    if (label_key.empty()) {
+      return &inst;
+    }
+    const std::string* value = inst.Label(label_key);
+    if (value != nullptr && *value == label_value) {
+      return &inst;
+    }
+  }
+  return nullptr;
+}
+
+double CounterValue(const std::vector<Instrument>& instruments, const std::string& name,
+                    const std::string& label_key = "", const std::string& label_value = "") {
+  const Instrument* inst = FindInstrument(instruments, name, label_key, label_value);
+  return inst == nullptr ? 0 : inst->value;
+}
+
+const char* HealthNameForLevel(double level) {
+  if (level >= 2) {
+    return "violated";
+  }
+  if (level >= 1) {
+    return "degraded";
+  }
+  return "ok";
+}
+
+void RenderTenants(const std::vector<Instrument>& instruments,
+                   const obs::json::Value* health_root) {
+  // Health report states (when a --health file was given) win over the
+  // innet_tenant_health_state gauge.
+  std::map<std::string, std::string> report_states;
+  if (health_root != nullptr) {
+    if (const auto* tenants = health_root->Find("tenants")) {
+      for (size_t i = 0; i < tenants->size(); ++i) {
+        const auto* tenant = tenants->at(i).Find("tenant");
+        const auto* state = tenants->at(i).Find("state");
+        if (tenant != nullptr && state != nullptr) {
+          report_states[tenant->string_value()] = state->string_value();
+        }
+      }
+    }
+  }
+
+  std::set<std::string> tenants;
+  for (const Instrument& inst : instruments) {
+    if (inst.name.rfind("innet_tenant_", 0) == 0) {
+      const std::string* tenant = inst.Label("tenant");
+      if (tenant != nullptr) {
+        tenants.insert(*tenant);
+      }
+    }
+  }
+  if (tenants.empty()) {
+    std::printf("TENANTS: none (per-tenant health monitor not enabled for this dump)\n\n");
+    return;
+  }
+
+  std::printf("TENANTS (%zu)\n", tenants.size());
+  std::printf("%-16s %-9s %9s %9s %10s %9s %7s %6s %8s\n", "tenant", "health", "boot_p50",
+              "boot_p99", "verify_p99", "buffered", "drops", "drop%", "restarts");
+  for (const std::string& tenant : tenants) {
+    std::string health = "ok";
+    auto reported = report_states.find(tenant);
+    if (reported != report_states.end()) {
+      health = reported->second;
+    } else if (const Instrument* gauge =
+                   FindInstrument(instruments, "innet_tenant_health_state", "tenant", tenant)) {
+      health = HealthNameForLevel(gauge->value);
+    }
+    const Instrument* boot =
+        FindInstrument(instruments, "innet_tenant_boot_latency_ms", "tenant", tenant);
+    const Instrument* verify =
+        FindInstrument(instruments, "innet_tenant_verify_latency_ms", "tenant", tenant);
+    double buffered =
+        CounterValue(instruments, "innet_tenant_buffered_packets_total", "tenant", tenant);
+    double drops =
+        CounterValue(instruments, "innet_tenant_buffer_drops_total", "tenant", tenant);
+    double restarts =
+        CounterValue(instruments, "innet_tenant_restarts_total", "tenant", tenant);
+    double offered = buffered + drops;
+    std::printf("%-16s %-9s %7.2fms %7.2fms %8.3fms %9.0f %7.0f %5.1f%% %8.0f\n",
+                tenant.c_str(), health.c_str(),
+                boot != nullptr ? obs::HistogramQuantile(boot->bounds, boot->buckets, 0.50) : 0.0,
+                boot != nullptr ? obs::HistogramQuantile(boot->bounds, boot->buckets, 0.99) : 0.0,
+                verify != nullptr
+                    ? obs::HistogramQuantile(verify->bounds, verify->buckets, 0.99)
+                    : 0.0,
+                buffered, drops, offered > 0 ? 100.0 * drops / offered : 0.0, restarts);
+  }
+  std::printf("\n");
+}
+
+void RenderPlatforms(const std::vector<Instrument>& instruments) {
+  std::set<std::string> platforms;
+  for (const Instrument& inst : instruments) {
+    if (inst.name == "innet_scheduler_platform_headroom_bytes" ||
+        inst.name == "innet_scheduler_platform_utilization") {
+      const std::string* platform = inst.Label("platform");
+      if (platform != nullptr) {
+        platforms.insert(*platform);
+      }
+    }
+  }
+  if (platforms.empty()) {
+    return;  // dump has no scheduler view (bare-platform run)
+  }
+  std::printf("PLATFORMS (%zu)\n", platforms.size());
+  std::printf("%-16s %6s %14s\n", "platform", "util", "headroom_MiB");
+  for (const std::string& platform : platforms) {
+    double util = CounterValue(instruments, "innet_scheduler_platform_utilization", "platform",
+                               platform);
+    double headroom = CounterValue(instruments, "innet_scheduler_platform_headroom_bytes",
+                                   "platform", platform);
+    std::printf("%-16s %6.2f %14.1f\n", platform.c_str(), util, headroom / (1 << 20));
+  }
+  std::printf("\n");
+}
+
+void RenderTotals(const std::vector<Instrument>& instruments) {
+  std::printf("TOTALS\n");
+  std::printf("  vms: %.0f running, %.0f suspended, %.0f crashed\n",
+              CounterValue(instruments, "innet_vm_running"),
+              CounterValue(instruments, "innet_vm_suspended"),
+              CounterValue(instruments, "innet_vm_crashed"));
+  std::printf("  switch: %.0f delivered, %.0f missed, %.0f dropped\n",
+              CounterValue(instruments, "innet_switch_delivered_total"),
+              CounterValue(instruments, "innet_switch_missed_total"),
+              CounterValue(instruments, "innet_switch_dropped_total"));
+  for (const Instrument& inst : instruments) {
+    if (inst.name != "innet_vm_boot_latency_ms") {
+      continue;
+    }
+    const std::string* kind = inst.Label("kind");
+    std::printf("  boot latency (%s): p50 %.2fms p99 %.2fms over %llu boots\n",
+                kind != nullptr ? kind->c_str() : "all",
+                obs::HistogramQuantile(inst.bounds, inst.buckets, 0.50),
+                obs::HistogramQuantile(inst.bounds, inst.buckets, 0.99),
+                static_cast<unsigned long long>(inst.count));
+  }
+  if (const Instrument* verify =
+          FindInstrument(instruments, "innet_controller_verify_latency_ms")) {
+    std::printf("  verify latency: p50 %.3fms p99 %.3fms over %llu requests\n",
+                obs::HistogramQuantile(verify->bounds, verify->buckets, 0.50),
+                obs::HistogramQuantile(verify->bounds, verify->buckets, 0.99),
+                static_cast<unsigned long long>(verify->count));
+  }
+  if (const Instrument* dropped = FindInstrument(instruments, "innet_trace_dropped_total")) {
+    std::printf("  trace: %.0f events dropped by the ring\n", dropped->value);
+  }
+  std::printf("\n");
+}
+
+void RenderTraceSummary(const obs::json::Value& trace_root) {
+  const obs::json::Value* events = trace_root.Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return;
+  }
+  std::map<std::string, uint64_t> per_kind;
+  uint64_t roots = 0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const auto* kind = events->at(i).Find("kind");
+    if (kind != nullptr) {
+      ++per_kind[kind->string_value()];
+    }
+    const auto* parent = events->at(i).Find("parent");
+    if (parent != nullptr && parent->int_number() == 0) {
+      ++roots;
+    }
+  }
+  const obs::json::Value* dropped = trace_root.Find("dropped");
+  std::printf("TRACE (%zu events, %lld dropped, %llu root spans)\n", events->size(),
+              dropped != nullptr ? static_cast<long long>(dropped->int_number()) : 0,
+              static_cast<unsigned long long>(roots));
+  for (const auto& [kind, count] : per_kind) {
+    std::printf("  %-24s %8llu\n", kind.c_str(), static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+}
+
+int RenderFromFiles(const std::string& metrics_path, const std::string& trace_path,
+                    const std::string& health_path) {
+  std::string text;
+  std::string error;
+  if (!ReadFile(metrics_path, &text, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  obs::json::Value root;
+  if (!obs::json::Value::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "%s: %s\n", metrics_path.c_str(), error.c_str());
+    return 1;
+  }
+  const obs::json::Value* metrics = FindMetricsArray(root);
+  if (metrics == nullptr) {
+    std::fprintf(stderr, "%s: no metrics array (native dump or bench snapshot expected)\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+  std::vector<Instrument> instruments = ParseInstruments(*metrics);
+
+  obs::json::Value health_root;
+  bool have_health = false;
+  if (!health_path.empty()) {
+    if (!ReadFile(health_path, &text, &error) ||
+        !obs::json::Value::Parse(text, &health_root, &error)) {
+      std::fprintf(stderr, "%s: %s\n", health_path.c_str(), error.c_str());
+      return 1;
+    }
+    have_health = true;
+  }
+
+  std::printf("innet_top — %s (%zu instruments)\n\n", metrics_path.c_str(), instruments.size());
+  RenderTenants(instruments, have_health ? &health_root : nullptr);
+  RenderPlatforms(instruments);
+  RenderTotals(instruments);
+
+  if (!trace_path.empty()) {
+    obs::json::Value trace_root;
+    if (!ReadFile(trace_path, &text, &error) ||
+        !obs::json::Value::Parse(text, &trace_root, &error)) {
+      std::fprintf(stderr, "%s: %s\n", trace_path.c_str(), error.c_str());
+      return 1;
+    }
+    RenderTraceSummary(trace_root);
+  }
+  return 0;
+}
+
+int RunLive(const std::string& config_path, const std::string& placement_policy) {
+  std::string config_text;
+  std::string error;
+  if (!ReadFile(config_path, &config_text, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  scheduler::PlacementPolicyKind policy = scheduler::PlacementPolicyKind::kFirstFit;
+  if (!placement_policy.empty() && !scheduler::ParsePlacementPolicy(placement_policy, &policy)) {
+    std::fprintf(stderr, "unknown placement policy '%s'\n", placement_policy.c_str());
+    return 2;
+  }
+
+  sim::EventQueue clock;
+  obs::Tracer().Enable();
+  obs::Tracer().SetTimeSource([&clock] { return clock.now(); });
+  obs::Health().Enable();
+
+  controller::OrchestratorOptions options;
+  options.policy = policy;
+  controller::Orchestrator orch(topology::Network::MakeFigure3(), &clock, options);
+  controller::ClientRequest request;
+  request.client_id = "top";
+  request.requester = controller::RequesterClass::kOperator;
+  request.click_config = config_text;
+  controller::OrchestratedDeploy deployed = orch.Deploy(request);
+  if (!deployed.outcome.accepted) {
+    std::fprintf(stderr, "deploy rejected: %s\n", deployed.outcome.reason.c_str());
+    return 1;
+  }
+  clock.RunUntil(clock.now() + sim::FromSeconds(2));
+  platform::InNetPlatform* box = orch.platform(deployed.outcome.platform);
+  for (int i = 0; i < 8; ++i) {
+    Packet probe = Packet::MakeUdp(Ipv4Address::MustParse("10.0.0.1"),
+                                   deployed.outcome.module_addr, 1234, 80, 32);
+    box->HandlePacket(probe);
+  }
+  clock.RunUntil(clock.now() + sim::FromSeconds(1));
+  box->ExportMetrics(&obs::Registry());
+  orch.engine().ledger().ExportHeadroomGauges();
+  obs::Health().EvaluateAll();
+  obs::Tracer().ExportMetrics(&obs::Registry());
+
+  std::vector<Instrument> instruments;
+  {
+    obs::json::Value dump = obs::Registry().ToJson();
+    instruments = ParseInstruments(*dump.Find("metrics"));
+  }
+  std::printf("innet_top — live run of %s -> %s (%zu instruments)\n\n", config_path.c_str(),
+              deployed.outcome.platform.c_str(), instruments.size());
+  RenderTenants(instruments, nullptr);
+  RenderPlatforms(instruments);
+  RenderTotals(instruments);
+  RenderTraceSummary(obs::Tracer().ToJson());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
+  std::string health_path;
+  std::string run_config;
+  std::string placement_policy;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--health" && i + 1 < argc) {
+      health_path = argv[++i];
+    } else if (arg == "--run" && i + 1 < argc) {
+      run_config = argv[++i];
+    } else if (arg == "--placement-policy" && i + 1 < argc) {
+      placement_policy = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --metrics FILE [--trace FILE] [--health FILE]\n"
+                   "       %s --run CONFIG [--placement-policy POLICY]\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+  }
+  if (!run_config.empty()) {
+    return RunLive(run_config, placement_policy);
+  }
+  if (metrics_path.empty()) {
+    std::fprintf(stderr, "one of --metrics or --run is required\n");
+    return 2;
+  }
+  return RenderFromFiles(metrics_path, trace_path, health_path);
+}
