@@ -8,6 +8,11 @@
 # The same applies to trace event wire names: every EventKind name returned
 # by EventKindName() in src/obs/trace.cc must appear in DESIGN.md, so the
 # trace dump format stays documented.
+#
+# Finally, every EventKind enumerator declared in src/obs/trace.h must map to
+# a wire name in EventKindName(): an unmapped kind serializes as "unknown",
+# which would silently corrupt trace dumps and flight-recorder postmortem
+# bundles (both reuse the same wire names).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -26,6 +31,17 @@ while IFS= read -r kind; do
   fi
 done < <(grep -hoE 'return "[a-z0-9_]+"' src/obs/trace.cc | sed 's/return "\(.*\)"/\1/' \
          | grep -v '^unknown$' | sort -u)
+
+# Every EventKind enumerator must have a case in EventKindName() — the wire
+# names themselves are already checked against DESIGN.md above; this catches
+# a newly added kind that would fall through to "unknown".
+while IFS= read -r enumerator; do
+  if ! grep -q "EventKind::$enumerator:" src/obs/trace.cc; then
+    echo "ERROR: EventKind::$enumerator has no wire name case in EventKindName()" >&2
+    missing=1
+  fi
+done < <(sed -n '/enum class EventKind/,/};/p' src/obs/trace.h \
+         | grep -oE 'k[A-Z][A-Za-z0-9]*' | sort -u)
 
 if [ "$missing" -ne 0 ]; then
   echo "check_metrics_docs: FAILED — add the metrics/event kinds above to DESIGN.md §8" >&2

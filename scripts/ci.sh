@@ -72,6 +72,18 @@ else
   fail=1
 fi
 
+step "dataplane profiling pipeline (bench + innet_top --postmortem)"
+if [ ! -x build/bench/dataplane_profile ] || [ ! -x build/tools/innet_top ]; then
+  echo "ERROR: build/bench/dataplane_profile or build/tools/innet_top missing — build step failed?" >&2
+  fail=1
+elif (cd build/bench && ./dataplane_profile >/dev/null) \
+    && ./build/tools/innet_top --postmortem build/bench/BENCH_dataplane_profile_postmortem.json; then
+  echo "ok: dataplane_profile produced a postmortem bundle and innet_top rendered it"
+else
+  echo "ERROR: dataplane profiling pipeline failed" >&2
+  fail=1
+fi
+
 echo
 if [ "$fail" -ne 0 ]; then
   echo "ci: FAILED" >&2

@@ -18,6 +18,7 @@
 namespace innet::click {
 
 class Element;
+class GraphProfiler;
 
 // Where an element's output port points.
 struct PortTarget {
@@ -27,9 +28,12 @@ struct PortTarget {
 };
 
 // Per-graph services elements may use. Timed elements (TimedUnqueue) need a
-// clock; elements that expire state (ChangeEnforcer) read it lazily.
+// clock; elements that expire state (ChangeEnforcer) read it lazily. The
+// profiler is attached by Graph::EnableProfiling; null means no folded
+// attribution or walk sampling for this graph.
 struct ElementContext {
   sim::EventQueue* clock = nullptr;
+  GraphProfiler* profiler = nullptr;
 };
 
 // Optional process-wide packet tracing: when set, every inter-element
@@ -84,10 +88,32 @@ class Element {
   // snapshots them into obs counters at dump time.
   uint64_t packets() const { return packets_; }
   uint64_t bytes() const { return bytes_; }
+  // Accumulated simulated processing time (SimulatedCostNs per arrival).
+  uint64_t proc_ns() const { return proc_ns_; }
+  // Packets this element pushed out of `port` (connected or not).
+  uint64_t port_packets(int port) const {
+    return static_cast<size_t>(port) < port_packets_.size()
+               ? port_packets_[static_cast<size_t>(port)]
+               : 0;
+  }
+
+  // Deterministic simulated processing cost of handling `packet`: a per-class
+  // base plus a per-byte component, from a fixed table keyed by class_name()
+  // (cached on first use). Pure function of (class, packet length) — safe to
+  // mix into trace timestamps without breaking the byte-identical contract.
+  uint64_t SimulatedCostNs(const Packet& packet) const {
+    if (!cost_ready_) {
+      InitCostModel();
+    }
+    return cost_base_ns_ +
+           ((static_cast<uint64_t>(packet.length()) * cost_per_byte_x1024_) >> 10);
+  }
+
   // Called by the upstream element / graph just before Push.
   void CountArrival(const Packet& packet) {
     ++packets_;
     bytes_ += packet.length();
+    proc_ns_ += SimulatedCostNs(packet);
   }
 
  protected:
@@ -98,30 +124,46 @@ class Element {
     if (trace_enabled_) {
       Trace(out_port, packet);
     }
-    const PortTarget& target = outputs_[static_cast<size_t>(out_port)];
-    if (target.connected()) {
-      target.element->CountArrival(packet);
-      target.element->Push(target.port, packet);
-    } else {
-      ++drops_;
+    if (static_cast<size_t>(out_port) < port_packets_.size()) {
+      ++port_packets_[static_cast<size_t>(out_port)];
     }
+    const PortTarget& target = outputs_[static_cast<size_t>(out_port)];
+    if (!target.connected()) {
+      ++drops_;
+      return;
+    }
+    target.element->CountArrival(packet);
+    if (context_ != nullptr && context_->profiler != nullptr) {
+      ForwardProfiled(target, packet);  // out of line: profiler is incomplete here
+      return;
+    }
+    target.element->Push(target.port, packet);
   }
 
   void CountDrop() { ++drops_; }
   sim::EventQueue* clock() const { return context_ != nullptr ? context_->clock : nullptr; }
+  GraphProfiler* profiler() const { return context_ != nullptr ? context_->profiler : nullptr; }
 
  private:
   friend void SetPacketTraceHook(PacketTraceHook hook);
   void Trace(int out_port, const Packet& packet) const;
+  void ForwardProfiled(const PortTarget& target, Packet& packet);
+  // Fills the cost coefficients from the per-class table (element.cc).
+  void InitCostModel() const;
   static inline bool trace_enabled_ = false;
 
   std::string name_;
   int n_inputs_ = 1;
   int n_outputs_ = 1;
   std::vector<PortTarget> outputs_{1};
+  std::vector<uint64_t> port_packets_{0};
   uint64_t drops_ = 0;
   uint64_t packets_ = 0;
   uint64_t bytes_ = 0;
+  uint64_t proc_ns_ = 0;
+  mutable bool cost_ready_ = false;
+  mutable uint64_t cost_base_ns_ = 0;
+  mutable uint64_t cost_per_byte_x1024_ = 0;  // ns per byte, scaled by 1024
   ElementContext* context_ = nullptr;
 };
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/click/profiler.h"
+
 namespace innet::click {
 namespace {
 
@@ -78,6 +80,9 @@ void FromNetfront::Push(int /*port*/, Packet& packet) { ForwardTo(0, packet); }
 void ToNetfront::Push(int /*port*/, Packet& packet) {
   ++packet_count_;
   byte_count_ += packet.length();
+  if (profiler() != nullptr) {
+    profiler()->NoteEgress();  // the walk ends in egress, not a drop
+  }
   if (handler_) {
     handler_(packet);
   }

@@ -74,17 +74,35 @@ Element* Graph::FindByClass(std::string_view class_name) const {
 
 void Graph::Inject(const std::string& name, Packet& packet) {
   Element* element = Find(name);
-  if (element != nullptr) {
-    element->CountArrival(packet);
-    element->Push(0, packet);
+  if (element == nullptr) {
+    return;
   }
+  element->CountArrival(packet);
+  if (profiler_ != nullptr) {
+    profiler_->BeginWalk(context_.clock != nullptr ? context_.clock->now() : 0, packet);
+    profiler_->EnterElement(*element, packet);
+    element->Push(0, packet);
+    profiler_->ExitElement();
+    profiler_->EndWalk();
+    return;
+  }
+  element->Push(0, packet);
 }
 
 void Graph::InjectAtSource(Packet& packet) {
-  if (default_source_ != nullptr) {
-    default_source_->CountArrival(packet);
-    default_source_->Push(0, packet);
+  if (default_source_ == nullptr) {
+    return;
   }
+  default_source_->CountArrival(packet);
+  if (profiler_ != nullptr) {
+    profiler_->BeginWalk(context_.clock != nullptr ? context_.clock->now() : 0, packet);
+    profiler_->EnterElement(*default_source_, packet);
+    default_source_->Push(0, packet);
+    profiler_->ExitElement();
+    profiler_->EndWalk();
+    return;
+  }
+  default_source_->Push(0, packet);
 }
 
 void Graph::ExportMetrics(obs::MetricsRegistry* registry, const obs::Labels& base_labels) const {
@@ -95,6 +113,28 @@ void Graph::ExportMetrics(obs::MetricsRegistry* registry, const obs::Labels& bas
     registry->GetCounter("innet_element_packets_total", labels)->SetTo(element->packets());
     registry->GetCounter("innet_element_bytes_total", labels)->SetTo(element->bytes());
     registry->GetCounter("innet_element_drops_total", labels)->SetTo(element->drops());
+    registry->GetCounter("innet_element_proc_ns_total", labels)->SetTo(element->proc_ns());
+    for (int port = 0; port < element->n_outputs(); ++port) {
+      obs::Labels port_labels = labels;
+      port_labels.emplace_back("port", std::to_string(port));
+      registry->GetCounter("innet_element_port_packets_total", port_labels)
+          ->SetTo(element->port_packets(port));
+    }
+  }
+  if (profiler_ != nullptr) {
+    profiler_->ExportMetrics(registry, base_labels);
+  }
+}
+
+GraphProfiler* Graph::EnableProfiling(GraphProfilerConfig config) {
+  profiler_ = std::make_unique<GraphProfiler>(std::move(config));
+  context_.profiler = profiler_.get();
+  return profiler_.get();
+}
+
+void Graph::WriteFolded(std::ostream& out) const {
+  if (profiler_ != nullptr) {
+    profiler_->WriteFolded(out);
   }
 }
 

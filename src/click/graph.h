@@ -9,6 +9,7 @@
 
 #include "src/click/config_parser.h"
 #include "src/click/element.h"
+#include "src/click/profiler.h"
 #include "src/click/registry.h"
 #include "src/obs/metrics.h"
 
@@ -43,10 +44,21 @@ class Graph {
   const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
   const ConfigGraph& config() const { return config_; }
 
-  // Snapshots every element's packet/byte/drop counters into `registry` as
-  // innet_element_*_total counters labeled {element, class} + `base_labels`
-  // (Click read handlers, exported Prometheus-style).
+  // Snapshots every element's packet/byte/drop/proc-time counters (and
+  // per-output-port packet counts) into `registry` as innet_element_*_total
+  // counters labeled {element, class} + `base_labels` (Click read handlers,
+  // exported Prometheus-style).
   void ExportMetrics(obs::MetricsRegistry* registry, const obs::Labels& base_labels = {}) const;
+
+  // Attaches a GraphProfiler (replacing any previous one): folded-stack
+  // attribution for every packet, 1-in-N walk sampling per `config`. The
+  // profiler belongs to the graph and is visible to elements through their
+  // context.
+  GraphProfiler* EnableProfiling(GraphProfilerConfig config);
+  GraphProfiler* profiler() const { return profiler_.get(); }
+  // Appends this graph's folded chains ("prefix;a;b;c weight" lines) to
+  // `out`; no-op when profiling is off.
+  void WriteFolded(std::ostream& out) const;
 
  private:
   Graph() = default;
@@ -56,6 +68,7 @@ class Graph {
   std::unordered_map<std::string, Element*> by_name_;
   Element* default_source_ = nullptr;
   ElementContext context_;
+  std::unique_ptr<GraphProfiler> profiler_;
 };
 
 }  // namespace innet::click

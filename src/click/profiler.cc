@@ -1,0 +1,94 @@
+#include "src/click/profiler.h"
+
+#include "src/obs/trace.h"
+
+namespace innet::click {
+
+void GraphProfiler::BeginWalk(uint64_t time_ns, const Packet& packet) {
+  ++walks_;
+  egress_ = false;
+  walk_sampled_ = false;
+  // A TimedUnqueue release between walks can leave folded frames charged
+  // from an empty chain; a new walk always starts from a clean chain.
+  chain_.clear();
+  frames_.clear();
+  if (config_.sample_n == 0 || !obs::Tracer().enabled()) {
+    return;
+  }
+  if (walks_ % config_.sample_n != config_.seed % config_.sample_n) {
+    return;
+  }
+  walk_sampled_ = true;
+  ++sampled_walks_;
+  cursor_ns_ = time_ns;
+  last_element_.clear();
+  walk_target_ = config_.walk_prefix.empty()
+                     ? "packet:" + std::to_string(walks_)
+                     : config_.walk_prefix + "/packet:" + std::to_string(walks_);
+  walk_span_ = obs::Tracer().Record(time_ns, obs::EventKind::kPacketIngress, walk_target_, "",
+                                    static_cast<int64_t>(packet.length()));
+  obs::Tracer().PushSpan(walk_span_);
+}
+
+void GraphProfiler::EnterElement(const Element& element, const Packet& packet) {
+  uint64_t cost = element.SimulatedCostNs(packet);
+  Frame frame;
+  frame.chain_len = chain_.size();
+  if (!chain_.empty()) {
+    chain_.push_back(';');
+  }
+  chain_.append(element.name());
+  folded_ns_[chain_] += cost;
+  if (walk_sampled_) {
+    frame.span = obs::Tracer().Record(cursor_ns_, obs::EventKind::kElementProcess, walk_target_,
+                                      element.name(), static_cast<int64_t>(cost));
+    obs::Tracer().PushSpan(frame.span);
+    cursor_ns_ += cost;
+    last_element_ = element.name();
+  }
+  frames_.push_back(std::move(frame));
+}
+
+void GraphProfiler::ExitElement() {
+  if (frames_.empty()) {
+    return;  // unbalanced exit (deferred release outside a walk): ignore
+  }
+  Frame frame = frames_.back();
+  frames_.pop_back();
+  chain_.resize(frame.chain_len);
+  if (frame.span != 0) {
+    obs::Tracer().PopSpan();
+    obs::Tracer().Record(cursor_ns_, obs::EventKind::kSpanEnd, walk_target_, "", 0, frame.span);
+  }
+}
+
+void GraphProfiler::EndWalk() {
+  if (!walk_sampled_) {
+    return;
+  }
+  // The egress/drop instant parents to the still-open ingress span, closing
+  // the chain visually right where the last element slice ends.
+  obs::Tracer().Record(cursor_ns_,
+                       egress_ ? obs::EventKind::kPacketEgress : obs::EventKind::kPacketDrop,
+                       walk_target_, egress_ ? "" : last_element_, 0);
+  obs::Tracer().PopSpan();
+  obs::Tracer().Record(cursor_ns_, obs::EventKind::kSpanEnd, walk_target_, "", 0, walk_span_);
+  walk_sampled_ = false;
+}
+
+void GraphProfiler::WriteFolded(std::ostream& out) const {
+  for (const auto& [chain, weight] : folded_ns_) {
+    if (!config_.walk_prefix.empty()) {
+      out << config_.walk_prefix << ';';
+    }
+    out << chain << ' ' << weight << '\n';
+  }
+}
+
+void GraphProfiler::ExportMetrics(obs::MetricsRegistry* registry,
+                                  const obs::Labels& base_labels) const {
+  registry->GetCounter("innet_dataplane_walks_total", base_labels)->SetTo(walks_);
+  registry->GetCounter("innet_dataplane_sampled_walks_total", base_labels)->SetTo(sampled_walks_);
+}
+
+}  // namespace innet::click

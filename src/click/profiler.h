@@ -1,0 +1,100 @@
+// GraphProfiler: per-graph data-plane telemetry. Attached to a Graph (via
+// ElementContext), it sees every inter-element forward and provides two
+// products on top of the elements' own counters:
+//
+//  1. Folded call-chain attribution. Each element's simulated processing
+//     cost is charged to the chain of elements the packet traversed to reach
+//     it ("src;filter;rewriter 1234"), exactly the folded-stack format
+//     flame-graph tooling consumes. Accumulated for every packet whenever a
+//     profiler is attached — the per-forward cost is an append to an
+//     incremental chain string plus one map bump.
+//
+//  2. Sampled packet walks. A deterministic 1-in-N sampler (phased by a
+//     seed; no wall clock — the decision is a pure function of the packet
+//     ordinal) promotes selected packets to full element-by-element traces:
+//     a kPacketIngress span with one kElementProcess child span per element
+//     visited, closed by kPacketEgress or kPacketDrop. Element spans get
+//     synthetic timestamps (ingress sim time + cumulative simulated element
+//     cost), so the Perfetto export renders one sampled packet as a
+//     connected slice chain on its own track.
+//
+// Determinism contract: sampling depends only on (seed, sample_n, packet
+// ordinal); timestamps mix only sim time and the deterministic element cost
+// model. Two seeded runs produce byte-identical folded and trace dumps.
+#ifndef SRC_CLICK_PROFILER_H_
+#define SRC_CLICK_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/click/element.h"
+#include "src/obs/metrics.h"
+
+namespace innet::click {
+
+struct GraphProfilerConfig {
+  // Sample every packet whose ordinal ≡ seed (mod sample_n). 0 disables walk
+  // sampling (folded attribution still accumulates).
+  uint32_t sample_n = 0;
+  uint64_t seed = 0;
+  // Prefixes walk trace targets and folded chains, e.g. "vm:3" — this is how
+  // chains from many graphs stay distinguishable in one merged folded file.
+  std::string walk_prefix;
+};
+
+class GraphProfiler {
+ public:
+  explicit GraphProfiler(GraphProfilerConfig config) : config_(std::move(config)) {}
+  GraphProfiler(const GraphProfiler&) = delete;
+  GraphProfiler& operator=(const GraphProfiler&) = delete;
+
+  // --- Walk lifecycle (called by Graph::Inject* and Element::ForwardTo) ----
+  void BeginWalk(uint64_t time_ns, const Packet& packet);
+  void EnterElement(const Element& element, const Packet& packet);
+  void ExitElement();
+  // Called by ToNetfront when the packet leaves the graph; decides whether
+  // the walk closes with kPacketEgress or kPacketDrop.
+  void NoteEgress() { egress_ = true; }
+  void EndWalk();
+
+  uint64_t walks() const { return walks_; }
+  uint64_t sampled_walks() const { return sampled_walks_; }
+
+  // chain -> accumulated simulated ns (self cost per frame, flame-graph
+  // semantics). Sorted, so the folded dump is deterministic.
+  const std::map<std::string, uint64_t>& folded_ns() const { return folded_ns_; }
+  // "prefix;chain;of;elements weight\n" lines (prefix omitted when empty).
+  void WriteFolded(std::ostream& out) const;
+
+  // innet_dataplane_walks_total / innet_dataplane_sampled_walks_total.
+  void ExportMetrics(obs::MetricsRegistry* registry, const obs::Labels& base_labels) const;
+
+  const GraphProfilerConfig& config() const { return config_; }
+
+ private:
+  struct Frame {
+    size_t chain_len = 0;  // chain_ length before this element was appended
+    uint64_t span = 0;     // open kElementProcess span id (0 = not sampled)
+  };
+
+  GraphProfilerConfig config_;
+  uint64_t walks_ = 0;
+  uint64_t sampled_walks_ = 0;
+  std::map<std::string, uint64_t> folded_ns_;
+  std::string chain_;          // incremental "a;b;c" of the live call chain
+  std::vector<Frame> frames_;
+
+  bool walk_sampled_ = false;
+  bool egress_ = false;
+  uint64_t walk_span_ = 0;
+  uint64_t cursor_ns_ = 0;     // synthetic clock: ingress time + costs so far
+  std::string walk_target_;
+  std::string last_element_;   // drop attribution for sampled walks
+};
+
+}  // namespace innet::click
+
+#endif  // SRC_CLICK_PROFILER_H_

@@ -321,6 +321,7 @@ MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
       obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort, "module:" + module_id,
                            "source guest not running", 0, migrate_span);
     }
+    src.box->TakePostmortem(obs::EventKind::kMigrateAbort, vm_id, "source guest not running");
     start.reason = "source guest not running";
     return start;
   }
@@ -345,6 +346,12 @@ void Orchestrator::FinishMigration(const std::string& module_id, const std::stri
     if (obs::Tracer().enabled()) {
       obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort, "module:" + module_id,
                            reason);
+    }
+    // Post-mortem on the source platform (when it still exists): the guest's
+    // last element counters and the events leading up to the abort.
+    auto pm_it = platforms_.find(source);
+    if (pm_it != platforms_.end()) {
+      pm_it->second.box->TakePostmortem(obs::EventKind::kMigrateAbort, vm_id, reason);
     }
     report.reason = reason;
     if (on_done) {

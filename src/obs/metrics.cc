@@ -28,6 +28,13 @@ double Histogram::Quantile(double q) const { return HistogramQuantile(bounds_, b
 
 double HistogramQuantile(const std::vector<double>& bounds,
                          const std::vector<uint64_t>& buckets, double q) {
+  // Degenerate shapes reach this through innet_top, which feeds it bucket
+  // arrays parsed from (possibly truncated) dump files: an empty or all-zero
+  // bucket array and a NaN q must all come back as a plain 0, never index
+  // out of range or poison downstream arithmetic.
+  if (buckets.empty() || std::isnan(q)) {
+    return 0;
+  }
   uint64_t total = 0;
   for (uint64_t c : buckets) {
     total += c;

@@ -32,6 +32,11 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kPlacementRanked: return "placement_ranked";
     case EventKind::kDeployCutover: return "deploy_cutover";
     case EventKind::kHealthTransition: return "health_transition";
+    case EventKind::kPacketIngress: return "packet_ingress";
+    case EventKind::kElementProcess: return "element_process";
+    case EventKind::kPacketEgress: return "packet_egress";
+    case EventKind::kPacketDrop: return "packet_drop";
+    case EventKind::kPostmortemSnapshot: return "postmortem_snapshot";
     case EventKind::kSpanEnd: return "span_end";
   }
   return "unknown";

@@ -55,6 +55,11 @@ enum class EventKind {
   kPlacementRanked,
   kDeployCutover,
   kHealthTransition,
+  kPacketIngress,
+  kElementProcess,
+  kPacketEgress,
+  kPacketDrop,
+  kPostmortemSnapshot,
   kSpanEnd,
 };
 

@@ -5,6 +5,30 @@
 
 namespace innet::platform {
 
+namespace {
+
+// Consolidated graphs prefix each tenant's element names with "t<i>_" in
+// merge order; map that prefix back to the tenant label ("" when the name
+// doesn't carry one, e.g. shared glue elements).
+std::string TenantForElement(const std::string& element_name,
+                             const std::vector<std::string>& tenants) {
+  if (element_name.size() < 3 || element_name[0] != 't') {
+    return "";
+  }
+  size_t i = 1;
+  size_t index = 0;
+  while (i < element_name.size() && element_name[i] >= '0' && element_name[i] <= '9') {
+    index = index * 10 + static_cast<size_t>(element_name[i] - '0');
+    ++i;
+  }
+  if (i == 1 || i >= element_name.size() || element_name[i] != '_' || index >= tenants.size()) {
+    return "";
+  }
+  return tenants[index];
+}
+
+}  // namespace
+
 Vm::VmId InNetPlatform::Install(Ipv4Address addr, const std::string& config_text,
                                 std::string* error, VmKind kind, bool sandbox,
                                 const std::vector<Ipv4Address>& sandbox_whitelist) {
@@ -52,7 +76,12 @@ Vm::VmId InNetPlatform::InstallConsolidated(const std::vector<TenantConfig>& ten
   if (vm == nullptr) {
     return 0;
   }
+  // Remember the tenant order: the merged graph prefixes each tenant's
+  // elements "t<i>_", so metric export can attribute element counters back
+  // to the tenant that owns them.
+  std::vector<std::string>& tenant_labels = consolidated_tenants_[vm->id()];
   for (const TenantConfig& tenant : tenants) {
+    tenant_labels.push_back(tenant.addr.ToString());
     switch_.AddAddressRule(tenant.addr, vm->id());
     installed_[tenant.addr.value()] = vm->id();
     vm_rules_[vm->id()].addrs.push_back(tenant.addr.value());
@@ -84,6 +113,7 @@ bool InNetPlatform::UninstallVm(Vm::VmId vm_id) {
   }
   vm_rules_.erase(vm_id);
   migrating_out_.erase(vm_id);
+  consolidated_tenants_.erase(vm_id);
   return vms_.Destroy(vm_id) || found;
 }
 
@@ -130,6 +160,7 @@ std::optional<InNetPlatform::MigratedVm> InNetPlatform::DetachForMigration(Vm::V
   }
   vm_rules_.erase(vm_id);
   migrating_out_.erase(vm_id);
+  consolidated_tenants_.erase(vm_id);
   return moved;
 }
 
@@ -232,6 +263,8 @@ bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet,
     ++buffer_drops_;
     ctr_buffer_drops_->Increment();
     obs::Health().CountDrop(owner);
+    flight_.Record(clock_->now(), obs::EventKind::kBufferDrop, "platform", owner,
+                   static_cast<int64_t>(buffer->size()));
     if (obs::Tracer().enabled()) {
       obs::Tracer().Record(clock_->now(), obs::EventKind::kBufferDrop, "platform", "",
                            static_cast<int64_t>(buffer->size()));
@@ -242,6 +275,8 @@ bool InNetPlatform::BufferWithCap(std::deque<Packet>* buffer, Packet& packet,
   ++buffered_;
   ctr_buffered_->Increment();
   obs::Health().CountBuffered(owner);
+  flight_.Record(clock_->now(), obs::EventKind::kBufferEnqueue, "platform", owner,
+                 static_cast<int64_t>(buffer->size()));
   if (obs::Tracer().enabled()) {
     obs::Tracer().Record(clock_->now(), obs::EventKind::kBufferEnqueue, "platform", "",
                          static_cast<int64_t>(buffer->size()));
@@ -353,7 +388,9 @@ size_t InNetPlatform::suspended_count() const {
 }
 
 void InNetPlatform::AttachEgress(Vm* vm) {
-  vm->SetEgressHandler([this](Packet& packet) {
+  vm->SetEgressHandler([this, vm_id = vm->id()](Packet& packet) {
+    flight_.Record(clock_->now(), obs::EventKind::kPacketEgress, "vm:" + std::to_string(vm_id),
+                   "", static_cast<int64_t>(packet.length()));
     if (egress_) {
       egress_(packet);
     }
@@ -472,6 +509,115 @@ void InNetPlatform::ExportMetrics(obs::MetricsRegistry* registry) const {
   registry->GetCounter("innet_switch_missed_total")->SetTo(switch_.missed_count());
   registry->GetCounter("innet_switch_dropped_total")->SetTo(switch_.dropped_count());
   registry->GetCounter("innet_switch_fault_dropped_total")->SetTo(switch_.fault_dropped_count());
+  flight_.ExportMetrics(registry);
+
+  // Per-guest element counters. AllIds is sorted, so instrument creation
+  // order (and therefore the dump) is deterministic. Consolidated guests get
+  // per-element tenant attribution from the t<i>_ name prefix; dedicated
+  // guests inherit the guest's owner wholesale.
+  VmManager& vms = const_cast<VmManager&>(vms_);
+  for (Vm::VmId id : vms_.AllIds()) {
+    Vm* vm = vms.Find(id);
+    if (vm == nullptr || vm->graph() == nullptr) {
+      continue;  // crashed or suspended-out guests have no live counters
+    }
+    obs::Labels base = {{"vm", std::to_string(id)}};
+    auto consolidated = consolidated_tenants_.find(id);
+    if (consolidated == consolidated_tenants_.end()) {
+      base.emplace_back("tenant", vm->owner());
+      vm->graph()->ExportMetrics(registry, base);
+      continue;
+    }
+    const std::vector<std::string>& tenants = consolidated->second;
+    for (const auto& element : vm->graph()->elements()) {
+      obs::Labels labels = base;
+      labels.emplace_back("tenant", TenantForElement(element->name(), tenants));
+      labels.emplace_back("element", element->name());
+      labels.emplace_back("class", std::string(element->class_name()));
+      registry->GetCounter("innet_element_packets_total", labels)->SetTo(element->packets());
+      registry->GetCounter("innet_element_bytes_total", labels)->SetTo(element->bytes());
+      registry->GetCounter("innet_element_drops_total", labels)->SetTo(element->drops());
+      registry->GetCounter("innet_element_proc_ns_total", labels)->SetTo(element->proc_ns());
+      for (int port = 0; port < element->n_outputs(); ++port) {
+        obs::Labels port_labels = labels;
+        port_labels.emplace_back("port", std::to_string(port));
+        registry->GetCounter("innet_element_port_packets_total", port_labels)
+            ->SetTo(element->port_packets(port));
+      }
+    }
+    if (vm->graph()->profiler() != nullptr) {
+      vm->graph()->profiler()->ExportMetrics(registry, base);
+    }
+  }
+}
+
+void InNetPlatform::WriteFoldedStacks(std::ostream& out) const {
+  VmManager& vms = const_cast<VmManager&>(vms_);
+  for (Vm::VmId id : vms_.AllIds()) {
+    Vm* vm = vms.Find(id);
+    if (vm != nullptr && vm->graph() != nullptr) {
+      vm->graph()->WriteFolded(out);
+    }
+  }
+}
+
+void InNetPlatform::TakePostmortem(obs::EventKind trigger, Vm::VmId vm_id,
+                                   const std::string& detail) {
+  std::string target = "vm:" + std::to_string(vm_id);
+  // The trigger itself is the newest ring entry, so a rendered bundle always
+  // ends with the event that caused it.
+  flight_.Record(clock_->now(), trigger, target, detail);
+
+  obs::PostmortemBundle bundle;
+  bundle.time_ns = clock_->now();
+  bundle.trigger = trigger;
+  bundle.target = target;
+  bundle.detail = detail;
+  Vm* vm = vms_.Find(vm_id);
+  auto consolidated = consolidated_tenants_.find(vm_id);
+  if (consolidated != consolidated_tenants_.end()) {
+    // A consolidated guest serves several tenants; join them so the bundle
+    // names everyone affected by the crash.
+    for (const std::string& tenant : consolidated->second) {
+      if (!bundle.tenant.empty()) {
+        bundle.tenant += ",";
+      }
+      bundle.tenant += tenant;
+    }
+  }
+  if (vm != nullptr) {
+    if (bundle.tenant.empty()) {
+      bundle.tenant = vm->owner();
+    }
+    bundle.span = vm->trace_span();
+    if (vm->graph() != nullptr) {
+      for (const auto& element : vm->graph()->elements()) {
+        obs::ElementCounterDelta delta;
+        delta.element = element->name();
+        delta.element_class = std::string(element->class_name());
+        delta.packets = element->packets();
+        delta.bytes = element->bytes();
+        delta.drops = element->drops();
+        delta.proc_ns = element->proc_ns();
+        bundle.elements.push_back(std::move(delta));
+      }
+    } else {
+      // The graph is already gone (watchdog give-up long after the crash):
+      // fall back to the counters captured when this guest last snapshotted.
+      const std::vector<obs::ElementCounterDelta>* last = flight_.LastElementsFor(target);
+      if (last != nullptr) {
+        bundle.elements = *last;
+      }
+    }
+  }
+  if (obs::Health().enabled()) {
+    bundle.health = obs::HealthStateName(obs::Health().CurrentState(bundle.tenant));
+  }
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kPostmortemSnapshot, target, detail, 0,
+                         bundle.span);
+  }
+  flight_.SnapshotPostmortem(std::move(bundle));
 }
 
 }  // namespace innet::platform

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/platform/consolidation.h"
 #include "src/platform/sandbox.h"
@@ -51,6 +52,13 @@ class InNetPlatform {
     ctr_ondemand_boots_ = obs::Registry().GetCounter("innet_platform_ondemand_boots_total");
     ctr_idle_suspends_ = obs::Registry().GetCounter("innet_platform_idle_suspends_total");
     ctr_traffic_resumes_ = obs::Registry().GetCounter("innet_platform_resumes_on_traffic_total");
+    // The flight recorder is always on: the switch leaves per-packet
+    // breadcrumbs in it, and every guest crash snapshots a post-mortem
+    // bundle while the dying graph's counters are still readable (the VM
+    // manager notifies observers before it drops the graph).
+    switch_.SetFlightRecorder(&flight_);
+    vms_.AddCrashObserver(
+        [this](Vm* vm) { TakePostmortem(obs::EventKind::kVmCrash, vm->id(), ""); });
   }
 
   // --- Static installation ------------------------------------------------------
@@ -191,10 +199,35 @@ class InNetPlatform {
   size_t buffer_occupancy() const;
 
   // Snapshots the platform's state gauges (buffer occupancy, guest counts,
-  // memory, switch counters) into `registry`. Called by dump paths
-  // (tools/innet_run) right before writing the registry out; the counters
-  // above are live and need no snapshot.
+  // memory, switch counters) into `registry`, plus every live guest graph's
+  // per-element counters labeled {vm, tenant, element, class} — consolidated
+  // guests attribute each t<i>_-prefixed element back to its own tenant.
+  // Called by dump paths (tools/innet_run) right before writing the registry
+  // out; the counters above are live and need no snapshot.
   void ExportMetrics(obs::MetricsRegistry* registry) const;
+
+  // --- Data-plane telemetry ------------------------------------------------------
+  // Turns on per-graph profiling for every guest (see VmManager::
+  // EnableProfiling): folded-stack attribution always, 1-in-`sample_n`
+  // deterministic packet-walk traces when the tracer is enabled.
+  void EnableDataplaneProfiling(uint32_t sample_n, uint64_t seed) {
+    vms_.EnableProfiling(sample_n, seed);
+  }
+  // Appends every profiled guest graph's folded chains ("vm:<id>;a;b;c ns")
+  // to `out`, in ascending vm-id order.
+  void WriteFoldedStacks(std::ostream& out) const;
+
+  // The always-on ring of recent dataplane/lifecycle events and the
+  // post-mortem bundles captured from it.
+  obs::FlightRecorder& flight_recorder() { return flight_; }
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
+  // Snapshots a post-mortem bundle for `vm_id` into the flight recorder:
+  // ring contents, per-element counter deltas (from the live graph, or the
+  // guest's previous snapshot when the graph is already gone), owning span,
+  // and the tenant's health state. Called automatically on every crash;
+  // watchdog give-up and migration aborts call it explicitly.
+  void TakePostmortem(obs::EventKind trigger, Vm::VmId vm_id, const std::string& detail);
 
  private:
   struct OnDemandEntry {
@@ -229,8 +262,12 @@ class InNetPlatform {
   sim::EventQueue* clock_;
   VmManager vms_;
   SoftwareSwitch switch_;
+  obs::FlightRecorder flight_;
   EgressHandler egress_;
   std::unique_ptr<Watchdog> watchdog_;
+  // Consolidated guests: tenant labels (addresses) in merge order, so the
+  // t<i>_ element-name prefix maps element -> tenant at export time.
+  std::unordered_map<Vm::VmId, std::vector<std::string>> consolidated_tenants_;
   std::unordered_map<uint32_t, OnDemandEntry> ondemand_;
   std::unordered_map<uint64_t, PendingFlow> pending_flows_;   // per-flow boots
   std::unordered_map<uint32_t, PendingFlow> pending_addrs_;   // shared-VM boots

@@ -15,6 +15,10 @@ void SoftwareSwitch::Deliver(Packet& packet) {
   if (fault_ != nullptr) {
     if (fault_->ShouldDropPacket()) {
       ++fault_dropped_;
+      if (flight_ != nullptr) {
+        flight_->Record(packet.timestamp_ns(), obs::EventKind::kPacketDrop, "switch", "fault",
+                        static_cast<int64_t>(packet.length()));
+      }
       return;
     }
     if (fault_->ShouldCorruptPacket() && packet.length() > 0) {
@@ -31,6 +35,11 @@ void SoftwareSwitch::Deliver(Packet& packet) {
     if (vm != nullptr) {
       if (vm->state() == VmState::kRunning) {
         ++delivered_;
+        if (flight_ != nullptr) {
+          flight_->Record(packet.timestamp_ns(), obs::EventKind::kPacketIngress,
+                          "vm:" + std::to_string(vm->id()), "",
+                          static_cast<int64_t>(packet.length()));
+        }
         vm->Inject(packet);
         return;
       }
@@ -43,6 +52,11 @@ void SoftwareSwitch::Deliver(Packet& packet) {
     if (vm != nullptr) {
       if (vm->state() == VmState::kRunning) {
         ++delivered_;
+        if (flight_ != nullptr) {
+          flight_->Record(packet.timestamp_ns(), obs::EventKind::kPacketIngress,
+                          "vm:" + std::to_string(vm->id()), "",
+                          static_cast<int64_t>(packet.length()));
+        }
         vm->Inject(packet);
         return;
       }
@@ -61,6 +75,10 @@ void SoftwareSwitch::Deliver(Packet& packet) {
     return;
   }
   ++dropped_;
+  if (flight_ != nullptr) {
+    flight_->Record(packet.timestamp_ns(), obs::EventKind::kPacketDrop, "switch", "no_rule",
+                    static_cast<int64_t>(packet.length()));
+  }
 }
 
 }  // namespace innet::platform

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "src/netcore/packet.h"
+#include "src/obs/flight_recorder.h"
 #include "src/platform/vm.h"
 
 namespace innet::platform {
@@ -40,6 +41,11 @@ class SoftwareSwitch {
   // Unknown traffic goes here (the controller port).
   void SetMissHandler(MissHandler handler) { miss_ = std::move(handler); }
 
+  // Attaches the platform's flight recorder: every delivery, fault drop, and
+  // no-rule drop leaves a breadcrumb in the ring (timestamped with the
+  // packet's ingress sim time). Pass nullptr to detach.
+  void SetFlightRecorder(obs::FlightRecorder* recorder) { flight_ = recorder; }
+
   // Traffic for a known rule whose VM is not currently running (suspended or
   // mid-transition) goes here, so the platform can resume the guest and
   // buffer the packet (§5 suspend/resume).
@@ -63,6 +69,7 @@ class SoftwareSwitch {
   MissHandler miss_;
   StalledHandler stalled_;
   sim::FaultInjector* fault_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   uint64_t delivered_ = 0;
   uint64_t missed_ = 0;
   uint64_t dropped_ = 0;

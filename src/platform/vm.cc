@@ -122,6 +122,26 @@ void VmManager::NotifyCrash(Vm* vm) {
   }
 }
 
+void VmManager::EnableProfiling(uint32_t sample_n, uint64_t seed) {
+  profile_enabled_ = true;
+  profile_sample_n_ = sample_n;
+  profile_seed_ = seed;
+  for (Vm::VmId id : AllIds()) {
+    MaybeAttachProfiler(Find(id));
+  }
+}
+
+void VmManager::MaybeAttachProfiler(Vm* vm) {
+  if (!profile_enabled_ || vm == nullptr || vm->graph_ == nullptr) {
+    return;
+  }
+  click::GraphProfilerConfig config;
+  config.sample_n = profile_sample_n_;
+  config.seed = profile_seed_;
+  config.walk_prefix = VmTarget(vm->id_);
+  vm->graph_->EnableProfiling(std::move(config));
+}
+
 Vm* VmManager::Create(VmKind kind, const std::string& config_text, ReadyCallback on_ready,
                       std::string* error) {
   uint64_t needed = cost_model_.MemoryBytes(kind);
@@ -144,6 +164,7 @@ Vm* VmManager::Create(VmKind kind, const std::string& config_text, ReadyCallback
   Vm* raw = vm.get();
   memory_used_ += needed;
   vms_.emplace(raw->id_, std::move(vm));
+  MaybeAttachProfiler(raw);
   obs::Registry().GetCounter("innet_vm_boots_total", {{"kind", KindLabel(kind)}})->Increment();
   if (obs::Tracer().enabled()) {
     // The boot-start span roots this guest's lifecycle tree; it parents to
@@ -186,6 +207,7 @@ bool VmManager::Restart(Vm::VmId id, ReadyCallback on_ready, std::string* error)
   vm->state_ = VmState::kBooting;
   ++vm->epoch_;
   ++vm->restart_count_;
+  MaybeAttachProfiler(vm);
   obs::Registry().GetCounter("innet_vm_restarts_total")->Increment();
   obs::Health().CountRestart(vm->owner_);
   if (obs::Tracer().enabled()) {
@@ -215,14 +237,17 @@ bool VmManager::Crash(Vm::VmId id) {
   memory_used_ -= cost_model_.MemoryBytes(vm->kind_);
   vm->state_ = VmState::kCrashed;
   ++vm->epoch_;
-  vm->graph_.reset();
   ++crash_count_;
   obs::Registry().GetCounter("innet_vm_crashes_total")->Increment();
   if (obs::Tracer().enabled()) {
     obs::Tracer().Record(clock_->now(), obs::EventKind::kVmCrash, VmTarget(id), "", 0,
                          vm->trace_span_);
   }
+  // Observers run while the dying graph is still intact: post-mortem capture
+  // (the platform's flight recorder) reads its element counters. Only after
+  // they return does the crash actually destroy the guest's state.
   NotifyCrash(vm);
+  vm->graph_.reset();
   return true;
 }
 
@@ -353,6 +378,9 @@ Vm* VmManager::ImportSnapshot(VmSnapshot* snapshot, ReadyCallback on_ready, std:
   Vm* raw = vm.get();
   memory_used_ += needed;
   vms_.emplace(raw->id_, std::move(vm));
+  // The transplanted graph keeps its element state; profiling restarts under
+  // the new id (fresh folded chains, correctly-prefixed walk targets).
+  MaybeAttachProfiler(raw);
   obs::Registry().GetCounter("innet_vm_migrate_imports_total")->Increment();
   sim::TimeNs latency = cost_model_.ResumeTime(vm_count());
   if (fault_ != nullptr) {
@@ -425,6 +453,16 @@ size_t VmManager::crashed_count() const {
     }
   }
   return count;
+}
+
+std::vector<Vm::VmId> VmManager::AllIds() const {
+  std::vector<Vm::VmId> ids;
+  ids.reserve(vms_.size());
+  for (const auto& [id, vm] : vms_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 std::vector<Vm::VmId> VmManager::CrashedIds() const {

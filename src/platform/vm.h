@@ -178,6 +178,14 @@ class VmManager {
   void SetFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
   sim::FaultInjector* fault_injector() const { return fault_; }
 
+  // Enables data-plane profiling for every guest graph this manager owns —
+  // current and future (Create, Restart, ImportSnapshot re-attach it, since
+  // each of those hands the guest a new or transplanted graph). Each graph
+  // gets its own GraphProfiler with walk prefix "vm:<id>", so folded chains
+  // and sampled walks stay attributable per guest.
+  void EnableProfiling(uint32_t sample_n, uint64_t seed);
+  bool profiling_enabled() const { return profile_enabled_; }
+
   Vm* Find(Vm::VmId id);
   size_t vm_count() const { return vms_.size(); }
   size_t running_count() const;
@@ -185,6 +193,9 @@ class VmManager {
   // Ids of all guests currently in kCrashed, in ascending id order (so the
   // watchdog's sweep is deterministic regardless of hash-map iteration).
   std::vector<Vm::VmId> CrashedIds() const;
+  // Ids of every registered guest, ascending — the deterministic iteration
+  // order for per-guest metric export.
+  std::vector<Vm::VmId> AllIds() const;
   // Guests holding RAM and toolstack attention (everything but suspended
   // and crashed).
   size_t non_suspended_count() const;
@@ -213,6 +224,8 @@ class VmManager {
   // running (no-op without an injector or with crashes disabled).
   void ArmCrashTimer(Vm* vm);
   void NotifyCrash(Vm* vm);
+  // Attaches a profiler to the guest's (fresh) graph when profiling is on.
+  void MaybeAttachProfiler(Vm* vm);
 
   sim::EventQueue* clock_;
   VmCostModel cost_model_;
@@ -223,6 +236,9 @@ class VmManager {
   std::unordered_map<Vm::VmId, std::unique_ptr<Vm>> vms_;
   std::vector<CrashObserver> crash_observers_;
   sim::FaultInjector* fault_ = nullptr;
+  bool profile_enabled_ = false;
+  uint32_t profile_sample_n_ = 0;
+  uint64_t profile_seed_ = 0;
 };
 
 }  // namespace innet::platform

@@ -98,6 +98,9 @@ void Watchdog::Sweep() {
       if (obs::Tracer().enabled()) {
         obs::Tracer().Record(clock_->now(), obs::EventKind::kWatchdogGiveUp, "vm:" + std::to_string(id));
       }
+      platform_->TakePostmortem(obs::EventKind::kWatchdogGiveUp, id,
+                                "retries exhausted after " + std::to_string(pending.attempt - 1) +
+                                    " restarts");
       platform_->RetireCrashedVm(id);
       pending_.erase(it);
       continue;
@@ -117,6 +120,7 @@ void Watchdog::Sweep() {
         if (obs::Tracer().enabled()) {
           obs::Tracer().Record(clock_->now(), obs::EventKind::kWatchdogGiveUp, "vm:" + std::to_string(id));
         }
+        platform_->TakePostmortem(obs::EventKind::kWatchdogGiveUp, id, error);
         platform_->RetireCrashedVm(id);
         pending_.erase(it);
         continue;

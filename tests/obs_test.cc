@@ -1,5 +1,6 @@
 // Tests for the observability layer: registry determinism, histogram
 // bucketing, tracer bounds, JSON round-trips, and the sim::Samples cache.
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -305,6 +306,37 @@ TEST(Metrics, QuantileClampsOverflowToHighestFiniteBound) {
   // q=0 still means rank 1; a lone observation interpolates to its bucket's
   // upper edge (the histogram only knows the bucket, not the raw value).
   EXPECT_DOUBLE_EQ(h->Quantile(0.0), 1.0);
+}
+
+TEST(Metrics, QuantileDegenerateShapesReturnZero) {
+  // innet_top feeds HistogramQuantile arrays parsed from possibly truncated
+  // dumps: none of these may index out of range or return NaN/garbage.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {}, 0.5), 0.0);            // empty everything
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {}, 0.5), 0.0);        // bounds, no buckets
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {0, 0}, 0.99), 0.0);   // all-zero counts
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {5, 0},
+                                     std::numeric_limits<double>::quiet_NaN()),
+                   0.0);                                            // NaN quantile
+  // Truncated dump: more buckets than bounds beyond the one overflow bucket
+  // still clamps to the highest finite bound instead of reading past it.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0}, {0, 0, 7}, 0.5), 10.0);
+  // Out-of-range q clamps instead of over/underflowing the rank.
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {4, 4}, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({10.0, 20.0}, {4, 4}, -1.0),
+                   HistogramQuantile({10.0, 20.0}, {4, 4}, 0.0));
+}
+
+TEST(Metrics, SingleBucketHistogramQuantilesAreStable) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("single_ms", {}, {50.0});
+  EXPECT_DOUBLE_EQ(h->P50(), 0.0);  // empty
+  h->Observe(10.0);
+  // One observation: every quantile interpolates within the only bucket.
+  EXPECT_DOUBLE_EQ(h->P50(), 50.0);
+  EXPECT_DOUBLE_EQ(h->P90(), 50.0);
+  EXPECT_DOUBLE_EQ(h->P99(), 50.0);
+  h->Observe(999.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h->P99(), 50.0);  // clamps to the only finite bound
 }
 
 TEST(Tracer, SpanIdsAreUniqueAndParentDefaultsToTheStackTop) {

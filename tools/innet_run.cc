@@ -6,6 +6,8 @@
 //             [--metrics-out FILE] [--trace-out FILE] [--perfetto-out FILE]
 //             [--health-out FILE]
 //             [--placement-policy first_fit|least_loaded|bin_pack]
+//             [--dataplane-sample-n N] [--dataplane-seed S]
+//             [--folded-out FILE] [--flight-recorder-depth K] [--flight-out FILE]
 //
 // The packets file has one packet per line:
 //   udp  SRC[:SPORT] DST[:DPORT] [payload "TEXT"] [at SECONDS]
@@ -26,6 +28,15 @@
 // --trace-out writes the native event dump; --perfetto-out writes the same
 // events as Chrome/Perfetto trace_event JSON (load in ui.perfetto.dev).
 // --health-out writes the per-tenant SLO health report.
+//
+// Data-plane telemetry: --dataplane-sample-n N turns on per-element profiling
+// (folded-stack attribution for every packet, plus a full element-by-element
+// walk trace for 1 in N packets, chosen deterministically from
+// --dataplane-seed). --folded-out writes the folded chains
+// ("prefix;a;b;c weight") for flamegraph.pl / speedscope. The platform's
+// flight recorder is always on; --flight-recorder-depth sizes its ring and
+// --flight-out dumps the ring + any post-mortem bundles as JSON
+// (render with innet_top --postmortem).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -146,7 +157,12 @@ int main(int argc, char** argv) {
   std::string perfetto_out;
   std::string health_out;
   std::string placement_policy;
+  std::string folded_out;
+  std::string flight_out;
   double clock_until = 1.0;
+  uint32_t sample_n = 0;
+  uint64_t dataplane_seed = 0;
+  size_t flight_depth = 0;  // 0 = keep the recorder's default
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
@@ -165,12 +181,25 @@ int main(int argc, char** argv) {
       health_out = argv[++i];
     } else if (arg == "--placement-policy" && i + 1 < argc) {
       placement_policy = argv[++i];
+    } else if (arg == "--dataplane-sample-n" && i + 1 < argc) {
+      sample_n = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--dataplane-seed" && i + 1 < argc) {
+      dataplane_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--folded-out" && i + 1 < argc) {
+      folded_out = argv[++i];
+    } else if (arg == "--flight-recorder-depth" && i + 1 < argc) {
+      flight_depth = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--flight-out" && i + 1 < argc) {
+      flight_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s --config FILE [--packets FILE] [--clock-until SECONDS]\n"
                    "          [--metrics-out FILE] [--trace-out FILE] [--perfetto-out FILE]\n"
                    "          [--health-out FILE]\n"
-                   "          [--placement-policy first_fit|least_loaded|bin_pack]\n",
+                   "          [--placement-policy first_fit|least_loaded|bin_pack]\n"
+                   "          [--dataplane-sample-n N] [--dataplane-seed S]\n"
+                   "          [--folded-out FILE] [--flight-recorder-depth K] "
+                   "[--flight-out FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -195,9 +224,11 @@ int main(int argc, char** argv) {
                  placement_policy.c_str());
     return 2;
   }
+  const bool want_profiling = sample_n > 0 || !folded_out.empty();
   const bool want_obs =
       !metrics_out.empty() || !trace_out.empty() || !perfetto_out.empty() || !health_out.empty();
-  const bool want_stack = want_obs || !placement_policy.empty();
+  const bool want_stack =
+      want_obs || !placement_policy.empty() || want_profiling || !flight_out.empty();
   sim::EventQueue clock;
   if (want_obs) {
     obs::Tracer().Enable();
@@ -211,6 +242,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("loaded %zu elements from %s\n", graph->elements().size(), config_path.c_str());
+  if (want_profiling) {
+    click::GraphProfilerConfig profile_config;
+    profile_config.sample_n = sample_n;
+    profile_config.seed = dataplane_seed;
+    profile_config.walk_prefix = "run";
+    graph->EnableProfiling(profile_config);
+  }
 
   std::vector<PacketSpec> specs;
   if (!packets_path.empty()) {
@@ -273,6 +311,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  platform::InNetPlatform* box = nullptr;
   if (want_stack) {
     // Full-stack pass: the orchestrator admits the request, the placement
     // engine ranks the Figure 3 platforms by the chosen policy, the
@@ -298,7 +337,13 @@ int main(int argc, char** argv) {
                   deployed.consolidated ? "consolidated" : "dedicated",
                   static_cast<unsigned long long>(deployed.vm_id));
       clock.RunUntil(clock.now() + sim::FromSeconds(2));
-      platform::InNetPlatform* box = orch.platform(deployed.outcome.platform);
+      box = orch.platform(deployed.outcome.platform);
+      if (flight_depth > 0) {
+        box->flight_recorder().set_depth(flight_depth);
+      }
+      if (want_profiling) {
+        box->EnableDataplaneProfiling(sample_n, dataplane_seed);
+      }
       for (const PacketSpec& spec : specs) {
         Packet p = spec.packet;
         p.set_ip_dst(deployed.outcome.module_addr);
@@ -309,6 +354,32 @@ int main(int argc, char** argv) {
       orch.engine().ledger().ExportHeadroomGauges();
     }
     obs::Health().EvaluateAll();
+
+    // These dumps read the orchestrator's platforms, so they happen before
+    // the orchestrator goes out of scope.
+    if (!folded_out.empty()) {
+      std::ofstream out(folded_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", folded_out.c_str());
+        return 1;
+      }
+      graph->WriteFolded(out);
+      if (box != nullptr) {
+        box->WriteFoldedStacks(out);
+      }
+      std::printf("folded stacks -> %s\n", folded_out.c_str());
+    }
+    if (!flight_out.empty()) {
+      obs::FlightRecorder none;
+      obs::FlightRecorder& flight = box != nullptr ? box->flight_recorder() : none;
+      if (!flight.WriteJsonFile(flight_out)) {
+        std::fprintf(stderr, "cannot write %s\n", flight_out.c_str());
+        return 1;
+      }
+      std::printf("flight recorder: %llu events, %zu postmortems -> %s\n",
+                  static_cast<unsigned long long>(flight.recorded()),
+                  flight.postmortems().size(), flight_out.c_str());
+    }
   }
   graph->ExportMetrics(&obs::Registry());
   obs::Tracer().ExportMetrics(&obs::Registry());

@@ -2,7 +2,8 @@
 // the operator's "why is this tenant slow?" view.
 //
 // Usage:
-//   innet_top --metrics FILE [--trace FILE] [--health FILE]
+//   innet_top --metrics FILE [--trace FILE] [--health FILE] [--postmortem FILE]
+//   innet_top --postmortem FILE
 //   innet_top --run CONFIG [--placement-policy first_fit|least_loaded|bin_pack]
 //
 // Offline mode reads a metrics dump (either the registry's native
@@ -12,12 +13,18 @@
 // totals. --trace adds a per-kind event summary from a trace dump; --health
 // overrides the health-state column with a health report file.
 //
+// --postmortem renders a flight-recorder dump (innet_run --flight-out, or the
+// one bench/dataplane_profile writes): per crash/give-up/abort bundle, the
+// dying graph's element counters and the last-K events leading up to it.
+//
 // Live mode (--run) performs one full-stack orchestrated deploy of CONFIG on
 // the Figure 3 topology — admission, placement, verification, ClickOS boot,
 // a few probe packets — and renders the same tables from the fresh registry.
 //
 // All output derives from the dump contents (or the simulated clock in live
-// mode): the same input always renders byte-identical tables.
+// mode): the same input always renders byte-identical tables. A missing,
+// truncated, or shape-mismatched dump degrades to a per-section "no data"
+// line — partial telemetry never turns into an error or garbage rows.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -293,6 +300,7 @@ void RenderTotals(const std::vector<Instrument>& instruments) {
 void RenderTraceSummary(const obs::json::Value& trace_root) {
   const obs::json::Value* events = trace_root.Find("events");
   if (events == nullptr || !events->is_array()) {
+    std::printf("TRACE: no data (dump has no events array)\n\n");
     return;
   }
   std::map<std::string, uint64_t> per_kind;
@@ -317,51 +325,177 @@ void RenderTraceSummary(const obs::json::Value& trace_root) {
   std::printf("\n");
 }
 
+void RenderPostmortems(const obs::json::Value& root) {
+  const obs::json::Value* bundles = root.Find("postmortems");
+  const obs::json::Value* recorded = root.Find("recorded");
+  const obs::json::Value* depth = root.Find("depth");
+  const obs::json::Value* evicted = root.Find("evicted");
+  if (bundles == nullptr || !bundles->is_array()) {
+    std::printf("POSTMORTEM: no data (dump has no postmortems array)\n\n");
+    return;
+  }
+  std::printf("FLIGHT RECORDER (ring depth %lld, %lld events recorded, %zu postmortems",
+              depth != nullptr ? static_cast<long long>(depth->int_number()) : 0,
+              recorded != nullptr ? static_cast<long long>(recorded->int_number()) : 0,
+              bundles->size());
+  if (evicted != nullptr && evicted->int_number() > 0) {
+    std::printf(", %lld evicted", static_cast<long long>(evicted->int_number()));
+  }
+  std::printf(")\n");
+  if (bundles->size() == 0) {
+    std::printf("  no postmortem bundles: nothing crashed, gave up, or aborted\n\n");
+    return;
+  }
+  for (size_t i = 0; i < bundles->size(); ++i) {
+    const obs::json::Value& bundle = bundles->at(i);
+    const auto* trigger = bundle.Find("trigger");
+    const auto* target = bundle.Find("target");
+    const auto* tenant = bundle.Find("tenant");
+    const auto* t_ns = bundle.Find("t_ns");
+    const auto* detail = bundle.Find("detail");
+    const auto* health = bundle.Find("health");
+    std::printf("\n#%zu %s %s", i + 1,
+                trigger != nullptr ? trigger->string_value().c_str() : "?",
+                target != nullptr ? target->string_value().c_str() : "?");
+    if (tenant != nullptr && !tenant->string_value().empty()) {
+      std::printf(" tenant=%s", tenant->string_value().c_str());
+    }
+    if (t_ns != nullptr) {
+      std::printf(" at t=%.6fs", static_cast<double>(t_ns->int_number()) / 1e9);
+    }
+    if (health != nullptr && !health->string_value().empty()) {
+      std::printf(" health=%s", health->string_value().c_str());
+    }
+    if (detail != nullptr && !detail->string_value().empty()) {
+      std::printf(" (%s)", detail->string_value().c_str());
+    }
+    std::printf("\n");
+    const obs::json::Value* elements = bundle.Find("elements");
+    if (elements != nullptr && elements->is_array() && elements->size() > 0) {
+      std::printf("  %-24s %-18s %9s %10s %7s %12s\n", "element", "class", "packets", "bytes",
+                  "drops", "proc_ns");
+      for (size_t e = 0; e < elements->size(); ++e) {
+        const obs::json::Value& element = elements->at(e);
+        const auto* name = element.Find("element");
+        const auto* cls = element.Find("class");
+        const auto* packets = element.Find("packets");
+        const auto* bytes = element.Find("bytes");
+        const auto* drops = element.Find("drops");
+        const auto* proc = element.Find("proc_ns");
+        std::printf("  %-24s %-18s %9lld %10lld %7lld %12lld\n",
+                    name != nullptr ? name->string_value().c_str() : "?",
+                    cls != nullptr ? cls->string_value().c_str() : "?",
+                    packets != nullptr ? static_cast<long long>(packets->int_number()) : 0,
+                    bytes != nullptr ? static_cast<long long>(bytes->int_number()) : 0,
+                    drops != nullptr ? static_cast<long long>(drops->int_number()) : 0,
+                    proc != nullptr ? static_cast<long long>(proc->int_number()) : 0);
+      }
+    } else {
+      std::printf("  elements: none captured (graph already torn down)\n");
+    }
+    const obs::json::Value* events = bundle.Find("events");
+    if (events != nullptr && events->is_array() && events->size() > 0) {
+      std::printf("  last %zu events:\n", events->size());
+      for (size_t e = 0; e < events->size(); ++e) {
+        const obs::json::Value& event = events->at(e);
+        const auto* et = event.Find("t_ns");
+        const auto* kind = event.Find("kind");
+        const auto* etarget = event.Find("target");
+        const auto* edetail = event.Find("detail");
+        const auto* value = event.Find("value");
+        std::printf("    t=%.6fs %-20s %-12s %-16s %lld\n",
+                    et != nullptr ? static_cast<double>(et->int_number()) / 1e9 : 0.0,
+                    kind != nullptr ? kind->string_value().c_str() : "?",
+                    etarget != nullptr ? etarget->string_value().c_str() : "",
+                    edetail != nullptr ? edetail->string_value().c_str() : "",
+                    value != nullptr ? static_cast<long long>(value->int_number()) : 0);
+      }
+    } else {
+      std::printf("  events: none captured\n");
+    }
+  }
+  std::printf("\n");
+}
+
 int RenderFromFiles(const std::string& metrics_path, const std::string& trace_path,
-                    const std::string& health_path) {
+                    const std::string& health_path, const std::string& postmortem_path) {
   std::string text;
   std::string error;
-  if (!ReadFile(metrics_path, &text, &error)) {
-    std::fprintf(stderr, "%s\n", error.c_str());
-    return 1;
-  }
+
+  // Each section degrades independently: a missing or truncated file renders
+  // as a one-line "no data" note, never an error exit — partial telemetry
+  // after a crash is exactly when this tool matters.
+  std::vector<Instrument> instruments;
+  bool have_metrics = false;
+  std::string metrics_note;
   obs::json::Value root;
-  if (!obs::json::Value::Parse(text, &root, &error)) {
-    std::fprintf(stderr, "%s: %s\n", metrics_path.c_str(), error.c_str());
-    return 1;
+  if (!metrics_path.empty()) {
+    if (!ReadFile(metrics_path, &text, &error)) {
+      metrics_note = error;
+    } else if (!obs::json::Value::Parse(text, &root, &error)) {
+      metrics_note = metrics_path + ": " + error;
+    } else {
+      const obs::json::Value* metrics = FindMetricsArray(root);
+      if (metrics == nullptr) {
+        metrics_note = metrics_path + ": no metrics array (native dump or bench snapshot)";
+      } else {
+        instruments = ParseInstruments(*metrics);
+        have_metrics = true;
+      }
+    }
   }
-  const obs::json::Value* metrics = FindMetricsArray(root);
-  if (metrics == nullptr) {
-    std::fprintf(stderr, "%s: no metrics array (native dump or bench snapshot expected)\n",
-                 metrics_path.c_str());
-    return 1;
-  }
-  std::vector<Instrument> instruments = ParseInstruments(*metrics);
 
   obs::json::Value health_root;
   bool have_health = false;
+  std::string health_note;
   if (!health_path.empty()) {
-    if (!ReadFile(health_path, &text, &error) ||
-        !obs::json::Value::Parse(text, &health_root, &error)) {
-      std::fprintf(stderr, "%s: %s\n", health_path.c_str(), error.c_str());
-      return 1;
+    if (!ReadFile(health_path, &text, &error)) {
+      health_note = error;
+    } else if (!obs::json::Value::Parse(text, &health_root, &error)) {
+      health_note = health_path + ": " + error;
+    } else {
+      have_health = true;
     }
-    have_health = true;
   }
 
-  std::printf("innet_top — %s (%zu instruments)\n\n", metrics_path.c_str(), instruments.size());
-  RenderTenants(instruments, have_health ? &health_root : nullptr);
-  RenderPlatforms(instruments);
-  RenderTotals(instruments);
+  if (have_metrics) {
+    std::printf("innet_top — %s (%zu instruments)\n\n", metrics_path.c_str(),
+                instruments.size());
+  } else {
+    std::printf("innet_top\n\n");
+  }
+  if (!metrics_note.empty()) {
+    std::printf("METRICS: no data (%s)\n\n", metrics_note.c_str());
+  }
+  if (!health_note.empty()) {
+    std::printf("HEALTH: no data (%s)\n\n", health_note.c_str());
+  }
+  if (have_metrics) {
+    RenderTenants(instruments, have_health ? &health_root : nullptr);
+    RenderPlatforms(instruments);
+    RenderTotals(instruments);
+  }
 
   if (!trace_path.empty()) {
     obs::json::Value trace_root;
-    if (!ReadFile(trace_path, &text, &error) ||
-        !obs::json::Value::Parse(text, &trace_root, &error)) {
-      std::fprintf(stderr, "%s: %s\n", trace_path.c_str(), error.c_str());
-      return 1;
+    if (!ReadFile(trace_path, &text, &error)) {
+      std::printf("TRACE: no data (%s)\n\n", error.c_str());
+    } else if (!obs::json::Value::Parse(text, &trace_root, &error)) {
+      std::printf("TRACE: no data (%s: %s)\n\n", trace_path.c_str(), error.c_str());
+    } else {
+      RenderTraceSummary(trace_root);
     }
-    RenderTraceSummary(trace_root);
+  }
+
+  if (!postmortem_path.empty()) {
+    obs::json::Value flight_root;
+    if (!ReadFile(postmortem_path, &text, &error)) {
+      std::printf("POSTMORTEM: no data (%s)\n\n", error.c_str());
+    } else if (!obs::json::Value::Parse(text, &flight_root, &error)) {
+      std::printf("POSTMORTEM: no data (%s: %s)\n\n", postmortem_path.c_str(), error.c_str());
+    } else {
+      RenderPostmortems(flight_root);
+    }
   }
   return 0;
 }
@@ -429,6 +563,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string health_path;
+  std::string postmortem_path;
   std::string run_config;
   std::string placement_policy;
   for (int i = 1; i < argc; ++i) {
@@ -439,24 +574,28 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--health" && i + 1 < argc) {
       health_path = argv[++i];
+    } else if (arg == "--postmortem" && i + 1 < argc) {
+      postmortem_path = argv[++i];
     } else if (arg == "--run" && i + 1 < argc) {
       run_config = argv[++i];
     } else if (arg == "--placement-policy" && i + 1 < argc) {
       placement_policy = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s --metrics FILE [--trace FILE] [--health FILE]\n"
+                   "usage: %s --metrics FILE [--trace FILE] [--health FILE] "
+                   "[--postmortem FILE]\n"
+                   "       %s --postmortem FILE\n"
                    "       %s --run CONFIG [--placement-policy POLICY]\n",
-                   argv[0], argv[0]);
+                   argv[0], argv[0], argv[0]);
       return 2;
     }
   }
   if (!run_config.empty()) {
     return RunLive(run_config, placement_policy);
   }
-  if (metrics_path.empty()) {
-    std::fprintf(stderr, "one of --metrics or --run is required\n");
+  if (metrics_path.empty() && postmortem_path.empty()) {
+    std::fprintf(stderr, "one of --metrics, --postmortem, or --run is required\n");
     return 2;
   }
-  return RenderFromFiles(metrics_path, trace_path, health_path);
+  return RenderFromFiles(metrics_path, trace_path, health_path, postmortem_path);
 }
