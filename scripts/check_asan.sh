@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and runs
-# the test suite. The fault-injection tests (watchdog_test, failure_test)
-# exercise crash/restart races, so a clean run here is the "zero
-# use-after-destroy" acceptance check for the failure model.
+# the test suite plus the control-plane chaos bench. The fault-injection
+# tests (watchdog_test, failure_test, control_channel_test) exercise
+# crash/restart races, so a clean run here is the "zero use-after-destroy"
+# acceptance check for the failure model; the chaos bench adds the
+# lossy-channel + controller-crash recovery paths, whose stale-continuation
+# teardown is exactly where a dangling quota guard would fire.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -11,3 +14,7 @@ BUILD="${ROOT}/build-asan"
 cmake -B "${BUILD}" -S "${ROOT}" -DINNET_SANITIZE=ON "$@"
 cmake --build "${BUILD}" -j "$(nproc)"
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+# ctest already ran bench_control_chaos as a fixture; run it once more
+# directly so a filtered ctest invocation can never silently skip it.
+(cd "${BUILD}/bench" && ./control_chaos >/dev/null)
+echo "check_asan: control_chaos clean under ASan+UBSan"

@@ -84,6 +84,30 @@ else
   fail=1
 fi
 
+step "control-plane chaos bench (determinism: two runs must be byte-identical)"
+if [ ! -x build/bench/control_chaos ]; then
+  echo "ERROR: build/bench/control_chaos missing — build step failed?" >&2
+  fail=1
+else
+  chaos_ok=1
+  (cd build/bench && ./control_chaos >/dev/null) || chaos_ok=0
+  cp build/bench/BENCH_control_chaos.json build/bench/BENCH_control_chaos.run1.json 2>/dev/null
+  (cd build/bench && ./control_chaos >/dev/null) || chaos_ok=0
+  if [ "$chaos_ok" -ne 1 ]; then
+    echo "ERROR: control_chaos reported a convergence failure" >&2
+    fail=1
+  elif ! cmp -s build/bench/BENCH_control_chaos.json build/bench/BENCH_control_chaos.run1.json; then
+    echo "ERROR: BENCH_control_chaos.json differs between two runs at the same seed" >&2
+    fail=1
+  elif ! cmp -s build/bench/BENCH_control_chaos.json BENCH_control_chaos.json; then
+    echo "ERROR: regenerated BENCH_control_chaos.json differs from the committed snapshot" >&2
+    echo "       (if the change is intentional: cp build/bench/BENCH_control_chaos.json .)" >&2
+    fail=1
+  else
+    echo "ok: control_chaos converged, byte-identical across runs, snapshot current"
+  fi
+fi
+
 echo
 if [ "$fail" -ne 0 ]; then
   echo "ci: FAILED" >&2

@@ -484,6 +484,109 @@ DeployOutcome Controller::Deploy(const ClientRequest& request,
   return outcome;
 }
 
+bool Controller::RestoreDeployment(const ClientRequest& request, const std::string& module_id,
+                                   const std::string& platform, Ipv4Address addr, bool reverify,
+                                   std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  for (const Deployment& dep : deployments_) {
+    if (dep.module_id == module_id) {
+      return true;  // already committed — recovery replayed an applied entry
+    }
+  }
+  if (network_.Find(platform) == nullptr) {
+    *error = "unknown platform " + platform;
+    return false;
+  }
+
+  std::string config_text = SubstituteSelf(request.click_config, addr);
+  auto config = click::ConfigGraph::Parse(config_text, error);
+  if (!config) {
+    *error = "bad configuration: " + *error;
+    return false;
+  }
+  Deployment trial;
+  trial.module_id = module_id;
+  trial.client_id = request.client_id;
+  trial.platform = platform;
+  trial.addr = addr;
+  trial.config = *config;
+  trial.config_text = config_text;
+  for (FlowSpec& pinhole : DeriveEgressPinholes(*config, error)) {
+    bool authorized = false;
+    for (const AddrPredicate& pred : pinhole.addr_predicates()) {
+      for (Ipv4Address owned : request.whitelist) {
+        if (pred.prefix.Contains(owned)) {
+          authorized = true;
+        }
+      }
+    }
+    if (authorized) {
+      trial.pinholes.push_back(std::move(pinhole));
+    }
+  }
+
+  SecurityOptions sec_options;
+  sec_options.requester = request.requester;
+  sec_options.module_addr = addr;
+  sec_options.whitelist = request.whitelist;
+  sec_options.owned_prefixes = request.owned_prefixes;
+  SecurityReport security = CheckModuleSecurity(*config, sec_options, error);
+  if (security.verdict == Verdict::kRejected) {
+    *error = "security: " + security.Summary();
+    return false;
+  }
+  trial.sandboxed = security.verdict == Verdict::kNeedsSandbox;
+
+  if (reverify) {
+    std::vector<ReachSpec> client_specs;
+    for (const std::string& statement : policy::SplitReachStatements(request.requirements)) {
+      auto spec = ReachSpec::Parse(statement, error);
+      if (!spec) {
+        *error = "bad requirement: " + *error;
+        return false;
+      }
+      client_specs.push_back(std::move(*spec));
+    }
+    SymGraph graph = BuildVerificationGraph(&trial, error);
+    uint64_t steps = 0;
+    std::string failure;
+    bool ok = CheckAllRequirements(graph, trial, operator_policies_, &failure, &steps,
+                                   /*via_module=*/false);
+    if (ok) {
+      ok = CheckAllRequirements(graph, trial, client_specs, &failure, &steps,
+                                /*via_module=*/true);
+    }
+    if (!ok) {
+      *error = "on " + platform + ": " + failure;
+      return false;
+    }
+  }
+
+  deployments_.push_back(std::move(trial));
+  // Keep fresh module ids unique: skip the sequence number the restored id
+  // embeds ("<client>-m<seq>") so post-recovery deploys cannot collide.
+  size_t marker = module_id.rfind("-m");
+  if (marker != std::string::npos) {
+    uint64_t seq = 0;
+    bool numeric = marker + 2 < module_id.size();
+    for (size_t i = marker + 2; i < module_id.size(); ++i) {
+      char c = module_id[i];
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (numeric && seq >= next_module_seq_) {
+      next_module_seq_ = seq + 1;
+    }
+  }
+  return true;
+}
+
 bool Controller::Kill(const std::string& module_id) {
   for (size_t i = 0; i < deployments_.size(); ++i) {
     if (deployments_[i].module_id == module_id) {

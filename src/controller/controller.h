@@ -100,6 +100,17 @@ class Controller {
   // Stops a deployed module. Returns false for unknown ids.
   bool Kill(const std::string& module_id);
 
+  // Crash recovery: re-admits a deployment the journal says was already
+  // verified and placed, keeping its original module id and address so the
+  // controller's belief matches what is actually running on the fleet.
+  // Idempotent — if the module id is already committed this is a no-op
+  // success. Security checks (and pinhole derivation) always rerun, since
+  // they are cheap and decide sandboxing; the full symbolic re-verification
+  // only runs with `reverify` (used when the journal state is ambiguous).
+  bool RestoreDeployment(const ClientRequest& request, const std::string& module_id,
+                         const std::string& platform, Ipv4Address addr, bool reverify,
+                         std::string* error);
+
   // Platform availability. A failed platform is skipped by Deploy until
   // restored — the orchestrator marks a node failed before re-placing its
   // stranded tenants, so failover verification never lands them back on the

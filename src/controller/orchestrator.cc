@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "src/obs/health.h"
@@ -16,8 +17,55 @@ using platform::TenantConfig;
 using platform::Vm;
 using platform::VmState;
 
+namespace {
+
+// A control op gave up after exhausting retries: leave a breadcrumb in the
+// platform's always-on flight recorder so a later post-mortem shows the
+// controller losing contact.
+void RecordGiveUp(PlatformFleet* fleet, sim::EventQueue* clock, const std::string& platform_name,
+                  const std::string& what) {
+  InNetPlatform* box = fleet->Get(platform_name);
+  if (box != nullptr) {
+    box->flight_recorder().Record(clock->now(), obs::EventKind::kControlGiveUp,
+                                  "platform:" + platform_name, what);
+  }
+}
+
+}  // namespace
+
+// State threaded through a stateful migration's control-op chain
+// (suspend -> verify -> export -> import -> cutover), kept alive by the
+// channel callbacks that reference it.
+struct Orchestrator::MigrationCtx {
+  uint64_t journal_id = 0;
+  std::string module_id;  // the pre-migration id
+  std::string source;
+  std::string target;
+  platform::Vm::VmId vm_id = 0;       // the source guest
+  platform::Vm::VmId new_vm_id = 0;   // the imported guest on the target
+  ClientRequest request;              // original request, pin cleared
+  DeployOutcome redo;                 // the target re-verification
+  MigrationReport report;
+  uint64_t migrate_span = 0;
+  MigrationCallback on_done;
+  std::shared_ptr<platform::InNetPlatform::MigratedVm> moved;
+  // The target's quota share (null until the target verifies).
+  std::shared_ptr<scheduler::ReservationGuard> guard;
+  // The suspend request can fail synchronously (ideal channel, guest not
+  // running); MigrateTenant turns that into started=false like the old
+  // in-process call did.
+  bool inline_phase = true;
+  bool inline_failed = false;
+  std::string inline_reason;
+};
+
 Orchestrator::Orchestrator(topology::Network network, sim::EventQueue* clock,
                            OrchestratorOptions options)
+    : Orchestrator(std::move(network), clock, options, nullptr, nullptr) {}
+
+Orchestrator::Orchestrator(topology::Network network, sim::EventQueue* clock,
+                           OrchestratorOptions options, PlatformFleet* fleet,
+                           DeployJournal* journal)
     : controller_(std::move(network)),
       clock_(clock),
       cost_model_(options.cost_model),
@@ -26,12 +74,19 @@ Orchestrator::Orchestrator(topology::Network network, sim::EventQueue* clock,
           [this](const std::string& name, scheduler::PlatformResources* out) {
             return ProbePlatform(name, out);
           },
-          options.policy) {
+          options.policy),
+      owned_fleet_(fleet == nullptr
+                       ? std::make_unique<PlatformFleet>(clock, options.cost_model,
+                                                         options.platform_memory_bytes)
+                       : nullptr),
+      owned_journal_(journal == nullptr ? std::make_unique<DeployJournal>() : nullptr),
+      fleet_(fleet != nullptr ? fleet : owned_fleet_.get()),
+      journal_(journal != nullptr ? journal : owned_journal_.get()),
+      client_(clock, &fleet_->channel(), options.control_retry),
+      alive_(std::make_shared<char>(0)) {
   for (const topology::Node* node : controller_.network().Platforms()) {
-    PlatformState state;
-    state.box =
-        std::make_unique<InNetPlatform>(clock_, cost_model_, options_.platform_memory_bytes);
-    platforms_.emplace(node->name, std::move(state));
+    fleet_->AddPlatform(node->name);
+    platforms_.emplace(node->name, PlatformState{});
     engine_.ledger().AddPlatform(node->name);
   }
   ctr_migrations_started_ =
@@ -40,11 +95,29 @@ Orchestrator::Orchestrator(topology::Network network, sim::EventQueue* clock,
       obs::Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "completed"}});
   ctr_migrations_aborted_ =
       obs::Registry().GetCounter("innet_scheduler_migrations_total", {{"event", "aborted"}});
+  ctr_replays_ = obs::Registry().GetCounter("innet_journal_replays_total");
 }
 
-InNetPlatform* Orchestrator::platform(const std::string& name) {
-  auto it = platforms_.find(name);
-  return it == platforms_.end() ? nullptr : it->second.box.get();
+Orchestrator::~Orchestrator() {
+  // A crash in mid-flight leaves guards captured inside continuations whose
+  // clock events have not fired (or been destroyed) yet. Their engine pointer
+  // is about to dangle: defuse them so a later event tear-down cannot release
+  // into freed memory — the ledger dies with this controller either way, and
+  // a successor rebuilds it from the journal.
+  for (auto& weak : channel_guards_) {
+    if (auto guard = weak.lock()) {
+      guard->Confirm();
+    }
+  }
+}
+
+std::shared_ptr<scheduler::ReservationGuard> Orchestrator::MakeChannelGuard(
+    const std::string& client_id) {
+  auto guard =
+      std::make_shared<scheduler::ReservationGuard>(&engine_, client_id, ModuleMemoryBytes());
+  std::erase_if(channel_guards_, [](const auto& weak) { return weak.expired(); });
+  channel_guards_.push_back(guard);
+  return guard;
 }
 
 size_t Orchestrator::ConsolidatedTenantCount(const std::string& platform_name) const {
@@ -60,16 +133,16 @@ const std::pair<std::string, Vm::VmId>* Orchestrator::FindPlacement(
 
 bool Orchestrator::ProbePlatform(const std::string& name, scheduler::PlatformResources* out) {
   auto it = platforms_.find(name);
-  if (it == platforms_.end()) {
+  InNetPlatform* box = fleet_->Get(name);
+  if (it == platforms_.end() || box == nullptr) {
     return false;
   }
-  PlatformState& state = it->second;
-  out->memory_total = state.box->vms().memory_total();
-  out->memory_used = state.box->vms().memory_used();
-  out->vm_count = state.box->vms().vm_count();
-  out->running_vms = state.box->vms().running_count();
-  out->consolidated_tenants = state.consolidated.size();
-  out->buffer_occupancy = state.box->buffer_occupancy();
+  out->memory_total = box->vms().memory_total();
+  out->memory_used = box->vms().memory_used();
+  out->vm_count = box->vms().vm_count();
+  out->running_vms = box->vms().running_count();
+  out->consolidated_tenants = it->second.consolidated.size();
+  out->buffer_occupancy = box->buffer_occupancy();
   out->available = !controller_.IsPlatformFailed(name);
   return true;
 }
@@ -83,24 +156,27 @@ Ipv4Address Orchestrator::ModuleAddr(const std::string& module_id) const {
   return Ipv4Address();
 }
 
-Vm::VmId Orchestrator::RebuildSharedVm(PlatformState* state, std::string* error) {
-  Vm::VmId old_vm = state->shared_vm;
-  if (state->consolidated.empty()) {
-    if (old_vm != 0) {
-      state->box->UninstallVm(old_vm);
-      state->shared_vm = 0;
-    }
-    return 0;
+Vm::VmId Orchestrator::RebuildSharedVm(const std::string& platform_name, PlatformState* state,
+                                       std::string* error) {
+  ControlRequest req;
+  req.op = ControlOp::kRebuildShared;
+  req.tenant = "shared:" + platform_name;
+  req.attempt_epoch = journal_->MintEpoch();
+  req.tenants = state->consolidated;
+  req.vm_id = state->shared_vm;
+  ControlResponse resp = fleet_->channel().DeliverDirect(platform_name, req);
+  if (!resp.ok) {
+    *error = resp.error;
+    return 0;  // the old shared VM is kept
   }
-  Vm::VmId new_vm = state->box->InstallConsolidated(state->consolidated, error);
-  if (new_vm == 0) {
-    return 0;
-  }
-  if (old_vm != 0) {
-    state->box->UninstallVm(old_vm);
-  }
-  state->shared_vm = new_vm;
-  return new_vm;
+  state->shared_vm = resp.vm_id;
+  return resp.vm_id;  // 0 when the tenant list was empty
+}
+
+void Orchestrator::CommitPlacement(const ClientRequest& request, const std::string& module_id,
+                                   const std::string& platform_name, Vm::VmId dedicated_vm) {
+  placements_[module_id] = {platform_name, dedicated_vm};
+  requests_[module_id] = request;
 }
 
 OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
@@ -111,6 +187,9 @@ OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
     deploy_span.emplace(obs::Tracer(), clock_->now(), obs::EventKind::kDeployRequest,
                         "client:" + request.client_id);
   }
+  // Write the intent ahead of everything else: a crash from here on leaves a
+  // journal entry to converge from.
+  uint64_t jid = journal_->Begin(JournalEntryKind::kDeploy, request, clock_->now());
   // Admission + placement ranking first: quota and headroom rejections must
   // not burn verification time.
   scheduler::PlacementRequest needs;
@@ -123,7 +202,10 @@ OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
                          decision.admitted ? "admitted" : "rejected: " + decision.reject_reason);
   }
   if (!decision.admitted) {
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(),
+                      "admission rejected: " + decision.reject_reason);
     OrchestratedDeploy result;
+    result.journal_id = jid;
     result.outcome.reason = decision.reject_reason;
     return result;
   }
@@ -139,9 +221,12 @@ OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
                          "client:" + request.client_id, ranked,
                          static_cast<int64_t>(decision.candidates.size()));
   }
-  OrchestratedDeploy result = DeployOn(request, decision.candidates);
+  // The guard releases the quota share on every early-exit path below;
+  // only a fully-acked placement confirms it.
+  scheduler::ReservationGuard guard(&engine_, request.client_id, ModuleMemoryBytes());
+  OrchestratedDeploy result = DeployOn(request, decision.candidates, jid);
   if (result.outcome.accepted) {
-    engine_.CommitPlacement(request.client_id, ModuleMemoryBytes());
+    guard.Confirm();
   }
   obs::Health().ObserveVerifyLatency(request.client_id,
                                      static_cast<double>(result.outcome.sim_verify_ns) / 1e6);
@@ -149,10 +234,16 @@ OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
 }
 
 OrchestratedDeploy Orchestrator::DeployOn(const ClientRequest& request,
-                                          const std::vector<std::string>& candidates) {
+                                          const std::vector<std::string>& candidates,
+                                          uint64_t journal_id) {
   OrchestratedDeploy result;
+  result.journal_id = journal_id;
   result.outcome = controller_.Deploy(request, candidates);
   if (!result.outcome.accepted) {
+    if (journal_id != 0) {
+      journal_->Advance(journal_id, JournalState::kRolledBack, clock_->now(),
+                        "verification failed: " + result.outcome.reason);
+    }
     return result;
   }
   auto it = platforms_.find(result.outcome.platform);
@@ -160,61 +251,447 @@ OrchestratedDeploy Orchestrator::DeployOn(const ClientRequest& request,
     result.outcome.accepted = false;
     result.outcome.reason = "platform has no data-plane instance";
     controller_.Kill(result.outcome.module_id);
+    if (journal_id != 0) {
+      journal_->Advance(journal_id, JournalState::kRolledBack, clock_->now(),
+                        result.outcome.reason);
+    }
     return result;
   }
   PlatformState& state = it->second;
   const Deployment& deployment = controller_.deployments().back();
+  bool stateless = platform::IsStatelessConfig(deployment.config) && !result.outcome.sandboxed;
+  JournalEntry* entry = journal_id != 0 ? journal_->Find(journal_id) : nullptr;
+  if (entry != nullptr) {
+    entry->module_id = result.outcome.module_id;
+    entry->platform = result.outcome.platform;
+    entry->addr = result.outcome.module_addr.ToString();
+    entry->sandboxed = result.outcome.sandboxed;
+    entry->consolidated = stateless;
+    journal_->Advance(journal_id, JournalState::kVerified, clock_->now());
+  }
 
   std::string error;
-  bool stateless = platform::IsStatelessConfig(deployment.config);
-  if (stateless && !result.outcome.sandboxed) {
+  if (stateless) {
     // Consolidate: static checking already proved the module safe in
     // isolation; merging adds only the explicit-addressing demux.
     state.consolidated.push_back(TenantConfig{deployment.addr, deployment.config_text});
-    state.consolidated_module_ids.push_back(deployment.module_id);
-    Vm::VmId vm = RebuildSharedVm(&state, &error);
+    state.consolidated_module_ids.push_back(result.outcome.module_id);
+    Vm::VmId vm = RebuildSharedVm(result.outcome.platform, &state, &error);
     if (vm == 0) {
       state.consolidated.pop_back();
       state.consolidated_module_ids.pop_back();
       controller_.Kill(result.outcome.module_id);
       result.outcome.accepted = false;
       result.outcome.reason = "consolidation failed: " + error;
+      if (journal_id != 0) {
+        journal_->Advance(journal_id, JournalState::kRolledBack, clock_->now(),
+                          result.outcome.reason);
+      }
       return result;
     }
     result.consolidated = true;
     result.vm_id = vm;
-    placements_[result.outcome.module_id] = {result.outcome.platform, 0};
-    requests_[result.outcome.module_id] = request;
+    CommitPlacement(request, result.outcome.module_id, result.outcome.platform, 0);
     if (obs::Tracer().enabled()) {
       obs::Tracer().Record(clock_->now(), obs::EventKind::kDeployCutover,
                            "module:" + result.outcome.module_id,
                            result.outcome.platform + " consolidated", static_cast<int64_t>(vm));
     }
+    if (journal_id != 0) {
+      if (entry != nullptr) {
+        entry->vm_id = vm;
+      }
+      // The direct path completed synchronously: the platform's ack walks
+      // the entry straight through placed to steady state.
+      journal_->Advance(journal_id, JournalState::kPlaced, clock_->now(), "synchronous ack");
+      journal_->Advance(journal_id, JournalState::kCutover, clock_->now());
+    }
     return result;
   }
 
-  // Dedicated VM, sandboxed when the verdict requires it.
-  Vm::VmId vm = state.box->Install(deployment.addr, deployment.config_text, &error,
-                                   platform::VmKind::kClickOs, result.outcome.sandboxed,
-                                   request.whitelist);
-  if (vm == 0) {
+  // Dedicated VM, sandboxed when the verdict requires it. Still an explicit
+  // control message — just on the channel's fault-exempt direct path.
+  ControlRequest req;
+  req.op = ControlOp::kInstall;
+  req.tenant = result.outcome.module_id;
+  req.attempt_epoch = journal_->MintEpoch();
+  req.addr = deployment.addr;
+  req.config_text = deployment.config_text;
+  req.sandbox = result.outcome.sandboxed;
+  req.whitelist = request.whitelist;
+  if (entry != nullptr) {
+    entry->op_epoch = req.attempt_epoch;
+  }
+  ControlResponse resp = fleet_->channel().DeliverDirect(result.outcome.platform, req);
+  if (!resp.ok) {
     controller_.Kill(result.outcome.module_id);
     result.outcome.accepted = false;
-    result.outcome.reason = "platform install failed: " + error;
+    result.outcome.reason = "platform install failed: " + resp.error;
+    if (journal_id != 0) {
+      journal_->Advance(journal_id, JournalState::kRolledBack, clock_->now(),
+                        result.outcome.reason);
+    }
     return result;
   }
-  result.vm_id = vm;
+  result.vm_id = resp.vm_id;
   // Dedicated guests are attributable: tag the owner before the boot
   // completion fires so lifecycle events feed the tenant's health record.
-  state.box->SetVmOwner(vm, request.client_id);
-  placements_[result.outcome.module_id] = {result.outcome.platform, vm};
-  requests_[result.outcome.module_id] = request;
+  fleet_->Get(result.outcome.platform)->SetVmOwner(resp.vm_id, request.client_id);
+  CommitPlacement(request, result.outcome.module_id, result.outcome.platform, resp.vm_id);
   if (obs::Tracer().enabled()) {
     obs::Tracer().Record(clock_->now(), obs::EventKind::kDeployCutover,
                          "module:" + result.outcome.module_id, result.outcome.platform,
-                         static_cast<int64_t>(vm));
+                         static_cast<int64_t>(resp.vm_id));
+  }
+  if (journal_id != 0) {
+    if (entry != nullptr) {
+      entry->vm_id = resp.vm_id;
+    }
+    journal_->Advance(journal_id, JournalState::kPlaced, clock_->now(), "synchronous ack");
+    journal_->Advance(journal_id, JournalState::kCutover, clock_->now());
   }
   return result;
+}
+
+void Orchestrator::DeployViaChannel(const ClientRequest& request, DeployCallback on_done) {
+  std::optional<obs::SpanScope> deploy_span;
+  if (obs::Tracer().enabled()) {
+    deploy_span.emplace(obs::Tracer(), clock_->now(), obs::EventKind::kDeployRequest,
+                        "client:" + request.client_id, "channel");
+  }
+  uint64_t jid = journal_->Begin(JournalEntryKind::kDeploy, request, clock_->now());
+  OrchestratedDeploy result;
+  result.journal_id = jid;
+
+  scheduler::PlacementRequest needs;
+  needs.memory_bytes = ModuleMemoryBytes();
+  needs.pinned_platform = request.pinned_platform;
+  scheduler::PlacementDecision decision = engine_.Decide(request.client_id, needs);
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kAdmission,
+                         "client:" + request.client_id,
+                         decision.admitted ? "admitted" : "rejected: " + decision.reject_reason);
+  }
+  if (!decision.admitted) {
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(),
+                      "admission rejected: " + decision.reject_reason);
+    result.outcome.reason = decision.reject_reason;
+    if (on_done) {
+      on_done(result);
+    }
+    return;
+  }
+
+  result.outcome = controller_.Deploy(request, decision.candidates);
+  obs::Health().ObserveVerifyLatency(request.client_id,
+                                     static_cast<double>(result.outcome.sim_verify_ns) / 1e6);
+  if (!result.outcome.accepted) {
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(),
+                      "verification failed: " + result.outcome.reason);
+    if (on_done) {
+      on_done(result);
+    }
+    return;
+  }
+  auto it = platforms_.find(result.outcome.platform);
+  if (it == platforms_.end()) {
+    controller_.Kill(result.outcome.module_id);
+    result.outcome.accepted = false;
+    result.outcome.reason = "platform has no data-plane instance";
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(), result.outcome.reason);
+    if (on_done) {
+      on_done(result);
+    }
+    return;
+  }
+  const Deployment& deployment = controller_.deployments().back();
+  bool stateless = platform::IsStatelessConfig(deployment.config) && !result.outcome.sandboxed;
+  JournalEntry* entry = journal_->Find(jid);
+  entry->module_id = result.outcome.module_id;
+  entry->platform = result.outcome.platform;
+  entry->addr = result.outcome.module_addr.ToString();
+  entry->sandboxed = result.outcome.sandboxed;
+  entry->consolidated = stateless;
+  journal_->Advance(jid, JournalState::kVerified, clock_->now());
+  uint64_t epoch = journal_->MintEpoch();
+  entry->op_epoch = epoch;
+
+  // The reservation travels with the async chain; if the chain dies on any
+  // path without confirming, the guard's destructor releases the share.
+  auto guard = MakeChannelGuard(request.client_id);
+  std::weak_ptr<char> watch = alive_;
+  const std::string platform_name = result.outcome.platform;
+  const std::string module_id = result.outcome.module_id;
+
+  if (stateless) {
+    TenantConfig tenant{deployment.addr, deployment.config_text};
+    EnqueueRebuild(
+        platform_name,
+        [this, watch, jid, request, result, guard, epoch, platform_name, module_id, tenant,
+         on_done](std::function<void()> next) mutable {
+          if (watch.expired()) {
+            return;
+          }
+          // Desired tenant list computed only now: earlier queued rebuilds
+          // have landed, so this is the authoritative merge set.
+          PlatformState& state = platforms_[platform_name];
+          std::vector<TenantConfig> desired = state.consolidated;
+          desired.push_back(tenant);
+          ControlRequest req;
+          req.op = ControlOp::kRebuildShared;
+          req.tenant = module_id;
+          req.attempt_epoch = epoch;
+          req.tenants = std::move(desired);
+          req.vm_id = state.shared_vm;
+          client_.Issue(
+              platform_name, req,
+              [this, watch, jid, request, result, guard, platform_name, module_id, tenant,
+               on_done, next](ControlResponse resp) mutable {
+                if (watch.expired()) {
+                  return;
+                }
+                uint64_t now = clock_->now();
+                if (resp.ok) {
+                  PlatformState& state = platforms_[platform_name];
+                  state.consolidated.push_back(tenant);
+                  state.consolidated_module_ids.push_back(module_id);
+                  state.shared_vm = resp.vm_id;
+                  CommitPlacement(request, module_id, platform_name, 0);
+                  guard->Confirm();
+                  result.consolidated = true;
+                  result.vm_id = resp.vm_id;
+                  if (JournalEntry* e = journal_->Find(jid)) {
+                    e->vm_id = resp.vm_id;
+                  }
+                  journal_->Advance(jid, JournalState::kPlaced, now, "platform acked rebuild");
+                  if (obs::Tracer().enabled()) {
+                    obs::Tracer().Record(now, obs::EventKind::kDeployCutover,
+                                         "module:" + module_id,
+                                         platform_name + " consolidated",
+                                         static_cast<int64_t>(resp.vm_id));
+                  }
+                  ScheduleConfirm(jid, options_.confirm_rounds);
+                } else {
+                  controller_.Kill(module_id);
+                  if (resp.gave_up) {
+                    RecordGiveUp(fleet_, clock_, platform_name, "install:" + module_id);
+                    pending_cleanups_.emplace_back(platform_name, tenant.addr);
+                  }
+                  journal_->Advance(jid, JournalState::kRolledBack, now,
+                                    "install failed: " + resp.error);
+                  result.outcome.accepted = false;
+                  result.outcome.reason = "platform install failed: " + resp.error;
+                }
+                if (on_done) {
+                  on_done(result);
+                }
+                next();
+              });
+        });
+    return;
+  }
+
+  ControlRequest req;
+  req.op = ControlOp::kInstall;
+  req.tenant = module_id;
+  req.attempt_epoch = epoch;
+  req.addr = deployment.addr;
+  req.config_text = deployment.config_text;
+  req.sandbox = result.outcome.sandboxed;
+  req.whitelist = request.whitelist;
+  Ipv4Address addr = deployment.addr;
+  client_.Issue(
+      platform_name, req,
+      [this, watch, jid, request, result, guard, platform_name, module_id, addr,
+       on_done](ControlResponse resp) mutable {
+        if (watch.expired()) {
+          return;
+        }
+        uint64_t now = clock_->now();
+        if (resp.ok) {
+          InNetPlatform* box = fleet_->Get(platform_name);
+          if (box != nullptr) {
+            box->SetVmOwner(resp.vm_id, request.client_id);
+          }
+          CommitPlacement(request, module_id, platform_name, resp.vm_id);
+          guard->Confirm();
+          result.vm_id = resp.vm_id;
+          if (JournalEntry* e = journal_->Find(jid)) {
+            e->vm_id = resp.vm_id;
+          }
+          journal_->Advance(jid, JournalState::kPlaced, now, "platform acked install");
+          if (obs::Tracer().enabled()) {
+            obs::Tracer().Record(now, obs::EventKind::kDeployCutover, "module:" + module_id,
+                                 platform_name, static_cast<int64_t>(resp.vm_id));
+          }
+          ScheduleConfirm(jid, options_.confirm_rounds);
+        } else {
+          controller_.Kill(module_id);
+          if (resp.gave_up) {
+            RecordGiveUp(fleet_, clock_, platform_name, "install:" + module_id);
+            // The platform may have executed the unacked install: queue an
+            // idempotent uninstall for the heal-time reconcile, and fire a
+            // best-effort one now in case only the ack leg was lossy.
+            pending_cleanups_.emplace_back(platform_name, addr);
+            ControlRequest undo;
+            undo.op = ControlOp::kUninstallAddr;
+            undo.tenant = module_id;
+            undo.attempt_epoch = journal_->MintEpoch();
+            undo.addr = addr;
+            client_.Issue(platform_name, undo, nullptr);
+          }
+          journal_->Advance(jid, JournalState::kRolledBack, now,
+                            "install failed: " + resp.error);
+          result.outcome.accepted = false;
+          result.outcome.reason = "platform install failed: " + resp.error;
+        }
+        if (on_done) {
+          on_done(result);
+        }
+      });
+}
+
+void Orchestrator::EnqueueRebuild(const std::string& platform_name,
+                                  std::function<void(std::function<void()>)> task) {
+  PlatformState& state = platforms_[platform_name];
+  state.rebuild_queue.push_back(std::move(task));
+  if (!state.rebuild_busy) {
+    RunNextRebuild(platform_name);
+  }
+}
+
+void Orchestrator::RunNextRebuild(const std::string& platform_name) {
+  PlatformState& state = platforms_[platform_name];
+  if (state.rebuild_queue.empty()) {
+    state.rebuild_busy = false;
+    return;
+  }
+  state.rebuild_busy = true;
+  auto task = std::move(state.rebuild_queue.front());
+  state.rebuild_queue.pop_front();
+  std::weak_ptr<char> watch = alive_;
+  task([this, watch, platform_name] {
+    if (watch.expired()) {
+      return;
+    }
+    RunNextRebuild(platform_name);
+  });
+}
+
+void Orchestrator::ScheduleConfirm(uint64_t journal_id, int rounds_left) {
+  if (rounds_left <= 0) {
+    return;
+  }
+  std::weak_ptr<char> watch = alive_;
+  clock_->ScheduleAfter(options_.confirm_interval, [this, watch, journal_id, rounds_left] {
+    if (watch.expired()) {
+      return;
+    }
+    ConfirmProbe(journal_id, rounds_left);
+  });
+}
+
+void Orchestrator::ConfirmProbe(uint64_t journal_id, int rounds_left) {
+  JournalEntry* entry = journal_->Find(journal_id);
+  if (entry == nullptr ||
+      (entry->state != JournalState::kPlaced && entry->state != JournalState::kBooted)) {
+    return;  // completed, rolled back, or killed since the probe was armed
+  }
+  auto placement = placements_.find(entry->module_id);
+  if (placement == placements_.end() || placement->second.first != entry->platform) {
+    return;  // killed or migrated away meanwhile
+  }
+  ControlRequest probe;
+  probe.op = ControlOp::kHealthProbe;  // epoch 0: read-only, no dedup
+  probe.tenant = entry->module_id;
+  if (entry->consolidated) {
+    probe.vm_id = platforms_[entry->platform].shared_vm;
+    if (auto addr = Ipv4Address::Parse(entry->addr)) {
+      probe.addr = *addr;
+    }
+  } else {
+    probe.vm_id = placement->second.second;
+  }
+  std::weak_ptr<char> watch = alive_;
+  bool consolidated = entry->consolidated;
+  std::string platform_name = entry->platform;
+  client_.Issue(
+      platform_name, probe,
+      [this, watch, journal_id, rounds_left, consolidated, platform_name](ControlResponse r) {
+        if (watch.expired()) {
+          return;
+        }
+        JournalEntry* entry = journal_->Find(journal_id);
+        if (entry == nullptr ||
+            (entry->state != JournalState::kPlaced && entry->state != JournalState::kBooted)) {
+          return;
+        }
+        uint64_t now = clock_->now();
+        if (r.gave_up) {
+          // Unreachable (partitioned): stop probing; the heal reconcile
+          // re-arms the chain.
+          RecordGiveUp(fleet_, clock_, platform_name, "confirm:" + entry->module_id);
+          return;
+        }
+        bool up = r.ok && r.vm_known &&
+                  (r.vm_state == VmState::kRunning || r.vm_state == VmState::kSuspended);
+        if (up) {
+          if (entry->state == JournalState::kPlaced) {
+            journal_->Advance(journal_id, JournalState::kBooted, now, "probe saw guest up");
+            ScheduleConfirm(journal_id, rounds_left - 1);
+          } else {
+            journal_->Advance(journal_id, JournalState::kCutover, now,
+                              "steady state confirmed");
+          }
+          return;
+        }
+        if (r.ok && !r.vm_known && !consolidated) {
+          // The dedicated guest vanished before it ever confirmed.
+          journal_->Advance(journal_id, JournalState::kKilled, now,
+                            "guest lost before cut-over");
+          Kill(entry->module_id);
+          return;
+        }
+        // Still booting / resuming (or a transient error): probe again.
+        ScheduleConfirm(journal_id, rounds_left - 1);
+      });
+}
+
+bool Orchestrator::Kill(const std::string& module_id) {
+  auto placement = placements_.find(module_id);
+  if (placement == placements_.end()) {
+    return false;  // never placed (or already killed): clean no-op
+  }
+  const std::string platform_name = placement->second.first;
+  const Vm::VmId vm_id = placement->second.second;
+  PlatformState& state = platforms_.at(platform_name);
+  if (vm_id != 0) {
+    ControlRequest req;
+    req.op = ControlOp::kUninstallVm;
+    req.tenant = module_id;
+    req.attempt_epoch = journal_->MintEpoch();
+    req.vm_id = vm_id;
+    fleet_->channel().DeliverDirect(platform_name, req);
+  } else {
+    for (size_t i = 0; i < state.consolidated_module_ids.size(); ++i) {
+      if (state.consolidated_module_ids[i] == module_id) {
+        state.consolidated.erase(state.consolidated.begin() + static_cast<ptrdiff_t>(i));
+        state.consolidated_module_ids.erase(state.consolidated_module_ids.begin() +
+                                            static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    std::string error;
+    RebuildSharedVm(platform_name, &state, &error);
+  }
+  auto request = requests_.find(module_id);
+  if (request != requests_.end()) {
+    engine_.ReleasePlacement(request->second.client_id, ModuleMemoryBytes());
+    requests_.erase(request);
+  }
+  placements_.erase(placement);
+  journal_->MarkModuleTerminal(module_id, JournalState::kKilled, clock_->now(), "killed");
+  return controller_.Kill(module_id);
 }
 
 MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
@@ -246,6 +723,24 @@ MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
     return start;
   }
 
+  // Journal the intent before any message leaves the controller, linked to
+  // the deploy entry this migration supersedes on success.
+  uint64_t jid = journal_->Begin(JournalEntryKind::kMigration, request_it->second, clock_->now());
+  uint64_t supersedes = 0;
+  for (const JournalEntry& je : journal_->entries()) {
+    if (je.id != jid && je.module_id == module_id && !DeployJournal::IsTerminal(je.state)) {
+      supersedes = je.id;  // newest live entry wins
+    }
+  }
+  {
+    JournalEntry* e = journal_->Find(jid);
+    e->module_id = module_id;
+    e->platform = target_platform;
+    e->source_platform = source;
+    e->vm_id = vm_id;
+    e->supersedes = supersedes;
+  }
+
   if (vm_id == 0) {
     // Consolidated (stateless) tenant: migration degenerates to
     // make-before-break redeployment — there is no guest state to carry.
@@ -264,7 +759,7 @@ MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
     report.old_addr = ModuleAddr(module_id);
     ClientRequest request = request_it->second;
     request.pinned_platform.clear();
-    OrchestratedDeploy redo = DeployOn(request, {target_platform});
+    OrchestratedDeploy redo = DeployOn(request, {target_platform}, jid);
     if (!redo.outcome.accepted) {
       ctr_migrations_aborted_->Increment();
       if (obs::Tracer().enabled()) {
@@ -278,8 +773,13 @@ MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
       start.started = true;
       return start;
     }
-    engine_.CommitPlacement(request.client_id, ModuleMemoryBytes());
+    scheduler::ReservationGuard guard(&engine_, request.client_id, ModuleMemoryBytes());
+    if (supersedes != 0) {
+      journal_->Advance(supersedes, JournalState::kSuperseded, clock_->now(),
+                        "migrated to " + target_platform);
+    }
     Kill(module_id);  // releases the old placement's quota share
+    guard.Confirm();
     report.ok = true;
     report.new_module_id = redo.outcome.module_id;
     report.new_addr = redo.outcome.module_addr;
@@ -295,153 +795,334 @@ MigrationStart Orchestrator::MigrateTenant(const std::string& module_id,
     return start;
   }
 
-  // Stateful guest: announce the migration (parks stalled traffic instead of
-  // resuming), then suspend; the continuation runs when the suspend lands.
-  // The migrate-start span is opened before the suspend so the suspend's
-  // completion event and the whole FinishMigration continuation (which
-  // re-enters it via ScopedParent) hang off one migration tree.
+  // Stateful guest: suspend over the channel (the platform-side agent parks
+  // stalled traffic and acks when the guest is frozen); the chain continues
+  // when the ack arrives. The migrate-start span is opened before the
+  // suspend so every chained record hangs off one migration tree.
   uint64_t migrate_span = 0;
   if (obs::Tracer().enabled()) {
     migrate_span = obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateStart,
                                         "module:" + module_id, source + "->" + target_platform);
   }
-  PlatformState& src = platforms_.at(source);
-  src.box->PrepareMigrationOut(vm_id);
-  bool suspending;
+  auto ctx = std::make_shared<MigrationCtx>();
+  ctx->journal_id = jid;
+  ctx->module_id = module_id;
+  ctx->source = source;
+  ctx->target = target_platform;
+  ctx->vm_id = vm_id;
+  ctx->request = request_it->second;
+  ctx->request.pinned_platform.clear();
+  ctx->migrate_span = migrate_span;
+  ctx->on_done = std::move(on_done);
+  ctx->report.module_id = module_id;
+  ctx->report.source = source;
+  ctx->report.target = target_platform;
+  ctx->report.live = true;
+  ctx->report.old_addr = ModuleAddr(module_id);
   {
+    JournalEntry* e = journal_->Find(jid);
+    e->op_epoch = journal_->MintEpoch();
+    ControlRequest req;
+    req.op = ControlOp::kSuspend;
+    req.tenant = module_id;
+    req.attempt_epoch = e->op_epoch;
+    req.vm_id = vm_id;
+    std::weak_ptr<char> watch = alive_;
     obs::ScopedParent in_migration(obs::Tracer(), migrate_span);
-    suspending = src.box->vms().Suspend(
-        vm_id, [this, module_id, source, target_platform, vm_id, migrate_span, on_done] {
-          FinishMigration(module_id, source, target_platform, vm_id, migrate_span, on_done);
-        });
+    client_.Issue(source, req, [this, watch, ctx](ControlResponse response) {
+      if (watch.expired()) {
+        return;
+      }
+      MigrationSuspendDone(ctx, std::move(response));
+    });
   }
-  if (!suspending) {
-    src.box->CancelMigrationOut(vm_id);
+  if (ctx->inline_failed) {
+    // Mirrors the old in-process behavior: a guest that is not running
+    // fails the start synchronously, with no started/aborted counting.
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(), ctx->inline_reason);
     if (obs::Tracer().enabled()) {
       obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort, "module:" + module_id,
-                           "source guest not running", 0, migrate_span);
+                           ctx->inline_reason, 0, migrate_span);
     }
-    src.box->TakePostmortem(obs::EventKind::kMigrateAbort, vm_id, "source guest not running");
-    start.reason = "source guest not running";
+    InNetPlatform* box = fleet_->Get(source);
+    if (box != nullptr) {
+      box->TakePostmortem(obs::EventKind::kMigrateAbort, vm_id, ctx->inline_reason);
+    }
+    start.reason = ctx->inline_reason;
     return start;
   }
+  ctx->inline_phase = false;
   ctr_migrations_started_->Increment();
   start.started = true;
   return start;
 }
 
-void Orchestrator::FinishMigration(const std::string& module_id, const std::string& source,
-                                   const std::string& target, Vm::VmId vm_id,
-                                   uint64_t migrate_span, MigrationCallback on_done) {
-  // Re-enter the migration span: the re-verify, detach, import, and cutover
-  // records below all parent to the kMigrateStart event.
-  obs::ScopedParent in_migration(obs::Tracer(), migrate_span);
-  MigrationReport report;
-  report.module_id = module_id;
-  report.source = source;
-  report.target = target;
-  report.live = true;
-  auto abort = [&](const std::string& reason) {
-    ctr_migrations_aborted_->Increment();
-    if (obs::Tracer().enabled()) {
-      obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort, "module:" + module_id,
-                           reason);
-    }
-    // Post-mortem on the source platform (when it still exists): the guest's
-    // last element counters and the events leading up to the abort.
-    auto pm_it = platforms_.find(source);
-    if (pm_it != platforms_.end()) {
-      pm_it->second.box->TakePostmortem(obs::EventKind::kMigrateAbort, vm_id, reason);
-    }
-    report.reason = reason;
-    if (on_done) {
-      on_done(report);
-    }
-  };
+void Orchestrator::AbortMigration(const std::shared_ptr<MigrationCtx>& ctx,
+                                  const std::string& reason) {
+  obs::ScopedParent in_migration(obs::Tracer(), ctx->migrate_span);
+  ctr_migrations_aborted_->Increment();
+  journal_->Advance(ctx->journal_id, JournalState::kRolledBack, clock_->now(), reason);
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateAbort,
+                         "module:" + ctx->module_id, reason);
+  }
+  // Post-mortem on the source platform (when it still exists): the guest's
+  // last element counters and the events leading up to the abort.
+  InNetPlatform* box = fleet_->Get(ctx->source);
+  if (box != nullptr) {
+    box->TakePostmortem(obs::EventKind::kMigrateAbort, ctx->vm_id, reason);
+  }
+  if (ctx->guard != nullptr) {
+    ctx->guard->Release();
+  }
+  ctx->report.reason = reason;
+  if (ctx->on_done) {
+    ctx->on_done(ctx->report);
+  }
+}
 
-  auto src_it = platforms_.find(source);
-  auto request_it = requests_.find(module_id);
-  if (src_it == platforms_.end() || platforms_.count(target) == 0 ||
-      request_it == requests_.end() || placements_.count(module_id) == 0) {
-    abort("module disappeared during suspend");
+void Orchestrator::MigrationSuspendDone(const std::shared_ptr<MigrationCtx>& ctx,
+                                        ControlResponse response) {
+  if (!response.ok) {
+    if (ctx->inline_phase) {
+      ctx->inline_failed = true;
+      ctx->inline_reason = response.error;
+      return;
+    }
+    if (response.gave_up) {
+      // The suspend may or may not have landed; best-effort cancel now, the
+      // heal-time reconcile resolves whatever remains.
+      RecordGiveUp(fleet_, clock_, ctx->source, "suspend:" + ctx->module_id);
+      ControlRequest cancel;
+      cancel.op = ControlOp::kCancelMigration;
+      cancel.tenant = ctx->module_id;
+      cancel.attempt_epoch = journal_->MintEpoch();
+      cancel.vm_id = ctx->vm_id;
+      client_.Issue(ctx->source, cancel, nullptr);
+    }
+    AbortMigration(ctx, response.error);
     return;
   }
-  PlatformState& src = src_it->second;
-  Vm* guest = src.box->vms().Find(vm_id);
-  if (guest == nullptr || guest->state() != VmState::kSuspended) {
-    // Crashed (or was torn down) while suspending: the watchdog path owns
-    // whatever is left of it.
-    src.box->CancelMigrationOut(vm_id);
-    abort("source guest lost during suspend");
+  obs::ScopedParent in_migration(obs::Tracer(), ctx->migrate_span);
+  auto cancel_source = [this, &ctx] {
+    ControlRequest cancel;
+    cancel.op = ControlOp::kCancelMigration;
+    cancel.tenant = ctx->module_id;
+    cancel.attempt_epoch = journal_->MintEpoch();
+    cancel.vm_id = ctx->vm_id;
+    client_.Issue(ctx->source, cancel, nullptr);
+  };
+  if (placements_.count(ctx->module_id) == 0 || requests_.count(ctx->module_id) == 0) {
+    cancel_source();
+    AbortMigration(ctx, "module disappeared during suspend");
     return;
   }
-  report.old_addr = ModuleAddr(module_id);
 
   // Re-verify on the target while the guest is frozen. The old deployment
   // stays committed during the check, so the verifier sees the worst-case
   // network with both copies present; only after the target passes does the
   // old one disappear.
-  ClientRequest request = request_it->second;
-  request.pinned_platform.clear();
-  DeployOutcome redo = controller_.Deploy(request, {target});
+  DeployOutcome redo = controller_.Deploy(ctx->request, {ctx->target});
   if (!redo.accepted) {
-    src.box->CancelMigrationOut(vm_id);
-    abort("target verification failed: " + redo.reason);
+    cancel_source();
+    AbortMigration(ctx, "target verification failed: " + redo.reason);
     return;
   }
-
-  auto moved = src.box->DetachForMigration(vm_id);
-  if (!moved) {  // unreachable after the state check above
-    controller_.Kill(redo.module_id);
-    src.box->CancelMigrationOut(vm_id);
-    abort("detach failed");
-    return;
+  ctx->redo = redo;
+  JournalEntry* e = journal_->Find(ctx->journal_id);
+  if (e != nullptr) {
+    e->module_id = redo.module_id;  // the entry now tracks the new placement
+    e->addr = redo.module_addr.ToString();
+    e->sandboxed = redo.sandboxed;
   }
-  report.parked_packets = moved->parked.size();
+  journal_->Advance(ctx->journal_id, JournalState::kVerified, clock_->now(),
+                    "target verified");
+  // Reserve the target's quota share for the duration of the transfer.
+  ctx->guard = MakeChannelGuard(ctx->request.client_id);
 
-  PlatformState& tgt = platforms_.at(target);
-  std::string error;
-  Vm::VmId new_vm = tgt.box->InstallMigrated(redo.module_addr, &moved->snapshot, &error);
-  if (new_vm == 0) {
-    // Target ran out of guest memory after verification. Re-adopt on the
-    // source: its RAM was freed by the suspend, so the import fits.
-    controller_.Kill(redo.module_id);
-    std::string back_error;
-    Vm::VmId back = src.box->InstallMigrated(report.old_addr, &moved->snapshot, &back_error);
-    if (back != 0) {
-      placements_[module_id].second = back;
-      for (Packet& packet : moved->parked) {
-        src.box->HandlePacket(packet);
-      }
+  ControlRequest exp;
+  exp.op = ControlOp::kSnapshotExport;
+  exp.tenant = ctx->module_id;
+  exp.attempt_epoch = journal_->MintEpoch();
+  exp.vm_id = ctx->vm_id;
+  if (e != nullptr) {
+    e->op_epoch = exp.attempt_epoch;
+  }
+  std::weak_ptr<char> watch = alive_;
+  client_.Issue(ctx->source, exp, [this, watch, ctx](ControlResponse resp) {
+    if (watch.expired()) {
+      return;
     }
-    abort("target install failed: " + error);
+    MigrationExportDone(ctx, std::move(resp));
+  });
+}
+
+void Orchestrator::MigrationExportDone(const std::shared_ptr<MigrationCtx>& ctx,
+                                       ControlResponse response) {
+  obs::ScopedParent in_migration(obs::Tracer(), ctx->migrate_span);
+  if (!response.ok || !response.moved) {
+    controller_.Kill(ctx->redo.module_id);
+    if (response.gave_up) {
+      RecordGiveUp(fleet_, clock_, ctx->source, "export:" + ctx->module_id);
+      AbortMigration(ctx, response.error);
+      return;
+    }
+    // The guest was lost while suspended; clear the migration mark so the
+    // watchdog path owns whatever is left of it.
+    ControlRequest cancel;
+    cancel.op = ControlOp::kCancelMigration;
+    cancel.tenant = ctx->module_id;
+    cancel.attempt_epoch = journal_->MintEpoch();
+    cancel.vm_id = ctx->vm_id;
+    client_.Issue(ctx->source, cancel, nullptr);
+    AbortMigration(ctx, "detach failed: " + response.error);
+    return;
+  }
+  ctx->moved = response.moved;
+  ctx->report.parked_packets = ctx->moved->parked.size();
+  journal_->MarkExported(ctx->journal_id, clock_->now());
+
+  ControlRequest imp;
+  imp.op = ControlOp::kSnapshotImport;
+  imp.tenant = ctx->redo.module_id;
+  imp.attempt_epoch = journal_->MintEpoch();
+  imp.addr = ctx->redo.module_addr;
+  imp.moved = ctx->moved;
+  if (JournalEntry* e = journal_->Find(ctx->journal_id)) {
+    e->op_epoch = imp.attempt_epoch;
+  }
+  std::weak_ptr<char> watch = alive_;
+  client_.Issue(ctx->target, imp, [this, watch, ctx](ControlResponse resp) {
+    if (watch.expired()) {
+      return;
+    }
+    MigrationImportDone(ctx, std::move(resp));
+  });
+}
+
+void Orchestrator::MigrationImportDone(const std::shared_ptr<MigrationCtx>& ctx,
+                                       ControlResponse response) {
+  obs::ScopedParent in_migration(obs::Tracer(), ctx->migrate_span);
+  if (response.ok) {
+    ctx->new_vm_id = response.vm_id;
+    if (JournalEntry* e = journal_->Find(ctx->journal_id)) {
+      e->vm_id = response.vm_id;
+    }
+    journal_->Advance(ctx->journal_id, JournalState::kPlaced, clock_->now(),
+                      "target adopted guest");
+    ControlRequest cut;
+    cut.op = ControlOp::kCutover;
+    cut.tenant = ctx->redo.module_id;
+    cut.attempt_epoch = journal_->MintEpoch();
+    cut.addr = ctx->redo.module_addr;
+    cut.moved = ctx->moved;
+    if (JournalEntry* e = journal_->Find(ctx->journal_id)) {
+      e->op_epoch = cut.attempt_epoch;
+    }
+    std::weak_ptr<char> watch = alive_;
+    client_.Issue(ctx->target, cut, [this, watch, ctx](ControlResponse resp) {
+      if (watch.expired()) {
+        return;
+      }
+      MigrationCutoverDone(ctx, std::move(resp));
+    });
     return;
   }
 
-  // Cutover: retarget the blackout traffic at the new address and replay it
-  // on the target (it parks in the stalled buffer until the resume lands),
-  // then switch the control-plane records over.
-  for (Packet& packet : moved->parked) {
-    packet.set_ip_dst(redo.module_addr);
-    tgt.box->HandlePacket(packet);
+  // The target did not (or may not have) adopted the guest. Undo the
+  // target-side verification and re-adopt on the source — its RAM was freed
+  // by the suspend, so the import fits. The re-import carries a single
+  // idempotency token, so duplicated or retried messages resume the source
+  // exactly once.
+  std::string fail_reason = response.gave_up ? response.error
+                                             : "target install failed: " + response.error;
+  controller_.Kill(ctx->redo.module_id);
+  if (response.gave_up) {
+    RecordGiveUp(fleet_, clock_, ctx->target, "import:" + ctx->redo.module_id);
+    // The unacked import may have executed: queue an idempotent uninstall
+    // for the heal reconcile and fire a best-effort one now.
+    pending_cleanups_.emplace_back(ctx->target, ctx->redo.module_addr);
+    ControlRequest undo;
+    undo.op = ControlOp::kUninstallAddr;
+    undo.tenant = ctx->redo.module_id;
+    undo.attempt_epoch = journal_->MintEpoch();
+    undo.addr = ctx->redo.module_addr;
+    client_.Issue(ctx->target, undo, nullptr);
   }
-  placements_.erase(module_id);
-  requests_.erase(module_id);
-  controller_.Kill(module_id);
-  placements_[redo.module_id] = {target, new_vm};
-  requests_[redo.module_id] = request;
-  engine_.ReleasePlacement(request.client_id, ModuleMemoryBytes());
-  engine_.CommitPlacement(request.client_id, ModuleMemoryBytes());
-  report.ok = true;
-  report.new_module_id = redo.module_id;
-  report.new_addr = redo.module_addr;
+  ControlRequest back;
+  back.op = ControlOp::kSnapshotImport;
+  back.tenant = ctx->module_id;
+  back.attempt_epoch = journal_->MintEpoch();
+  back.addr = ctx->report.old_addr;
+  back.moved = ctx->moved;
+  std::weak_ptr<char> watch = alive_;
+  client_.Issue(ctx->source, back, [this, watch, ctx, fail_reason](ControlResponse resp) {
+    if (watch.expired()) {
+      return;
+    }
+    obs::ScopedParent in_migration(obs::Tracer(), ctx->migrate_span);
+    if (resp.ok) {
+      auto placement = placements_.find(ctx->module_id);
+      if (placement != placements_.end()) {
+        placement->second.second = resp.vm_id;
+      }
+      // Replay the blackout traffic on the source; the resume-on-traffic
+      // path drains it once the guest is back up.
+      ControlRequest replay;
+      replay.op = ControlOp::kCutover;
+      replay.tenant = ctx->module_id;
+      replay.attempt_epoch = journal_->MintEpoch();
+      replay.addr = ctx->report.old_addr;
+      replay.moved = ctx->moved;
+      client_.Issue(ctx->source, replay, nullptr);
+      AbortMigration(ctx, fail_reason);
+    } else {
+      // The guest state is unrecoverable: the tenant is gone.
+      engine_.ReleasePlacement(ctx->request.client_id, ModuleMemoryBytes());
+      placements_.erase(ctx->module_id);
+      requests_.erase(ctx->module_id);
+      controller_.Kill(ctx->module_id);
+      journal_->MarkModuleTerminal(ctx->module_id, JournalState::kKilled, clock_->now(),
+                                   "guest lost in failed migration");
+      AbortMigration(ctx, fail_reason + "; source re-adopt failed: " + resp.error);
+    }
+  });
+}
+
+void Orchestrator::MigrationCutoverDone(const std::shared_ptr<MigrationCtx>& ctx,
+                                        ControlResponse response) {
+  obs::ScopedParent in_migration(obs::Tracer(), ctx->migrate_span);
+  // Roll forward even on a give-up: the guest is imported and resuming on
+  // the target; only the parked blackout traffic is lost with the message.
+  std::string note;
+  if (response.gave_up) {
+    RecordGiveUp(fleet_, clock_, ctx->target, "cutover:" + ctx->redo.module_id);
+    note = "cutover unacked; parked traffic dropped";
+    ctx->report.parked_packets = 0;
+  }
+  uint64_t now = clock_->now();
+  journal_->MarkModuleTerminal(ctx->module_id, JournalState::kSuperseded, now,
+                               "migrated to " + ctx->target);
+  placements_.erase(ctx->module_id);
+  requests_.erase(ctx->module_id);
+  controller_.Kill(ctx->module_id);
+  CommitPlacement(ctx->request, ctx->redo.module_id, ctx->target, ctx->new_vm_id);
+  engine_.ReleasePlacement(ctx->request.client_id, ModuleMemoryBytes());  // the old share
+  if (ctx->guard != nullptr) {
+    ctx->guard->Confirm();
+  }
+  journal_->Advance(ctx->journal_id, JournalState::kCutover, now, note);
+  ctx->report.ok = true;
+  ctx->report.new_module_id = ctx->redo.module_id;
+  ctx->report.new_addr = ctx->redo.module_addr;
   ctr_migrations_completed_->Increment();
   if (obs::Tracer().enabled()) {
-    obs::Tracer().Record(clock_->now(), obs::EventKind::kMigrateCutover, "module:" + module_id,
-                         source + "->" + target, static_cast<int64_t>(report.parked_packets));
+    obs::Tracer().Record(now, obs::EventKind::kMigrateCutover, "module:" + ctx->module_id,
+                         ctx->source + "->" + ctx->target,
+                         static_cast<int64_t>(ctx->report.parked_packets));
   }
-  if (on_done) {
-    on_done(report);
+  if (ctx->on_done) {
+    ctx->on_done(ctx->report);
   }
 }
 
@@ -537,6 +1218,11 @@ FailoverReport Orchestrator::MarkPlatformFailed(const std::string& platform_name
   report.failed_platform = platform_name;
   auto it = platforms_.find(platform_name);
   if (it == platforms_.end()) {
+    report.unknown_platform = true;  // safe no-op: nothing to fail over
+    return report;
+  }
+  if (controller_.IsPlatformFailed(platform_name)) {
+    report.already_failed = true;  // idempotent: the first report did the work
     return report;
   }
   controller_.MarkPlatformFailed(platform_name);
@@ -557,17 +1243,19 @@ FailoverReport Orchestrator::MarkPlatformFailed(const std::string& platform_name
             [](const auto& a, const auto& b) { return a.first < b.first; });
   report.tenants_affected = stranded.size();
 
-  // The node died: its guests and switch state are gone. Replace the
-  // data-plane instance wholesale rather than tearing guests down one by
-  // one (which would schedule suspend/boot events on a dead box).
+  // The node died: its guests, switch state, and control-endpoint dedup
+  // memory are gone. Replace the data-plane instance wholesale rather than
+  // tearing guests down one by one (which would schedule suspend/boot
+  // events on a dead box).
   PlatformState& state = it->second;
-  state.box =
-      std::make_unique<InNetPlatform>(clock_, cost_model_, options_.platform_memory_bytes);
+  fleet_->Replace(platform_name);
   state.consolidated.clear();
   state.consolidated_module_ids.clear();
   state.shared_vm = 0;
 
   for (const auto& [module_id, request] : stranded) {
+    journal_->MarkModuleTerminal(module_id, JournalState::kKilled, clock_->now(),
+                                 "platform failed");
     controller_.Kill(module_id);
     engine_.ReleasePlacement(request.client_id, ModuleMemoryBytes());
     placements_.erase(module_id);
@@ -606,34 +1294,376 @@ void Orchestrator::RestorePlatform(const std::string& platform_name) {
   controller_.RestorePlatform(platform_name);
 }
 
-bool Orchestrator::Kill(const std::string& module_id) {
-  auto placement = placements_.find(module_id);
-  if (placement == placements_.end()) {
-    return false;  // never placed (or already killed): clean no-op
+RecoveryReport Orchestrator::RecoverFromJournal() {
+  RecoveryReport report;
+  uint64_t now = clock_->now();
+
+  // Migrations that crashed after the target adopted the guest roll forward;
+  // their superseded originals must not be adopted as live copies.
+  std::set<uint64_t> superseded_in_progress;
+  for (const JournalEntry& e : journal_->entries()) {
+    if (e.kind == JournalEntryKind::kMigration && e.supersedes != 0 &&
+        (e.state == JournalState::kPlaced || e.state == JournalState::kBooted)) {
+      superseded_in_progress.insert(e.supersedes);
+    }
   }
-  const auto& [platform_name, vm_id] = placement->second;
-  PlatformState& state = platforms_.at(platform_name);
-  if (vm_id != 0) {
-    state.box->UninstallVm(vm_id);
-  } else {
-    for (size_t i = 0; i < state.consolidated_module_ids.size(); ++i) {
-      if (state.consolidated_module_ids[i] == module_id) {
-        state.consolidated.erase(state.consolidated.begin() + static_cast<ptrdiff_t>(i));
-        state.consolidated_module_ids.erase(state.consolidated_module_ids.begin() +
-                                            static_cast<ptrdiff_t>(i));
+
+  // Does the entry's guest actually exist on its platform right now?
+  auto guest_alive = [this](const JournalEntry* e) -> bool {
+    InNetPlatform* box = fleet_->Get(e->platform);
+    if (box == nullptr) {
+      return false;
+    }
+    auto addr = Ipv4Address::Parse(e->addr);
+    if (e->consolidated) {
+      return addr.has_value() && box->InstalledVmFor(*addr) != 0;
+    }
+    if (e->vm_id != 0 && box->vms().Find(e->vm_id) != nullptr) {
+      return true;
+    }
+    return addr.has_value() && box->InstalledVmFor(*addr) != 0;
+  };
+
+  // Rebuild controller/scheduler/orchestrator belief for a placement that is
+  // present on its platform. Re-verification is reserved for ambiguity.
+  auto adopt = [this, now](JournalEntry* e, bool reverify) -> bool {
+    auto addr = Ipv4Address::Parse(e->addr);
+    InNetPlatform* box = fleet_->Get(e->platform);
+    if (!addr.has_value() || box == nullptr) {
+      return false;
+    }
+    std::string err;
+    if (!controller_.RestoreDeployment(e->request, e->module_id, e->platform, *addr, reverify,
+                                       &err)) {
+      journal_->Advance(e->id, JournalState::kRolledBack, now,
+                        "re-verification failed after crash: " + err);
+      return false;
+    }
+    PlatformState& state = platforms_[e->platform];
+    Vm::VmId dedicated = 0;
+    if (e->consolidated) {
+      const Deployment* dep = nullptr;
+      for (const Deployment& d : controller_.deployments()) {
+        if (d.module_id == e->module_id) {
+          dep = &d;
+        }
+      }
+      state.consolidated.push_back(TenantConfig{*addr, dep != nullptr ? dep->config_text : ""});
+      state.consolidated_module_ids.push_back(e->module_id);
+      state.shared_vm = box->InstalledVmFor(*addr);
+    } else {
+      dedicated = e->vm_id;
+    }
+    CommitPlacement(e->request, e->module_id, e->platform, dedicated);
+    engine_.CommitPlacement(e->request.client_id, ModuleMemoryBytes());
+    return true;
+  };
+
+  // Snapshot the id list: converging an entry can append fresh entries
+  // (re-placements), which must not themselves be scanned.
+  std::vector<uint64_t> ids;
+  for (const JournalEntry& e : journal_->entries()) {
+    ids.push_back(e.id);
+  }
+
+  for (uint64_t id : ids) {
+    JournalEntry* e = journal_->Find(id);
+    if (e == nullptr) {
+      continue;
+    }
+    ++report.scanned;
+    if (DeployJournal::IsTerminal(e->state)) {
+      continue;
+    }
+    ctr_replays_->Increment();
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(now, obs::EventKind::kRecoveryReplay, "journal:" + std::to_string(id),
+                           std::string(JournalEntryKindName(e->kind)) + ":" +
+                               JournalStateName(e->state));
+    }
+
+    // Live entries (deploys and completed migrations alike): adopt.
+    if (e->state == JournalState::kCutover) {
+      if (superseded_in_progress.count(id) != 0) {
+        continue;  // its in-flight migration below decides its fate
+      }
+      if (guest_alive(e) && adopt(e, /*reverify=*/false)) {
+        ++report.adopted;
+      } else {
+        journal_->Advance(id, JournalState::kKilled, now, "guest did not survive the crash");
+        ++report.killed;
+      }
+      continue;
+    }
+
+    if (e->kind == JournalEntryKind::kDeploy) {
+      switch (e->state) {
+        case JournalState::kIntent: {
+          // Nothing was minted yet: retire the entry and place afresh.
+          journal_->Advance(id, JournalState::kRolledBack, now,
+                            "crashed before verify; re-placed");
+          ++report.rolled_back;
+          DeployViaChannel(e->request, nullptr);
+          ++report.resumed;
+          break;
+        }
+        case JournalState::kVerified: {
+          if (guest_alive(e)) {
+            // The install executed but its ack died with the controller:
+            // ambiguous enough to warrant full re-verification.
+            if (adopt(e, /*reverify=*/true)) {
+              journal_->Advance(id, JournalState::kPlaced, now, "found applied after crash");
+              ScheduleConfirm(id, options_.confirm_rounds);
+              ++report.completed;
+            } else {
+              if (auto addr = Ipv4Address::Parse(e->addr)) {
+                ControlRequest undo;
+                undo.op = ControlOp::kUninstallAddr;
+                undo.tenant = e->module_id;
+                undo.attempt_epoch = journal_->MintEpoch();
+                undo.addr = *addr;
+                fleet_->channel().DeliverDirect(e->platform, undo);
+              }
+              ++report.rolled_back;  // adopt() already advanced the entry
+            }
+            break;
+          }
+          // Not applied: restore belief and re-send the install under its
+          // original token — if the platform did execute it and only the
+          // ack was lost, the endpoint dedups and answers from cache.
+          auto addr = Ipv4Address::Parse(e->addr);
+          std::string err;
+          if (!addr.has_value() ||
+              !controller_.RestoreDeployment(e->request, e->module_id, e->platform, *addr,
+                                             /*reverify=*/false, &err)) {
+            journal_->Advance(id, JournalState::kRolledBack, now, "restore failed: " + err);
+            ++report.rolled_back;
+            break;
+          }
+          const Deployment* dep = nullptr;
+          for (const Deployment& d : controller_.deployments()) {
+            if (d.module_id == e->module_id) {
+              dep = &d;
+            }
+          }
+          auto guard = MakeChannelGuard(e->request.client_id);
+          std::weak_ptr<char> watch = alive_;
+          ControlRequest req;
+          req.tenant = e->module_id;
+          req.attempt_epoch = e->op_epoch;
+          const std::string platform_name = e->platform;
+          const std::string module_id = e->module_id;
+          const ClientRequest request = e->request;
+          const bool consolidated = e->consolidated;
+          const Ipv4Address module_addr = *addr;
+          const std::string config_text = dep != nullptr ? dep->config_text : "";
+          if (consolidated) {
+            PlatformState& state = platforms_[platform_name];
+            req.op = ControlOp::kRebuildShared;
+            req.tenants = state.consolidated;
+            req.tenants.push_back(TenantConfig{module_addr, config_text});
+            req.vm_id = state.shared_vm;
+          } else {
+            req.op = ControlOp::kInstall;
+            req.addr = module_addr;
+            req.config_text = config_text;
+            req.sandbox = e->sandboxed;
+            req.whitelist = request.whitelist;
+          }
+          client_.Issue(
+              platform_name, req,
+              [this, watch, id, guard, request, platform_name, module_id, consolidated,
+               module_addr, config_text](ControlResponse resp) {
+                if (watch.expired()) {
+                  return;
+                }
+                uint64_t ack_now = clock_->now();
+                if (!resp.ok) {
+                  controller_.Kill(module_id);
+                  journal_->Advance(id, JournalState::kRolledBack, ack_now,
+                                    "re-sent install failed: " + resp.error);
+                  return;
+                }
+                PlatformState& state = platforms_[platform_name];
+                if (consolidated) {
+                  state.consolidated.push_back(TenantConfig{module_addr, config_text});
+                  state.consolidated_module_ids.push_back(module_id);
+                  state.shared_vm = resp.vm_id;
+                } else if (InNetPlatform* box = fleet_->Get(platform_name)) {
+                  box->SetVmOwner(resp.vm_id, request.client_id);
+                }
+                if (JournalEntry* acked = journal_->Find(id)) {
+                  acked->vm_id = resp.vm_id;
+                }
+                CommitPlacement(request, module_id, platform_name,
+                                consolidated ? 0 : resp.vm_id);
+                guard->Confirm();
+                journal_->Advance(id, JournalState::kPlaced, ack_now, "re-sent install acked");
+                ScheduleConfirm(id, options_.confirm_rounds);
+              });
+          ++report.resumed;
+          break;
+        }
+        case JournalState::kPlaced:
+        case JournalState::kBooted: {
+          if (guest_alive(e) && adopt(e, /*reverify=*/false)) {
+            ScheduleConfirm(id, options_.confirm_rounds);
+            ++report.completed;
+          } else {
+            journal_->Advance(id, JournalState::kRolledBack, now, "guest lost; re-placed");
+            ++report.rolled_back;
+            DeployViaChannel(e->request, nullptr);
+            ++report.resumed;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      continue;
+    }
+
+    // In-flight migrations.
+    switch (e->state) {
+      case JournalState::kIntent:
+      case JournalState::kVerified: {
+        if (!e->exported) {
+          // Crashed before the snapshot left the source: cancel the mark;
+          // the (possibly suspended) guest resumes on traffic as usual. The
+          // original deploy entry was adopted above, so the tenant is whole.
+          InNetPlatform* src = fleet_->Get(e->source_platform);
+          if (src != nullptr && e->vm_id != 0) {
+            src->CancelMigrationOut(e->vm_id);
+          }
+          journal_->Advance(id, JournalState::kRolledBack, now,
+                            "crashed mid-migration; cancelled");
+          ++report.rolled_back;
+          break;
+        }
+        // The snapshot lived only in controller memory: the guest state died
+        // with the crash (the adoption pass already recorded the original as
+        // killed). Re-place a fresh instance.
+        journal_->Advance(id, JournalState::kRolledBack, now,
+                          "snapshot lost in crash; tenant re-placed fresh");
+        ++report.rolled_back;
+        DeployViaChannel(e->request, nullptr);
+        ++report.resumed;
         break;
       }
+      case JournalState::kPlaced:
+      case JournalState::kBooted: {
+        // Post-import: the target holds the guest — roll the migration
+        // forward (the parked blackout traffic died with the controller).
+        if (guest_alive(e) && adopt(e, /*reverify=*/false)) {
+          if (e->supersedes != 0) {
+            journal_->Advance(e->supersedes, JournalState::kSuperseded, now,
+                              "migration rolled forward after crash");
+          }
+          journal_->Advance(id, JournalState::kCutover, now,
+                            "rolled forward after crash; parked traffic lost");
+          ++report.completed;
+        } else {
+          if (e->supersedes != 0) {
+            journal_->Advance(e->supersedes, JournalState::kKilled, now,
+                              "guest lost in crashed migration");
+          }
+          journal_->Advance(id, JournalState::kRolledBack, now,
+                            "target guest lost; tenant re-placed fresh");
+          ++report.rolled_back;
+          DeployViaChannel(e->request, nullptr);
+          ++report.resumed;
+        }
+        break;
+      }
+      default:
+        break;
     }
-    std::string error;
-    RebuildSharedVm(&state, &error);
   }
-  auto request = requests_.find(module_id);
-  if (request != requests_.end()) {
-    engine_.ReleasePlacement(request->second.client_id, ModuleMemoryBytes());
-    requests_.erase(request);
+  return report;
+}
+
+void Orchestrator::SetPartitioned(const std::string& platform_name, bool partitioned) {
+  bool was = fleet_->channel().IsPartitioned(platform_name);
+  fleet_->channel().SetPartitioned(platform_name, partitioned);
+  if (partitioned && !was) {
+    if (obs::Tracer().enabled()) {
+      obs::Tracer().Record(clock_->now(), obs::EventKind::kControlPartition,
+                           "platform:" + platform_name, "partitioned");
+    }
+  } else if (!partitioned && was) {
+    ReconcilePlatform(platform_name);
   }
-  placements_.erase(placement);
-  return controller_.Kill(module_id);
+}
+
+ReconcileReport Orchestrator::ReconcilePlatform(const std::string& platform_name) {
+  ReconcileReport report;
+  report.platform = platform_name;
+  InNetPlatform* box = fleet_->Get(platform_name);
+  if (box == nullptr) {
+    return report;
+  }
+  uint64_t now = clock_->now();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(now, obs::EventKind::kControlHeal, "platform:" + platform_name,
+                         "reconcile");
+  }
+  // Compare belief against actual guest state, in module-id order for
+  // determinism.
+  std::vector<std::string> on_platform;
+  for (const auto& [module_id, placement] : placements_) {
+    if (placement.first == platform_name) {
+      on_platform.push_back(module_id);
+    }
+  }
+  std::sort(on_platform.begin(), on_platform.end());
+  for (const std::string& module_id : on_platform) {
+    ++report.checked;
+    auto placement = placements_.find(module_id);
+    if (placement == placements_.end()) {
+      continue;  // a previous Kill in this loop rebuilt the shared VM set
+    }
+    bool alive;
+    if (placement->second.second != 0) {
+      alive = box->vms().Find(placement->second.second) != nullptr;
+    } else {
+      alive = box->InstalledVmFor(ModuleAddr(module_id)) != 0;
+    }
+    if (alive) {
+      ++report.healthy;
+      continue;
+    }
+    ++report.lost;
+    journal_->MarkModuleTerminal(module_id, JournalState::kKilled, now,
+                                 "guest lost during partition");
+    Kill(module_id);
+  }
+  // Re-arm confirmation chains that gave up while the platform was
+  // unreachable.
+  for (const JournalEntry& e : journal_->entries()) {
+    if (e.platform == platform_name &&
+        (e.state == JournalState::kPlaced || e.state == JournalState::kBooted) &&
+        placements_.count(e.module_id) != 0) {
+      ScheduleConfirm(e.id, options_.confirm_rounds);
+      ++report.rearmed;
+    }
+  }
+  // Flush deferred cleanups: installs that gave up unacked while the
+  // platform was cut off may have executed — uninstall them by address.
+  for (auto it = pending_cleanups_.begin(); it != pending_cleanups_.end();) {
+    if (it->first == platform_name) {
+      ControlRequest undo;
+      undo.op = ControlOp::kUninstallAddr;
+      undo.tenant = "cleanup:" + it->second.ToString();
+      undo.attempt_epoch = journal_->MintEpoch();
+      undo.addr = it->second;
+      client_.Issue(platform_name, undo, nullptr);
+      ++report.cleanups;
+      it = pending_cleanups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return report;
 }
 
 }  // namespace innet::controller

@@ -17,9 +17,22 @@
 // verification. Stateful tenants can be live-migrated between platforms
 // (suspend → re-verify on target → transfer → resume → cutover), and
 // Rebalance() drains hot platforms through the same path.
+//
+// Fault tolerance: every platform mutation travels as a ControlRequest over
+// the fleet's ControlChannel (lossy and partitionable under a fault plan),
+// each deploy/migration is journaled write-ahead in a DeployJournal, and a
+// controller crash is modeled by destroying the Orchestrator and building a
+// new one over the surviving PlatformFleet + journal; RecoverFromJournal()
+// then converges every in-flight entry by probing actual guest state —
+// completing, rolling back, or re-placing it, re-verifying on ambiguity.
+// Quota reservations are held by RAII ReservationGuards, so no error path
+// can strand a reservation: within one controller lifetime the guard's
+// destructor releases it, and across a crash the engine's usage is rebuilt
+// from adopted journal entries only.
 #ifndef SRC_CONTROLLER_ORCHESTRATOR_H_
 #define SRC_CONTROLLER_ORCHESTRATOR_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -27,7 +40,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/controller/control_channel.h"
 #include "src/controller/controller.h"
+#include "src/controller/fleet.h"
+#include "src/controller/journal.h"
 #include "src/platform/platform.h"
 #include "src/scheduler/engine.h"
 
@@ -37,6 +53,7 @@ struct OrchestratedDeploy {
   DeployOutcome outcome;      // the controller's verification result
   bool consolidated = false;  // true when placed into the shared VM
   platform::Vm::VmId vm_id = 0;
+  uint64_t journal_id = 0;    // the deploy's WAL entry
 };
 
 // Result of failing a platform over: which tenants were stranded, which
@@ -44,6 +61,8 @@ struct OrchestratedDeploy {
 // plane paid for it.
 struct FailoverReport {
   std::string failed_platform;
+  bool unknown_platform = false;  // name matched no platform: clean no-op
+  bool already_failed = false;    // repeated failure report: idempotent no-op
   size_t tenants_affected = 0;
   size_t recovered = 0;   // re-verified + re-placed on a surviving platform
   size_t lost = 0;        // no surviving placement satisfied verification
@@ -85,21 +104,62 @@ struct RebalanceReport {
   std::vector<std::pair<std::string, std::string>> moves;
 };
 
+// What RecoverFromJournal did with the surviving WAL after a controller
+// crash: every non-terminal entry is scanned and converged exactly once.
+struct RecoveryReport {
+  size_t scanned = 0;      // journal entries examined
+  size_t adopted = 0;      // live (cut-over) tenants whose belief was rebuilt
+  size_t completed = 0;    // in-flight entries found applied and completed
+  size_t resumed = 0;      // in-flight entries re-sent or re-placed afresh
+  size_t rolled_back = 0;  // in-flight entries undone
+  size_t killed = 0;       // tenants whose guests did not survive the crash
+};
+
+// Outcome of reconciling one platform's actual guest state against
+// controller belief after a partition heals.
+struct ReconcileReport {
+  std::string platform;
+  size_t checked = 0;   // placements believed to live on the platform
+  size_t healthy = 0;   // guest present (running, booting, or suspended)
+  size_t lost = 0;      // guest gone: tenant killed + journaled
+  size_t rearmed = 0;   // in-flight confirm chains restarted
+  size_t cleanups = 0;  // deferred uninstalls for unacked installs flushed
+};
+
 struct OrchestratorOptions {
   platform::VmCostModel cost_model;
   uint64_t platform_memory_bytes = 16ull << 30;
   scheduler::PlacementPolicyKind policy = scheduler::PlacementPolicyKind::kFirstFit;
+  // Retry schedule for channel-routed (asynchronous) control operations.
+  ControlRetryPolicy control_retry;
+  // Post-placement confirmation probing: placed -> booted -> cut-over as
+  // health probes observe the guest, re-probing up to confirm_rounds times.
+  sim::TimeNs confirm_interval = 50 * sim::kMillisecond;
+  int confirm_rounds = 10;
 };
 
 class Orchestrator {
  public:
   using MigrationCallback = std::function<void(const MigrationReport&)>;
+  using DeployCallback = std::function<void(const OrchestratedDeploy&)>;
 
-  // Creates one InNetPlatform per platform node in the network.
+  // Creates one InNetPlatform per platform node in the network (the
+  // orchestrator owns its fleet and journal: the common, crash-free setup).
   Orchestrator(topology::Network network, sim::EventQueue* clock, OrchestratorOptions options);
   Orchestrator(topology::Network network, sim::EventQueue* clock,
                platform::VmCostModel cost_model = {})
       : Orchestrator(std::move(network), clock, OrchestratorOptions{cost_model}) {}
+  // Crash-recovery form: attaches to a fleet and journal that outlive the
+  // orchestrator. Destroying an orchestrator and constructing a new one over
+  // the same (fleet, journal) simulates a controller crash + restart; call
+  // RecoverFromJournal() on the successor to converge.
+  Orchestrator(topology::Network network, sim::EventQueue* clock, OrchestratorOptions options,
+               PlatformFleet* fleet, DeployJournal* journal);
+  // Defuses every quota guard still captured in a not-yet-fired continuation:
+  // the guard's raw engine pointer dies with this orchestrator, and a stale
+  // clock event destroying it later must not release into freed memory. The
+  // successor's RecoverFromJournal rebuilds the ledger from scratch anyway.
+  ~Orchestrator();
 
   bool AddOperatorPolicy(const std::string& reach_statement, std::string* error = nullptr) {
     return controller_.AddOperatorPolicy(reach_statement, error);
@@ -109,7 +169,18 @@ class Orchestrator {
   // policy ranking, skipped for pinned requests) → controller verification
   // over the candidates in order → instantiation. On rejection,
   // `outcome.accepted` is false and nothing is instantiated or accounted.
+  // Control messages use the channel's fault-exempt direct path, so the call
+  // stays synchronous; use DeployViaChannel to exercise the lossy channel.
   OrchestratedDeploy Deploy(const ClientRequest& request);
+
+  // As Deploy, but the install travels over the (possibly lossy) control
+  // channel with idempotent retries; `on_done` fires exactly once when the
+  // placement is acked or abandoned. Under an ideal channel the whole flow
+  // completes before this returns. Mixing channel deploys with synchronous
+  // Deploy calls for the *same* platform's shared VM while one is still in
+  // flight is unsupported (the shared-VM rebuild queue serializes channel
+  // deploys only).
+  void DeployViaChannel(const ClientRequest& request, DeployCallback on_done = nullptr);
 
   // Stops a module: removes its VM or rebuilds the shared VM without it.
   // A never-placed module id is a clean no-op returning false.
@@ -121,7 +192,10 @@ class Orchestrator {
   // bounded stall buffer and is re-addressed + replayed on the target.
   // Consolidated (stateless) tenants degenerate to make-before-break
   // redeployment — nothing to carry. `on_done` fires exactly once when the
-  // migration completes or aborts (never when started=false).
+  // migration completes or aborts (never when started=false). Every step is
+  // a journaled control-channel operation: under loss the client retries
+  // with the same idempotency token, and an import that fails on the target
+  // re-adopts the guest on the source exactly once.
   MigrationStart MigrateTenant(const std::string& module_id, const std::string& target_platform,
                                MigrationCallback on_done = nullptr);
 
@@ -135,16 +209,47 @@ class Orchestrator {
   // pipeline (security + operator policy + client requirements) against the
   // surviving platforms — stateless tenants re-merge into the target's
   // shared VM. The failed platform is skipped by future deployments until
-  // RestorePlatform.
+  // RestorePlatform. Idempotent: repeating the report (already_failed) or
+  // naming an unknown platform (unknown_platform) is a clean no-op.
   FailoverReport MarkPlatformFailed(const std::string& platform_name);
 
   // Brings a failed platform back into the placement pool with a fresh
   // data-plane instance (its previous guests died with the node).
   void RestorePlatform(const std::string& platform_name);
 
+  // --- Fault-tolerant control plane -----------------------------------------
+
+  // Replays the write-ahead journal after a simulated controller crash:
+  // rebuilds controller/scheduler/orchestrator belief for completed entries
+  // and converges every in-flight one against actual platform state.
+  // Recovery probes the platforms directly (the operator restoring a
+  // controller is assumed to have a working path for reads); re-sent
+  // mutations go through the channel under their original tokens.
+  RecoveryReport RecoverFromJournal();
+
+  // Partitions (or heals) the control link to a platform. While partitioned
+  // the platform keeps serving installed tenants — watchdog and buffers are
+  // local — but no control message crosses in either direction. Healing
+  // automatically reconciles controller belief against the platform's
+  // actual guest state (see ReconcilePlatform).
+  void SetPartitioned(const std::string& platform_name, bool partitioned);
+
+  // Compares belief with actuality for one platform: placements whose guests
+  // vanished are killed + journaled, in-flight confirm chains are re-armed,
+  // and deferred cleanups (unacked installs that gave up mid-partition) are
+  // flushed. Safe to call at any time; SetPartitioned(name, false) calls it.
+  ReconcileReport ReconcilePlatform(const std::string& platform_name);
+
   Controller& controller() { return controller_; }
   scheduler::PlacementEngine& engine() { return engine_; }
-  platform::InNetPlatform* platform(const std::string& name);
+  platform::InNetPlatform* platform(const std::string& name) { return fleet_->Get(name); }
+  DeployJournal& journal() { return *journal_; }
+  const DeployJournal& journal() const { return *journal_; }
+  PlatformFleet& fleet() { return *fleet_; }
+  ControlChannel& channel() { return fleet_->channel(); }
+  ControlClient& control_client() { return client_; }
+  // Attaches the control-plane fault oracle (nullptr = ideal channel).
+  void SetControlFaults(sim::FaultInjector* injector) { fleet_->SetControlFaults(injector); }
 
   // Tenants currently sharing the consolidated VM on `platform`.
   size_t ConsolidatedTenantCount(const std::string& platform_name) const;
@@ -159,30 +264,59 @@ class Orchestrator {
 
  private:
   struct PlatformState {
-    std::unique_ptr<platform::InNetPlatform> box;
     std::vector<platform::TenantConfig> consolidated;      // shared-VM tenants
     std::vector<std::string> consolidated_module_ids;      // parallel to the above
     platform::Vm::VmId shared_vm = 0;
+    // Channel deploys rebuild the shared VM one at a time: each queued task
+    // computes its desired tenant list only when it runs, so in-flight
+    // rebuilds never clobber each other.
+    bool rebuild_busy = false;
+    std::deque<std::function<void(std::function<void()>)>> rebuild_queue;
   };
+  struct MigrationCtx;
 
-  // Rebuilds `state`'s shared VM from its current tenant list. Returns 0 and
-  // fills *error on failure (the old VM is kept in that case).
-  platform::Vm::VmId RebuildSharedVm(PlatformState* state, std::string* error);
+  // Rebuilds `state`'s shared VM from its current tenant list over the
+  // channel's direct path. Returns 0 and fills *error on failure (the old
+  // VM is kept in that case).
+  platform::Vm::VmId RebuildSharedVm(const std::string& platform_name, PlatformState* state,
+                                     std::string* error);
 
   // Verification + instantiation over an explicit candidate order, without
-  // admission (Deploy and the migration paths wrap it).
+  // admission (Deploy and the migration paths wrap it). When `journal_id`
+  // is non-zero the entry is advanced through verified/placed/cut-over (or
+  // rolled back) as the synchronous flow progresses.
   OrchestratedDeploy DeployOn(const ClientRequest& request,
-                              const std::vector<std::string>& candidates);
+                              const std::vector<std::string>& candidates, uint64_t journal_id);
+
+  // Shared bookkeeping once a platform acked a placement.
+  void CommitPlacement(const ClientRequest& request, const std::string& module_id,
+                       const std::string& platform_name, platform::Vm::VmId dedicated_vm);
 
   // Ledger prober: fills *out from the named platform's live state.
   bool ProbePlatform(const std::string& name, scheduler::PlatformResources* out);
 
-  // Continuation of a stateful migration, invoked when the suspend lands.
-  // `migrate_span` is the kMigrateStart trace span the continuation re-enters
-  // (0 when the tracer was off at start time).
-  void FinishMigration(const std::string& module_id, const std::string& source,
-                       const std::string& target, platform::Vm::VmId vm_id,
-                       uint64_t migrate_span, MigrationCallback on_done);
+  // Creates a quota guard destined to ride an async continuation, registering
+  // it so ~Orchestrator can defuse it if the continuation outlives us.
+  std::shared_ptr<scheduler::ReservationGuard> MakeChannelGuard(const std::string& client_id);
+
+  // Serialized shared-VM rebuild queue for channel deploys.
+  void EnqueueRebuild(const std::string& platform_name,
+                      std::function<void(std::function<void()>)> task);
+  void RunNextRebuild(const std::string& platform_name);
+
+  // Confirmation chain: probe the placed guest until it is seen up, then
+  // advance the journal placed -> booted -> cut-over. Bounded rounds; a
+  // give-up (partitioned platform) stops the chain until a heal re-arms it.
+  void ScheduleConfirm(uint64_t journal_id, int rounds_left);
+  void ConfirmProbe(uint64_t journal_id, int rounds_left);
+
+  // Stateful migration chain steps (each runs when the previous op's ack
+  // arrives over the channel).
+  void MigrationSuspendDone(const std::shared_ptr<MigrationCtx>& ctx, ControlResponse response);
+  void MigrationExportDone(const std::shared_ptr<MigrationCtx>& ctx, ControlResponse response);
+  void MigrationImportDone(const std::shared_ptr<MigrationCtx>& ctx, ControlResponse response);
+  void MigrationCutoverDone(const std::shared_ptr<MigrationCtx>& ctx, ControlResponse response);
+  void AbortMigration(const std::shared_ptr<MigrationCtx>& ctx, const std::string& reason);
 
   // The module address currently assigned to `module_id` (0.0.0.0 if gone).
   Ipv4Address ModuleAddr(const std::string& module_id) const;
@@ -199,15 +333,33 @@ class Orchestrator {
   platform::VmCostModel cost_model_;
   OrchestratorOptions options_;
   scheduler::PlacementEngine engine_;
+  // Owned in the common setup; null when attached to an external fleet /
+  // journal (the crash-recovery form).
+  std::unique_ptr<PlatformFleet> owned_fleet_;
+  std::unique_ptr<DeployJournal> owned_journal_;
+  PlatformFleet* fleet_;
+  DeployJournal* journal_;
+  ControlClient client_;
+  // Liveness token for every continuation this orchestrator schedules: a
+  // probe or retry that fires after the controller "crashed" must be a
+  // silent no-op, never a use-after-free.
+  std::shared_ptr<char> alive_;
   std::unordered_map<std::string, PlatformState> platforms_;
   // module id -> (platform name, dedicated VM id or 0 when consolidated)
   std::unordered_map<std::string, std::pair<std::string, platform::Vm::VmId>> placements_;
   // The original request behind every live module, kept so failover and
   // migration can re-verify and re-place tenants from first principles.
   std::unordered_map<std::string, ClientRequest> requests_;
+  // Installs that gave up unacked: the target may or may not have executed
+  // them. ReconcilePlatform flushes an idempotent uninstall for each.
+  std::vector<std::pair<std::string, Ipv4Address>> pending_cleanups_;
+  // Every guard handed to an async continuation, so the destructor can defuse
+  // the ones still alive (their engine pointer dies with us).
+  std::vector<std::weak_ptr<scheduler::ReservationGuard>> channel_guards_;
   obs::Counter* ctr_migrations_started_ = nullptr;
   obs::Counter* ctr_migrations_completed_ = nullptr;
   obs::Counter* ctr_migrations_aborted_ = nullptr;
+  obs::Counter* ctr_replays_ = nullptr;
 };
 
 }  // namespace innet::controller

@@ -37,6 +37,14 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kPacketEgress: return "packet_egress";
     case EventKind::kPacketDrop: return "packet_drop";
     case EventKind::kPostmortemSnapshot: return "postmortem_snapshot";
+    case EventKind::kControlSend: return "control_send";
+    case EventKind::kControlDrop: return "control_drop";
+    case EventKind::kControlRetry: return "control_retry";
+    case EventKind::kControlGiveUp: return "control_give_up";
+    case EventKind::kControlPartition: return "control_partition";
+    case EventKind::kControlHeal: return "control_heal";
+    case EventKind::kJournalTransition: return "journal_transition";
+    case EventKind::kRecoveryReplay: return "recovery_replay";
     case EventKind::kSpanEnd: return "span_end";
   }
   return "unknown";

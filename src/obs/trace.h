@@ -60,6 +60,14 @@ enum class EventKind {
   kPacketEgress,
   kPacketDrop,
   kPostmortemSnapshot,
+  kControlSend,
+  kControlDrop,
+  kControlRetry,
+  kControlGiveUp,
+  kControlPartition,
+  kControlHeal,
+  kJournalTransition,
+  kRecoveryReplay,
   kSpanEnd,
 };
 

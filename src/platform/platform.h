@@ -185,6 +185,14 @@ class InNetPlatform {
       vm->set_owner(std::move(owner));
     }
   }
+  // The dedicated or shared guest currently routed for `addr` (0 when none).
+  // This is what control-plane health probes and post-crash reconciliation
+  // compare the controller's belief against.
+  Vm::VmId InstalledVmFor(Ipv4Address addr) const {
+    auto it = installed_.find(addr.value());
+    return it == installed_.end() ? 0 : it->second;
+  }
+
   // The owning tenant of a guest ("" when unknown or unattributed).
   const std::string& OwnerOf(Vm::VmId vm_id) {
     static const std::string kNone;

@@ -54,6 +54,54 @@ class PlacementEngine {
   obs::Counter* ctr_rejected_ = nullptr;
 };
 
+// RAII hold on a tenant's quota reservation. Construction commits the usage
+// in the engine's ledger; destruction releases it unless Confirm() was
+// called. Deploy/migration paths create one up front and confirm only on
+// full success, so every early-exit error path — a failed verify, a lost
+// install ack, a crashed boot — releases the reservation exactly once
+// instead of relying on hand-written cleanup at each return.
+class ReservationGuard {
+ public:
+  ReservationGuard() = default;
+  ReservationGuard(PlacementEngine* engine, std::string client_id, uint64_t memory_bytes)
+      : engine_(engine), client_id_(std::move(client_id)), memory_bytes_(memory_bytes) {
+    if (engine_ != nullptr) {
+      engine_->CommitPlacement(client_id_, memory_bytes_);
+    }
+  }
+  ~ReservationGuard() { Release(); }
+
+  ReservationGuard(const ReservationGuard&) = delete;
+  ReservationGuard& operator=(const ReservationGuard&) = delete;
+  ReservationGuard(ReservationGuard&& other) noexcept { *this = std::move(other); }
+  ReservationGuard& operator=(ReservationGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      engine_ = other.engine_;
+      client_id_ = std::move(other.client_id_);
+      memory_bytes_ = other.memory_bytes_;
+      other.engine_ = nullptr;
+    }
+    return *this;
+  }
+
+  // The placement succeeded: keep the usage committed.
+  void Confirm() { engine_ = nullptr; }
+  // Early exit: give the quota back now (idempotent).
+  void Release() {
+    if (engine_ != nullptr) {
+      engine_->ReleasePlacement(client_id_, memory_bytes_);
+      engine_ = nullptr;
+    }
+  }
+  bool active() const { return engine_ != nullptr; }
+
+ private:
+  PlacementEngine* engine_ = nullptr;
+  std::string client_id_;
+  uint64_t memory_bytes_ = 0;
+};
+
 }  // namespace innet::scheduler
 
 #endif  // SRC_SCHEDULER_ENGINE_H_

@@ -40,4 +40,45 @@ bool FaultInjector::ShouldCorruptPacket() {
   return true;
 }
 
+bool FaultInjector::ShouldDropControl() {
+  if (plan_.control_loss_p <= 0.0 || !rng_.Bernoulli(plan_.control_loss_p)) {
+    return false;
+  }
+  ++control_dropped_;
+  return true;
+}
+
+bool FaultInjector::ShouldDuplicateControl() {
+  if (plan_.control_dup_p <= 0.0 || !rng_.Bernoulli(plan_.control_dup_p)) {
+    return false;
+  }
+  ++control_duplicated_;
+  return true;
+}
+
+bool FaultInjector::ShouldReorderControl() {
+  if (plan_.control_reorder_p <= 0.0 || !rng_.Bernoulli(plan_.control_reorder_p)) {
+    return false;
+  }
+  ++control_reordered_;
+  return true;
+}
+
+TimeNs FaultInjector::ControlDelay() {
+  if (plan_.control_delay_mean_ms <= 0.0) {
+    return 0;
+  }
+  return FromSeconds(rng_.Exponential(plan_.control_delay_mean_ms / 1e3));
+}
+
+TimeNs FaultInjector::ControlReorderPenalty() {
+  // A full millisecond plus three extra delay draws: enough to land after
+  // any message sent within the mean-delay window that follows.
+  TimeNs penalty = kMillisecond;
+  for (int i = 0; i < 3; ++i) {
+    penalty += ControlDelay();
+  }
+  return penalty;
+}
+
 }  // namespace innet::sim

@@ -33,6 +33,20 @@ struct FaultPlan {
   // Per-packet switch faults.
   double packet_drop_p = 0.0;
   double packet_corrupt_p = 0.0;
+  // Control-plane channel faults (orchestrator <-> platform messages). Each
+  // message leg (request or response) draws independently: it may be lost,
+  // duplicated, held back past later sends (reordering), and is delayed by
+  // an exponential propagation time. All zero = ideal channel (synchronous
+  // in-process delivery, the pre-fault behavior).
+  double control_loss_p = 0.0;
+  double control_dup_p = 0.0;
+  double control_reorder_p = 0.0;
+  double control_delay_mean_ms = 0.0;
+
+  bool HasControlFaults() const {
+    return control_loss_p > 0.0 || control_dup_p > 0.0 || control_reorder_p > 0.0 ||
+           control_delay_mean_ms > 0.0;
+  }
 };
 
 class FaultInjector {
@@ -57,6 +71,21 @@ class FaultInjector {
 
   bool ShouldDropPacket();
   bool ShouldCorruptPacket();
+
+  // --- Control-plane channel faults -----------------------------------------
+  bool HasControlFaults() const { return plan_.HasControlFaults(); }
+  // Whether the control message (or response) leg now in flight vanishes.
+  bool ShouldDropControl();
+  // Whether the message is delivered twice.
+  bool ShouldDuplicateControl();
+  // Whether the message is held back past later sends.
+  bool ShouldReorderControl();
+  // Exponential propagation delay for one message leg (0 when the plan has
+  // no mean delay; the channel rounds up so delivery is a distinct event).
+  TimeNs ControlDelay();
+  // Extra hold-back applied to a reordered message: several delay draws plus
+  // a fixed floor, so it demonstrably lands after messages sent later.
+  TimeNs ControlReorderPenalty();
   // Where and how to flip a byte of a corrupted packet.
   size_t CorruptOffset(size_t len) { return len == 0 ? 0 : rng_.NextBelow(len); }
   uint8_t CorruptMask() { return static_cast<uint8_t>(1 + rng_.NextBelow(255)); }
@@ -65,6 +94,9 @@ class FaultInjector {
   uint64_t crashes_scheduled() const { return crashes_scheduled_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
   uint64_t packets_corrupted() const { return packets_corrupted_; }
+  uint64_t control_dropped() const { return control_dropped_; }
+  uint64_t control_duplicated() const { return control_duplicated_; }
+  uint64_t control_reordered() const { return control_reordered_; }
 
  private:
   FaultPlan plan_;
@@ -73,6 +105,9 @@ class FaultInjector {
   uint64_t crashes_scheduled_ = 0;
   uint64_t packets_dropped_ = 0;
   uint64_t packets_corrupted_ = 0;
+  uint64_t control_dropped_ = 0;
+  uint64_t control_duplicated_ = 0;
+  uint64_t control_reordered_ = 0;
 };
 
 }  // namespace innet::sim

@@ -14,6 +14,7 @@
 #include "src/scheduler/engine.h"
 #include "src/scheduler/ledger.h"
 #include "src/scheduler/policy.h"
+#include "src/sim/fault_injector.h"
 #include "src/topology/network.h"
 
 namespace innet::scheduler {
@@ -487,6 +488,118 @@ TEST_F(Migration, ConsolidatedTenantMovesMakeBeforeBreak) {
   EXPECT_EQ(placement->second, 0u);  // re-consolidated on the target
   EXPECT_EQ(orch_.ConsolidatedTenantCount(source), 0u);
   EXPECT_EQ(orch_.ConsolidatedTenantCount(target), 1u);
+}
+
+// A migration whose snapshot left the source but whose import/cutover leg is
+// cut off must re-adopt the guest on the source *exactly once* — retried and
+// duplicated control messages all collapse onto one idempotency token.
+TEST_F(Migration, AbortUnderControlLossResumesSourceExactlyOnce) {
+  auto deployed = orch_.Deploy(MeterRequest("meter", "10.10.0.5", "10.10.0.0/24"));
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+  ASSERT_NE(deployed.vm_id, 0u);
+  const std::string source = deployed.outcome.platform;
+  const std::string target = source == "platform2" ? "platform1" : "platform2";
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(1));  // guest boots
+
+  // Seed some flow state and duplicate control messages aggressively: the
+  // re-import on the source must still happen once, not once per copy.
+  int egress_source = 0;
+  orch_.platform(source)->SetEgressHandler([&](Packet&) { ++egress_source; });
+  for (uint16_t port : {4000, 4001, 4002}) {
+    Packet packet = Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"),
+                                    deployed.outcome.module_addr, port, 53, 64);
+    orch_.platform(source)->HandlePacket(packet);
+  }
+  ASSERT_EQ(egress_source, 3);
+
+  sim::FaultPlan plan;
+  plan.seed = 11;
+  plan.control_dup_p = 0.6;
+  plan.control_delay_mean_ms = 1.0;
+  sim::FaultInjector faults(plan);
+  orch_.SetControlFaults(&faults);
+  // The target is cut off: suspend and export succeed on the source, then
+  // the snapshot-import message vanishes into the partition until the
+  // client exhausts its retries.
+  orch_.SetPartitioned(target, true);
+
+  std::optional<MigrationReport> report;
+  MigrationStart start = orch_.MigrateTenant(
+      deployed.outcome.module_id, target,
+      [&](const MigrationReport& r) { report = r; });
+  ASSERT_TRUE(start.started) << start.reason;
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(60));
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_FALSE(report->ok);
+  EXPECT_NE(report->reason.find("gave up"), std::string::npos);
+  // The guest is back on the source — exactly one of it — still holding its
+  // pre-migration flow table, and the placement still points there.
+  EXPECT_EQ(orch_.platform(source)->vms().vm_count(), 1u);
+  EXPECT_EQ(orch_.platform(target)->vms().vm_count(), 0u);
+  const auto* placement = orch_.FindPlacement(deployed.outcome.module_id);
+  ASSERT_NE(placement, nullptr);
+  EXPECT_EQ(placement->first, source);
+  Vm* guest = orch_.platform(source)->vms().Find(placement->second);
+  ASSERT_NE(guest, nullptr);
+  EXPECT_EQ(FlowCount(guest), 3u);
+  // No stranded reservation: the target's share was released on abort, so
+  // admission sees exactly the one original module.
+  EXPECT_EQ(orch_.engine().admission().UsageFor("meter").modules, 1u);
+  // It keeps serving on the source.
+  Packet packet = Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"),
+                                  deployed.outcome.module_addr, 4003, 53, 64);
+  orch_.platform(source)->HandlePacket(packet);
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(1));
+  EXPECT_EQ(FlowCount(orch_.platform(source)->vms().Find(placement->second)), 4u);
+}
+
+// The RAII reservation guard: a deploy that fails after admission (here:
+// verification) must release its quota share on the early-exit path, or the
+// tenant's next attempt would be falsely quota-rejected.
+TEST(SchedulerQuota, FailedDeployReleasesReservation) {
+  sim::EventQueue clock;
+  Orchestrator orch(topology::Network::MakeFigure3(), &clock);
+  orch.engine().admission().SetQuota("mobile1", scheduler::TenantQuota{.max_modules = 1});
+
+  // The batcher's requirement only holds on platform3: pinning it to
+  // platform1 passes admission, then fails verification.
+  ClientRequest doomed = BatcherRequest();
+  doomed.pinned_platform = "platform1";
+  auto failed = orch.Deploy(doomed);
+  ASSERT_FALSE(failed.outcome.accepted);
+  EXPECT_EQ(orch.engine().admission().UsageFor("mobile1").modules, 0u);
+
+  // With max_modules = 1, a leaked reservation would reject this.
+  auto ok = orch.Deploy(BatcherRequest());
+  EXPECT_TRUE(ok.outcome.accepted) << ok.outcome.reason;
+  EXPECT_EQ(orch.engine().admission().UsageFor("mobile1").modules, 1u);
+}
+
+TEST(Failover, MarkPlatformFailedIsIdempotentAndSafeForUnknownNames) {
+  sim::EventQueue clock;
+  Orchestrator orch(topology::Network::MakeFigure3(), &clock);
+  auto deployed = orch.Deploy(MeterRequest("meter", "10.10.0.5", "10.10.0.0/24"));
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+
+  FailoverReport unknown = orch.MarkPlatformFailed("no-such-platform");
+  EXPECT_TRUE(unknown.unknown_platform);
+  EXPECT_EQ(unknown.tenants_affected, 0u);
+  EXPECT_EQ(orch.placement_count(), 1u);  // nothing was touched
+
+  FailoverReport first = orch.MarkPlatformFailed(deployed.outcome.platform);
+  EXPECT_FALSE(first.unknown_platform);
+  EXPECT_FALSE(first.already_failed);
+  EXPECT_EQ(first.tenants_affected, 1u);
+  EXPECT_EQ(first.recovered, 1u);
+  size_t placements_after = orch.placement_count();
+
+  // Repeating the report must not re-run failover (which would kill and
+  // re-place the already-recovered tenants a second time).
+  FailoverReport again = orch.MarkPlatformFailed(deployed.outcome.platform);
+  EXPECT_TRUE(again.already_failed);
+  EXPECT_EQ(again.tenants_affected, 0u);
+  EXPECT_EQ(orch.placement_count(), placements_after);
 }
 
 TEST(Rebalance, DrainsHotPlatformsThroughLiveMigration) {

@@ -8,6 +8,8 @@
 //             [--placement-policy first_fit|least_loaded|bin_pack]
 //             [--dataplane-sample-n N] [--dataplane-seed S]
 //             [--folded-out FILE] [--flight-recorder-depth K] [--flight-out FILE]
+//             [--control-loss P] [--control-dup P] [--control-reorder P]
+//             [--control-delay-ms D] [--control-seed S]
 //
 // The packets file has one packet per line:
 //   udp  SRC[:SPORT] DST[:DPORT] [payload "TEXT"] [at SECONDS]
@@ -37,9 +39,16 @@
 // flight recorder is always on; --flight-recorder-depth sizes its ring and
 // --flight-out dumps the ring + any post-mortem bundles as JSON
 // (render with innet_top --postmortem).
+//
+// Control-plane chaos: any of --control-loss/--control-dup/--control-reorder/
+// --control-delay-ms routes the install over the lossy control channel
+// (seeded from --control-seed, default 42) instead of the fault-exempt direct
+// path, so the orchestrator's idempotent retries and deploy journal do the
+// converging; a channel counter summary is printed after the deploy.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,6 +62,7 @@
 #include "src/obs/trace.h"
 #include "src/platform/platform.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault_injector.h"
 #include "src/topology/network.h"
 
 namespace {
@@ -163,6 +173,11 @@ int main(int argc, char** argv) {
   uint32_t sample_n = 0;
   uint64_t dataplane_seed = 0;
   size_t flight_depth = 0;  // 0 = keep the recorder's default
+  double control_loss = 0;
+  double control_dup = 0;
+  double control_reorder = 0;
+  double control_delay_ms = 0;
+  uint64_t control_seed = 42;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
@@ -191,6 +206,16 @@ int main(int argc, char** argv) {
       flight_depth = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--flight-out" && i + 1 < argc) {
       flight_out = argv[++i];
+    } else if (arg == "--control-loss" && i + 1 < argc) {
+      control_loss = std::atof(argv[++i]);
+    } else if (arg == "--control-dup" && i + 1 < argc) {
+      control_dup = std::atof(argv[++i]);
+    } else if (arg == "--control-reorder" && i + 1 < argc) {
+      control_reorder = std::atof(argv[++i]);
+    } else if (arg == "--control-delay-ms" && i + 1 < argc) {
+      control_delay_ms = std::atof(argv[++i]);
+    } else if (arg == "--control-seed" && i + 1 < argc) {
+      control_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s --config FILE [--packets FILE] [--clock-until SECONDS]\n"
@@ -199,7 +224,9 @@ int main(int argc, char** argv) {
                    "          [--placement-policy first_fit|least_loaded|bin_pack]\n"
                    "          [--dataplane-sample-n N] [--dataplane-seed S]\n"
                    "          [--folded-out FILE] [--flight-recorder-depth K] "
-                   "[--flight-out FILE]\n",
+                   "[--flight-out FILE]\n"
+                   "          [--control-loss P] [--control-dup P] [--control-reorder P]\n"
+                   "          [--control-delay-ms D] [--control-seed S]\n",
                    argv[0]);
       return 2;
     }
@@ -227,8 +254,10 @@ int main(int argc, char** argv) {
   const bool want_profiling = sample_n > 0 || !folded_out.empty();
   const bool want_obs =
       !metrics_out.empty() || !trace_out.empty() || !perfetto_out.empty() || !health_out.empty();
-  const bool want_stack =
-      want_obs || !placement_policy.empty() || want_profiling || !flight_out.empty();
+  const bool want_control_faults =
+      control_loss > 0 || control_dup > 0 || control_reorder > 0 || control_delay_ms > 0;
+  const bool want_stack = want_obs || !placement_policy.empty() || want_profiling ||
+                          !flight_out.empty() || want_control_faults;
   sim::EventQueue clock;
   if (want_obs) {
     obs::Tracer().Enable();
@@ -320,11 +349,53 @@ int main(int argc, char** argv) {
     controller::OrchestratorOptions options;
     options.policy = policy_kind;
     controller::Orchestrator orch(topology::Network::MakeFigure3(), &clock, options);
+    // With control faults requested, the install travels over the lossy
+    // channel (seeded, so a given flag set replays identically) and the
+    // orchestrator's retry/journal machinery does the converging.
+    std::optional<sim::FaultInjector> control_faults;
+    if (want_control_faults) {
+      sim::FaultPlan plan;
+      plan.seed = control_seed;
+      plan.control_loss_p = control_loss;
+      plan.control_dup_p = control_dup;
+      plan.control_reorder_p = control_reorder;
+      plan.control_delay_mean_ms = control_delay_ms;
+      control_faults.emplace(plan);
+      orch.SetControlFaults(&*control_faults);
+    }
     controller::ClientRequest request;
     request.client_id = "run";
     request.requester = controller::RequesterClass::kOperator;
     request.click_config = config_buf.str();
-    controller::OrchestratedDeploy deployed = orch.Deploy(request);
+    controller::OrchestratedDeploy deployed;
+    if (want_control_faults) {
+      bool deploy_done = false;
+      orch.DeployViaChannel(request, [&](const controller::OrchestratedDeploy& result) {
+        deploy_done = true;
+        deployed = result;
+      });
+      // Pump the clock until the retry machinery settles (converges or gives
+      // up — either way the callback fires exactly once).
+      for (int spins = 0; !deploy_done && spins < 600; ++spins) {
+        clock.RunUntil(clock.now() + sim::FromMillis(100));
+      }
+      std::printf("\ncontrol channel: sent=%llu delivered=%llu dropped=%llu duplicated=%llu "
+                  "deduped=%llu retries=%llu timeouts=%llu giveups=%llu\n",
+                  static_cast<unsigned long long>(orch.channel().sent()),
+                  static_cast<unsigned long long>(orch.channel().delivered()),
+                  static_cast<unsigned long long>(orch.channel().dropped()),
+                  static_cast<unsigned long long>(orch.channel().duplicated()),
+                  static_cast<unsigned long long>(orch.channel().deduped()),
+                  static_cast<unsigned long long>(orch.control_client().retries()),
+                  static_cast<unsigned long long>(orch.control_client().timeouts()),
+                  static_cast<unsigned long long>(orch.control_client().giveups()));
+      if (!deploy_done) {
+        std::fprintf(stderr, "control-channel deploy never completed\n");
+        return 1;
+      }
+    } else {
+      deployed = orch.Deploy(request);
+    }
     if (!deployed.outcome.accepted) {
       std::printf("\nplacement: policy=%s rejected: %s\n",
                   scheduler::PlacementPolicyName(policy_kind),

@@ -263,6 +263,61 @@ void RenderPlatforms(const std::vector<Instrument>& instruments) {
   std::printf("\n");
 }
 
+// Fault-tolerant control plane: channel message accounting, retry economics,
+// and the deploy journal's state. Dumps that predate the control channel have
+// none of these instruments and degrade to a one-line "no data" note.
+void RenderControlPlane(const std::vector<Instrument>& instruments) {
+  bool any = false;
+  for (const Instrument& inst : instruments) {
+    if (inst.name.rfind("innet_control_", 0) == 0 || inst.name.rfind("innet_journal_", 0) == 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    std::printf("CONTROL PLANE: no data (dump predates the control channel)\n\n");
+    return;
+  }
+  std::printf("CONTROL PLANE\n");
+  std::printf(
+      "  channel: %.0f sent, %.0f delivered, %.0f dropped, %.0f duplicated, "
+      "%.0f partition-dropped, %.0f deduped\n",
+      CounterValue(instruments, "innet_control_messages_total", "event", "sent"),
+      CounterValue(instruments, "innet_control_messages_total", "event", "delivered"),
+      CounterValue(instruments, "innet_control_messages_total", "event", "dropped"),
+      CounterValue(instruments, "innet_control_messages_total", "event", "duplicated"),
+      CounterValue(instruments, "innet_control_messages_total", "event", "partition_dropped"),
+      CounterValue(instruments, "innet_control_messages_total", "event", "deduped"));
+  std::printf("  retries: %.0f retries, %.0f timeouts, %.0f give-ups\n",
+              CounterValue(instruments, "innet_control_retries_total"),
+              CounterValue(instruments, "innet_control_timeouts_total"),
+              CounterValue(instruments, "innet_control_giveups_total"));
+  if (const Instrument* partitioned =
+          FindInstrument(instruments, "innet_control_partitioned_platforms")) {
+    std::printf("  partitioned platforms: %.0f\n", partitioned->value);
+  }
+  // The journal: in-flight entries are deploys/migrations the controller has
+  // promised but not yet confirmed — the crash-recovery working set.
+  double inflight = CounterValue(instruments, "innet_journal_inflight");
+  double replays = CounterValue(instruments, "innet_journal_replays_total");
+  std::printf("  journal: %.0f in flight, %.0f replayed after crashes\n", inflight, replays);
+  bool transitions = false;
+  for (const Instrument& inst : instruments) {
+    if (inst.name == "innet_journal_transitions_total") {
+      if (!transitions) {
+        std::printf("  journal transitions:");
+        transitions = true;
+      }
+      const std::string* state = inst.Label("state");
+      std::printf(" %s=%.0f", state != nullptr ? state->c_str() : "?", inst.value);
+    }
+  }
+  if (transitions) {
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
 void RenderTotals(const std::vector<Instrument>& instruments) {
   std::printf("TOTALS\n");
   std::printf("  vms: %.0f running, %.0f suspended, %.0f crashed\n",
@@ -473,6 +528,7 @@ int RenderFromFiles(const std::string& metrics_path, const std::string& trace_pa
   if (have_metrics) {
     RenderTenants(instruments, have_health ? &health_root : nullptr);
     RenderPlatforms(instruments);
+    RenderControlPlane(instruments);
     RenderTotals(instruments);
   }
 
@@ -552,6 +608,7 @@ int RunLive(const std::string& config_path, const std::string& placement_policy)
               deployed.outcome.platform.c_str(), instruments.size());
   RenderTenants(instruments, nullptr);
   RenderPlatforms(instruments);
+  RenderControlPlane(instruments);
   RenderTotals(instruments);
   RenderTraceSummary(obs::Tracer().ToJson());
   return 0;
