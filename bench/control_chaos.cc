@@ -380,9 +380,31 @@ int main() {
   std::printf("\noverall: %s\n", all_converged ? "ALL SCENARIOS CONVERGED"
                                                : "CONVERGENCE FAILURE (see above)");
 
+  // Headline series for the CI regression gate: everything here is a seeded
+  // deterministic outcome, so zero tolerance — one extra retry under the same
+  // seed means the retry machinery itself changed.
+  bench::BenchSeries series;
+  series.Higher("all_converged", all_converged ? 1.0 : 0.0, 0.0, "bool");
+  double sweep_accepted = 0;
+  double sweep_retries = 0;
+  double sweep_giveups = 0;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const obs::json::Value& row = sweep.at(i);
+    sweep_accepted += row.Find("accepted")->number();
+    const obs::json::Value* channel = row.Find("channel");
+    sweep_retries += channel->Find("retries")->number();
+    sweep_giveups += channel->Find("giveups")->number();
+  }
+  series.Higher("sweep_accepted", sweep_accepted, 0.0, "tenants");
+  series.Lower("sweep_retries", sweep_retries, 0.0, "count");
+  series.Lower("sweep_giveups", sweep_giveups, 0.0, "count");
+  series.Higher("crash_placements_after_replay",
+                crash.Find("placements_after_replay")->number(), 0.0, "count");
+
   obs::json::Value results = obs::json::Value::Object();
   results.Set("seed", kSeed);
   results.Set("all_converged", all_converged);
+  results.Set("series", series.ToJson());
   results.Set("loss_sweep", std::move(sweep));
   results.Set("partition_window", std::move(partition));
   results.Set("controller_crash", std::move(crash));

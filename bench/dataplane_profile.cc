@@ -155,9 +155,18 @@ int main() {
   }
   std::printf("postmortems -> BENCH_dataplane_profile_postmortem.json\n");
 
+  // Headline series for the CI regression gate: seeded packet counts and
+  // profiler tallies, all deterministic, so zero tolerance.
+  bench::BenchSeries series;
+  series.Higher("delivered", static_cast<double>(delivered), 0.0, "packets");
+  series.Higher("walks", static_cast<double>(walks), 0.0, "walks");
+  series.Higher("sampled_walks", static_cast<double>(sampled), 0.0, "walks");
+  series.Lower("postmortems", static_cast<double>(flight.postmortems().size()), 0.0, "bundles");
+
   obs::json::Value results = obs::json::Value::Object();
   results.Set("sent", sent);
   results.Set("delivered", delivered);
+  results.Set("series", series.ToJson());
   results.Set("walks", walks);
   results.Set("sampled_walks", sampled);
   results.Set("sample_n", static_cast<uint64_t>(kSampleN));

@@ -96,8 +96,25 @@ int main() {
               "middlebox count, with checking staying around a second at ~1,000 boxes\n"
               "(paper: SymNet checks a 1,000-box network in ~1.3 s).\n");
 
+  // Headline series for the CI regression gate: only the deterministic
+  // engine-step and simulated-latency columns — the wall-clock ms columns
+  // vary host to host and would make the gate flake.
+  bench::BenchSeries series;
+  uint64_t total_steps = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    total_steps += static_cast<uint64_t>(rows.at(i).Find("engine_steps")->int_number());
+  }
+  series.Lower("total_engine_steps", static_cast<double>(total_steps), 0.0, "steps");
+  if (rows.size() > 0) {
+    const obs::json::Value& largest = rows.at(rows.size() - 1);
+    series.Lower("largest_engine_steps", largest.Find("engine_steps")->number(), 0.0, "steps");
+    series.Lower("largest_sim_verify_ms", largest.Find("sim_verify_ns")->number() / 1e6, 0.0,
+                 "ms");
+  }
+
   obs::json::Value results = obs::json::Value::Object();
   results.Set("scaling", std::move(rows));
+  results.Set("series", series.ToJson());
   results.Set("metrics", obs::Registry().ToJson());
   bench::WriteBenchJson("fig10_controller_scaling", std::move(results));
   return 0;

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-stop CI gate: tier-1 build + tests, the sanitizer suite, the
-# metrics-documentation lint, and a JSON lint over every committed
-# BENCH_*.json telemetry file. Any failure fails the whole run.
+# metrics-documentation lint, the perf-regression gate (innet_benchdiff vs
+# the committed BENCH_*.json baselines), the timeseries determinism check,
+# and a JSON lint over every committed BENCH_*.json telemetry file. Any
+# failure fails the whole run.
 #
 # Usage: scripts/ci.sh [--skip-asan]
 #   --skip-asan   skip the (slow) AddressSanitizer build + test pass
@@ -38,6 +40,38 @@ fi
 
 step "metrics documentation lint (check_metrics_docs.sh)"
 scripts/check_metrics_docs.sh || fail=1
+
+step "perf-regression diff tool self-test (innet_benchdiff --self-test)"
+if [ ! -x build/tools/innet_benchdiff ]; then
+  echo "ERROR: build/tools/innet_benchdiff missing — build step failed?" >&2
+  fail=1
+else
+  ./build/tools/innet_benchdiff --self-test || fail=1
+fi
+
+step "perf-regression gate (check_bench_regression.sh vs committed baselines)"
+scripts/check_bench_regression.sh || fail=1
+
+step "timeseries determinism (two seeded innet_run dumps must be byte-identical)"
+if [ ! -x build/tools/innet_run ]; then
+  echo "ERROR: build/tools/innet_run missing — build step failed?" >&2
+  fail=1
+else
+  ts_ok=1
+  ./build/tools/innet_run --config examples/batcher.click \
+      --timeseries-out build/ts_run1.json >/dev/null || ts_ok=0
+  ./build/tools/innet_run --config examples/batcher.click \
+      --timeseries-out build/ts_run2.json >/dev/null || ts_ok=0
+  if [ "$ts_ok" -ne 1 ]; then
+    echo "ERROR: innet_run --timeseries-out failed" >&2
+    fail=1
+  elif ! cmp -s build/ts_run1.json build/ts_run2.json; then
+    echo "ERROR: timeseries dumps differ between two runs of the same config" >&2
+    fail=1
+  else
+    echo "ok: timeseries dump byte-identical across repeat runs"
+  fi
+fi
 
 step "bench telemetry lint (json_lint over committed BENCH_*.json)"
 if [ ! -x build/tools/json_lint ]; then

@@ -1,0 +1,206 @@
+#include "src/obs/benchdiff.h"
+
+#include <cmath>
+#include <map>
+
+namespace innet::obs {
+
+namespace {
+
+constexpr char kHigher[] = "higher_is_better";
+constexpr char kLower[] = "lower_is_better";
+
+// Relative change with a floor on the denominator so a 0 -> N jump still
+// yields a finite, large percentage instead of dividing by zero.
+double ChangePct(double baseline, double candidate) {
+  double denom = std::fabs(baseline);
+  if (denom < 1e-9) {
+    denom = 1e-9;
+  }
+  return (candidate - baseline) / denom * 100.0;
+}
+
+}  // namespace
+
+json::Value BenchSeriesEntryJson(const BenchSeriesEntry& entry) {
+  json::Value out = json::Value::Object();
+  out.Set("metric", entry.metric);
+  out.Set("value", entry.value);
+  out.Set("direction", entry.direction);
+  out.Set("tolerance_pct", entry.tolerance_pct);
+  out.Set("unit", entry.unit);
+  return out;
+}
+
+bool ParseBenchSeries(const json::Value& doc, std::string* bench_name,
+                      std::vector<BenchSeriesEntry>* out, std::string* error) {
+  if (!doc.is_object()) {
+    *error = "bench doc is not a JSON object";
+    return false;
+  }
+  if (bench_name != nullptr) {
+    const json::Value* bench = doc.Find("bench");
+    *bench_name = bench != nullptr && bench->is_string() ? bench->string_value() : "";
+  }
+  const json::Value* results = doc.Find("results");
+  if (results == nullptr || !results->is_object()) {
+    *error = "bench doc has no results object";
+    return false;
+  }
+  const json::Value* series = results->Find("series");
+  if (series == nullptr || !series->is_array()) {
+    *error = "bench results have no series array";
+    return false;
+  }
+  out->clear();
+  std::map<std::string, size_t> seen;
+  for (size_t i = 0; i < series->size(); ++i) {
+    const json::Value& item = series->at(i);
+    if (!item.is_object()) {
+      *error = "series entry " + std::to_string(i) + " is not an object";
+      return false;
+    }
+    const json::Value* metric = item.Find("metric");
+    const json::Value* value = item.Find("value");
+    const json::Value* direction = item.Find("direction");
+    if (metric == nullptr || !metric->is_string() || value == nullptr || !value->is_number() ||
+        direction == nullptr || !direction->is_string()) {
+      *error = "series entry " + std::to_string(i) + " needs metric/value/direction";
+      return false;
+    }
+    BenchSeriesEntry entry;
+    entry.metric = metric->string_value();
+    entry.value = value->number();
+    entry.direction = direction->string_value();
+    if (entry.direction != kHigher && entry.direction != kLower) {
+      *error = "series entry '" + entry.metric + "' has unknown direction '" + entry.direction +
+               "' (want higher_is_better|lower_is_better)";
+      return false;
+    }
+    if (const json::Value* tol = item.Find("tolerance_pct");
+        tol != nullptr && tol->is_number()) {
+      entry.tolerance_pct = tol->number();
+    }
+    if (const json::Value* unit = item.Find("unit"); unit != nullptr && unit->is_string()) {
+      entry.unit = unit->string_value();
+    }
+    if (!seen.emplace(entry.metric, i).second) {
+      *error = "duplicate series metric '" + entry.metric + "'";
+      return false;
+    }
+    out->push_back(std::move(entry));
+  }
+  return true;
+}
+
+json::Value BenchDiffReport::ToJson() const {
+  json::Value list = json::Value::Array();
+  for (const BenchDiffEntry& entry : entries) {
+    json::Value item = json::Value::Object();
+    item.Set("metric", entry.metric);
+    item.Set("status", entry.status);
+    item.Set("direction", entry.direction);
+    item.Set("unit", entry.unit);
+    item.Set("tolerance_pct", entry.tolerance_pct);
+    item.Set("baseline", entry.baseline);
+    item.Set("candidate", entry.candidate);
+    item.Set("change_pct", entry.change_pct);
+    list.Push(std::move(item));
+  }
+  json::Value root = json::Value::Object();
+  root.Set("bench", bench);
+  root.Set("regressions", static_cast<uint64_t>(regressions));
+  root.Set("entries", std::move(list));
+  return root;
+}
+
+bool DiffBenchJson(const json::Value& baseline, const json::Value& candidate,
+                   BenchDiffReport* report, std::string* error) {
+  std::string base_name;
+  std::string cand_name;
+  std::vector<BenchSeriesEntry> base_series;
+  std::vector<BenchSeriesEntry> cand_series;
+  if (!ParseBenchSeries(baseline, &base_name, &base_series, error)) {
+    *error = "baseline: " + *error;
+    return false;
+  }
+  if (!ParseBenchSeries(candidate, &cand_name, &cand_series, error)) {
+    *error = "candidate: " + *error;
+    return false;
+  }
+  if (base_name != cand_name) {
+    *error = "bench name mismatch: baseline '" + base_name + "' vs candidate '" + cand_name + "'";
+    return false;
+  }
+
+  report->bench = base_name;
+  report->entries.clear();
+  report->regressions = 0;
+
+  std::map<std::string, const BenchSeriesEntry*> cand_by_metric;
+  for (const BenchSeriesEntry& entry : cand_series) {
+    cand_by_metric[entry.metric] = &entry;
+  }
+
+  for (const BenchSeriesEntry& base : base_series) {
+    BenchDiffEntry diff;
+    diff.metric = base.metric;
+    // Rules come from the baseline: a candidate cannot loosen its own gate.
+    diff.direction = base.direction;
+    diff.unit = base.unit;
+    diff.tolerance_pct = base.tolerance_pct;
+    diff.baseline = base.value;
+    auto it = cand_by_metric.find(base.metric);
+    if (it == cand_by_metric.end()) {
+      diff.status = "missing";
+      diff.regression = true;
+    } else {
+      diff.candidate = it->second->value;
+      diff.change_pct = ChangePct(base.value, diff.candidate);
+      double slack = base.value * base.tolerance_pct / 100.0;
+      if (base.direction == kLower) {
+        if (diff.candidate > base.value + std::fabs(slack)) {
+          diff.status = "regressed";
+          diff.regression = true;
+        } else if (diff.candidate < base.value - std::fabs(slack)) {
+          diff.status = "improved";
+        } else {
+          diff.status = "ok";
+        }
+      } else {
+        if (diff.candidate < base.value - std::fabs(slack)) {
+          diff.status = "regressed";
+          diff.regression = true;
+        } else if (diff.candidate > base.value + std::fabs(slack)) {
+          diff.status = "improved";
+        } else {
+          diff.status = "ok";
+        }
+      }
+      cand_by_metric.erase(it);
+    }
+    if (diff.regression) {
+      ++report->regressions;
+    }
+    report->entries.push_back(std::move(diff));
+  }
+
+  // Candidate-only metrics, in the candidate's emission order: reported so a
+  // reviewer sees them, never a failure (new telemetry must not break CI).
+  for (const BenchSeriesEntry& cand : cand_series) {
+    if (cand_by_metric.find(cand.metric) == cand_by_metric.end()) {
+      continue;  // matched above
+    }
+    BenchDiffEntry diff;
+    diff.metric = cand.metric;
+    diff.direction = cand.direction;
+    diff.unit = cand.unit;
+    diff.tolerance_pct = cand.tolerance_pct;
+    diff.candidate = cand.value;
+    diff.status = "new";
+    report->entries.push_back(std::move(diff));
+  }
+  return true;
+}
+
+}  // namespace innet::obs

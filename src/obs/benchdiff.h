@@ -1,0 +1,84 @@
+// Direction-aware diffing of bench telemetry snapshots — the library behind
+// tools/innet_benchdiff and the CI perf-regression gate.
+//
+// Every bench harness emits a standardized `results.series` section: a flat
+// array of headline metrics, each declaring which way "better" points and how
+// much drift is noise:
+//
+//   {"metric": "accept_rate", "value": 0.97,
+//    "direction": "higher_is_better", "tolerance_pct": 2, "unit": "ratio"}
+//
+// DiffBenchJson compares a candidate dump against a committed baseline under
+// those per-metric rules: a lower_is_better metric regresses when the
+// candidate exceeds baseline * (1 + tolerance), a higher_is_better one when
+// it falls below baseline * (1 - tolerance). A metric present in the baseline
+// but missing from the candidate is a regression (a bench silently dropping a
+// headline number must not pass CI); a metric new in the candidate is
+// reported but never fails. Direction and tolerance are read from the
+// BASELINE entry, so a candidate cannot loosen its own gate.
+//
+// The benches only emit values derived from the simulated clock and
+// deterministic work counts — never wall-clock timings — so a regression here
+// means the *modeled* behavior changed (more retries, worse placement, more
+// engine steps), which is exactly what a reproduction wants to pin.
+#ifndef SRC_OBS_BENCHDIFF_H_
+#define SRC_OBS_BENCHDIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace innet::obs {
+
+// One metric in a bench's `series` section.
+struct BenchSeriesEntry {
+  std::string metric;
+  double value = 0;
+  std::string direction;  // "higher_is_better" or "lower_is_better"
+  double tolerance_pct = 0;
+  std::string unit;
+};
+
+// Builds the canonical JSON for one series entry (used by bench_util.h).
+json::Value BenchSeriesEntryJson(const BenchSeriesEntry& entry);
+
+// Extracts `results.series` from a bench doc ({"bench": ..., "results":
+// {..., "series": [...]}}). False + *error on malformed docs, unknown
+// directions, or duplicate metric names. *bench_name receives the doc's
+// bench field (may be null).
+bool ParseBenchSeries(const json::Value& doc, std::string* bench_name,
+                      std::vector<BenchSeriesEntry>* out, std::string* error);
+
+// One compared metric.
+struct BenchDiffEntry {
+  std::string metric;
+  std::string direction;
+  std::string unit;
+  double tolerance_pct = 0;
+  double baseline = 0;
+  double candidate = 0;
+  double change_pct = 0;       // (candidate - baseline) / max(|baseline|, eps)
+  std::string status;          // "ok" | "improved" | "regressed" | "missing" | "new"
+  bool regression = false;     // status is "regressed" or "missing"
+};
+
+struct BenchDiffReport {
+  std::string bench;
+  std::vector<BenchDiffEntry> entries;  // baseline order, then candidate-only
+  size_t regressions = 0;
+  bool ok() const { return regressions == 0; }
+
+  // {"bench", "regressions", "entries": [...]}.
+  json::Value ToJson() const;
+};
+
+// Diffs two bench docs. False + *error when either doc is malformed or the
+// bench names disagree (comparing placement_scaling against control_chaos is
+// a harness bug, not a perf result).
+bool DiffBenchJson(const json::Value& baseline, const json::Value& candidate,
+                   BenchDiffReport* report, std::string* error);
+
+}  // namespace innet::obs
+
+#endif  // SRC_OBS_BENCHDIFF_H_

@@ -49,15 +49,28 @@ void FlightRecorder::SnapshotPostmortem(PostmortemBundle bundle) {
   }
 }
 
+void FlightRecorder::NotePeriodicElements(const std::string& target,
+                                          std::vector<ElementCounterDelta> elements) {
+  if (elements.empty()) {
+    return;  // an empty capture would shadow nothing useful
+  }
+  periodic_elements_[target] = std::move(elements);
+}
+
 const std::vector<ElementCounterDelta>* FlightRecorder::LastElementsFor(
     const std::string& target) const {
   auto it = last_snapshot_.find(target);
-  if (it == last_snapshot_.end() || it->second < evicted_) {
-    return nullptr;  // never snapshotted, or the bundle aged out
+  if (it != last_snapshot_.end() && it->second >= evicted_) {
+    const std::vector<ElementCounterDelta>& elements =
+        postmortems_[static_cast<size_t>(it->second - evicted_)].elements;
+    if (!elements.empty()) {
+      return &elements;
+    }
   }
-  const std::vector<ElementCounterDelta>& elements =
-      postmortems_[static_cast<size_t>(it->second - evicted_)].elements;
-  return elements.empty() ? nullptr : &elements;
+  // No usable bundle (never snapshotted, aged out, or captured nothing):
+  // fall back to the last periodic capture from the platform sweep.
+  auto periodic = periodic_elements_.find(target);
+  return periodic == periodic_elements_.end() ? nullptr : &periodic->second;
 }
 
 void FlightRecorder::Clear() {
@@ -67,6 +80,7 @@ void FlightRecorder::Clear() {
   evicted_ = 0;
   postmortems_.clear();
   last_snapshot_.clear();
+  periodic_elements_.clear();
 }
 
 json::Value FlightRecorder::ToJson() const {

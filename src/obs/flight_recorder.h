@@ -95,8 +95,17 @@ class FlightRecorder {
 
   const std::deque<PostmortemBundle>& postmortems() const { return postmortems_; }
 
-  // Element deltas from the most recent snapshot for `target`; nullptr when
-  // that target never snapshotted.
+  // Periodic element-counter capture: the platform calls this from its
+  // regular sweep (watchdog cadence) for every live graph, so a later
+  // postmortem for a target whose graph is already torn down can fall back
+  // to the last periodic capture instead of reporting nothing. Overwrites
+  // the previous capture for the target — only the newest matters.
+  void NotePeriodicElements(const std::string& target, std::vector<ElementCounterDelta> elements);
+  size_t periodic_targets() const { return periodic_elements_.size(); }
+
+  // Element deltas from the most recent snapshot for `target`: a prior
+  // postmortem bundle if one survives, else the last periodic capture;
+  // nullptr when neither exists.
   const std::vector<ElementCounterDelta>* LastElementsFor(const std::string& target) const;
 
   uint64_t recorded() const { return recorded_; }
@@ -120,6 +129,8 @@ class FlightRecorder {
   uint64_t evicted_ = 0;  // bundles aged out of the front of postmortems_
   std::deque<PostmortemBundle> postmortems_;
   std::map<std::string, uint64_t> last_snapshot_;  // target -> absolute index
+  // target -> last periodic element capture (see NotePeriodicElements).
+  std::map<std::string, std::vector<ElementCounterDelta>> periodic_elements_;
 };
 
 }  // namespace innet::obs

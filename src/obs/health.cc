@@ -38,6 +38,7 @@ HealthMonitor::Tenant& HealthMonitor::Touch(const std::string& tenant) {
   t.buffered = registry_->GetCounter("innet_tenant_buffered_packets_total", labels);
   t.drops = registry_->GetCounter("innet_tenant_buffer_drops_total", labels);
   t.restarts = registry_->GetCounter("innet_tenant_restarts_total", labels);
+  t.anomalies = registry_->GetCounter("innet_tenant_anomalies_total", labels);
   t.state_gauge = registry_->GetGauge("innet_tenant_health_state", labels);
   return tenants_.emplace(tenant, std::move(t)).first->second;
 }
@@ -77,6 +78,13 @@ void HealthMonitor::CountRestart(const std::string& tenant) {
   Touch(tenant).restarts->Increment();
 }
 
+void HealthMonitor::CountAnomaly(const std::string& tenant) {
+  if (!enabled_ || tenant.empty()) {
+    return;
+  }
+  Touch(tenant).anomalies->Increment();
+}
+
 HealthState HealthMonitor::RawState(const Tenant& t) const {
   double boot_p99 = t.boot_ms->P99();
   double verify_p99 = t.verify_ms->P99();
@@ -84,12 +92,15 @@ HealthState HealthMonitor::RawState(const Tenant& t) const {
   double drop_rate =
       offered == 0 ? 0.0 : static_cast<double>(t.drops->value()) / static_cast<double>(offered);
   uint64_t restarts = t.restarts->value();
+  uint64_t anomalies = t.anomalies->value();
   if (boot_p99 > slo_.boot_p99_violated_ms || verify_p99 > slo_.verify_p99_violated_ms ||
-      drop_rate > slo_.drop_rate_violated || restarts >= slo_.restarts_violated) {
+      drop_rate > slo_.drop_rate_violated || restarts >= slo_.restarts_violated ||
+      anomalies >= slo_.anomalies_violated) {
     return HealthState::kViolated;
   }
   if (boot_p99 > slo_.boot_p99_degraded_ms || verify_p99 > slo_.verify_p99_degraded_ms ||
-      drop_rate > slo_.drop_rate_degraded || restarts >= slo_.restarts_degraded) {
+      drop_rate > slo_.drop_rate_degraded || restarts >= slo_.restarts_degraded ||
+      anomalies >= slo_.anomalies_degraded) {
     return HealthState::kDegraded;
   }
   return HealthState::kOk;
@@ -137,6 +148,7 @@ json::Value HealthMonitor::ToJson() const {
                                         : static_cast<double>(t.drops->value()) /
                                               static_cast<double>(offered));
     entry.Set("restarts", t.restarts->value());
+    entry.Set("anomalies", t.anomalies->value());
     list.Push(std::move(entry));
   }
   json::Value root = json::Value::Object();

@@ -49,6 +49,12 @@ struct SloSpec {
   double drop_rate_violated = 0.05;
   uint64_t restarts_degraded = 1;
   uint64_t restarts_violated = 3;
+  // Sustained-deviation flags from the AnomalyDetector (obs/timeseries.h).
+  // Anomalies are corroborating evidence, not raw SLO breaches, so the
+  // defaults are laxer than the restart clause: one flag degrades, a storm
+  // of them violates.
+  uint64_t anomalies_degraded = 1;
+  uint64_t anomalies_violated = 4;
   // Consecutive EvaluateAll() passes below the current state's threshold
   // before the state steps back down.
   int recover_evals = 3;
@@ -75,6 +81,10 @@ class HealthMonitor {
   void CountBuffered(const std::string& tenant, uint64_t packets = 1);
   void CountDrop(const std::string& tenant, uint64_t packets = 1);
   void CountRestart(const std::string& tenant);
+  // Fed by the AnomalyDetector when a sustained deviation is attributed to a
+  // tenant: anomaly pressure steers Rebalance()/watchdog priority like any
+  // other SLO clause.
+  void CountAnomaly(const std::string& tenant);
 
   // Re-evaluates every known tenant (in sorted order), applies hysteresis,
   // updates the innet_tenant_health_state gauge, and records a
@@ -110,6 +120,7 @@ class HealthMonitor {
     Counter* buffered = nullptr;
     Counter* drops = nullptr;
     Counter* restarts = nullptr;
+    Counter* anomalies = nullptr;
     Gauge* state_gauge = nullptr;
   };
 

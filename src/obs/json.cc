@@ -183,6 +183,47 @@ struct Parser {
     return false;
   }
 
+  bool ParseHex4(uint32_t* out) {
+    if (pos + 4 > text.size()) {
+      return Fail("truncated \\u escape");
+    }
+    *out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text[pos + static_cast<size_t>(i)];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad \\u escape");
+      }
+      *out = (*out << 4) | digit;
+    }
+    pos += 4;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   bool ParseString(std::string* out) {
     if (pos >= text.size() || text[pos] != '"') {
       return Fail("expected string");
@@ -209,18 +250,29 @@ struct Parser {
           case 'r': *out += '\r'; break;
           case 't': *out += '\t'; break;
           case 'u': {
-            if (pos + 4 > text.size()) {
-              return Fail("truncated \\u escape");
+            uint32_t code = 0;
+            if (!ParseHex4(&code)) {
+              return false;
             }
-            for (int i = 0; i < 4; ++i) {
-              if (std::isxdigit(static_cast<unsigned char>(text[pos + static_cast<size_t>(i)])) ==
-                  0) {
-                return Fail("bad \\u escape");
+            // Surrogate pair: a high surrogate must be followed by
+            // \uDC00-\uDFFF; combine them into one code point.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos + 1 >= text.size() || text[pos] != '\\' || text[pos + 1] != 'u') {
+                return Fail("unpaired high surrogate");
               }
+              pos += 2;
+              uint32_t low = 0;
+              if (!ParseHex4(&low)) {
+                return false;
+              }
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("bad low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Fail("unpaired low surrogate");
             }
-            // Decoded only as far as validation needs: keep the raw escape.
-            *out += "\\u" + text.substr(pos, 4);
-            pos += 4;
+            AppendUtf8(out, code);
             break;
           }
           default:

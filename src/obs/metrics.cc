@@ -110,7 +110,10 @@ std::string LabelText(const Labels& labels) {
     if (i > 0) {
       out += ',';
     }
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    // Label values are arbitrary tenant-controlled strings; the Prometheus
+    // text convention escapes backslash, quote, and newline so one hostile
+    // value cannot smuggle a fake label or break line-oriented parsers.
+    out += labels[i].first + "=\"" + json::Escape(labels[i].second) + "\"";
   }
   out += '}';
   return out;
@@ -186,6 +189,15 @@ void MetricsRegistry::ResetValues() {
                   0u);
         break;
     }
+  }
+}
+
+void MetricsRegistry::VisitInstruments(const InstrumentVisitor& visit) const {
+  for (const auto& [key, instrument] : instruments_) {
+    visit(instrument.name, instrument.labels,
+          instrument.kind == Kind::kCounter ? instrument.counter.get() : nullptr,
+          instrument.kind == Kind::kGauge ? instrument.gauge.get() : nullptr,
+          instrument.kind == Kind::kHistogram ? instrument.histogram.get() : nullptr);
   }
 }
 

@@ -16,6 +16,7 @@
 #define SRC_OBS_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -117,6 +118,15 @@ class MetricsRegistry {
   // Zeroes every instrument's value; instruments (and cached pointers to
   // them) survive. Benches call this between scenarios.
   void ResetValues();
+
+  // Read-only walk over every instrument in dump order (name, then canonical
+  // labels). Exactly one of counter/gauge/histogram is non-null per call.
+  // This is how the time-series sampler scrapes the registry without the
+  // registry knowing about windows or rings.
+  using InstrumentVisitor =
+      std::function<void(const std::string& name, const Labels& labels, const Counter* counter,
+                         const Gauge* gauge, const Histogram* histogram)>;
+  void VisitInstruments(const InstrumentVisitor& visit) const;
 
   // Distinct metric names, sorted (label variants collapse to one entry).
   std::vector<std::string> MetricNames() const;

@@ -45,6 +45,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kControlHeal: return "control_heal";
     case EventKind::kJournalTransition: return "journal_transition";
     case EventKind::kRecoveryReplay: return "recovery_replay";
+    case EventKind::kAnomaly: return "anomaly";
     case EventKind::kSpanEnd: return "span_end";
   }
   return "unknown";

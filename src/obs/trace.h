@@ -68,6 +68,7 @@ enum class EventKind {
   kControlHeal,
   kJournalTransition,
   kRecoveryReplay,
+  kAnomaly,
   kSpanEnd,
 };
 

@@ -601,13 +601,15 @@ void InNetPlatform::TakePostmortem(obs::EventKind trigger, Vm::VmId vm_id,
         delta.proc_ns = element->proc_ns();
         bundle.elements.push_back(std::move(delta));
       }
-    } else {
-      // The graph is already gone (watchdog give-up long after the crash):
-      // fall back to the counters captured when this guest last snapshotted.
-      const std::vector<obs::ElementCounterDelta>* last = flight_.LastElementsFor(target);
-      if (last != nullptr) {
-        bundle.elements = *last;
-      }
+    }
+  }
+  if (bundle.elements.empty()) {
+    // The graph is already gone (watchdog give-up long after the crash, or
+    // the whole VM record was torn down): fall back to the counters from the
+    // guest's last bundle, or failing that the last periodic sweep capture.
+    const std::vector<obs::ElementCounterDelta>* last = flight_.LastElementsFor(target);
+    if (last != nullptr) {
+      bundle.elements = *last;
     }
   }
   if (obs::Health().enabled()) {
@@ -618,6 +620,27 @@ void InNetPlatform::TakePostmortem(obs::EventKind trigger, Vm::VmId vm_id,
                          bundle.span);
   }
   flight_.SnapshotPostmortem(std::move(bundle));
+}
+
+void InNetPlatform::SnapshotElementCounters() {
+  for (Vm::VmId id : vms_.AllIds()) {
+    Vm* vm = vms_.Find(id);
+    if (vm == nullptr || vm->graph() == nullptr) {
+      continue;
+    }
+    std::vector<obs::ElementCounterDelta> elements;
+    for (const auto& element : vm->graph()->elements()) {
+      obs::ElementCounterDelta delta;
+      delta.element = element->name();
+      delta.element_class = std::string(element->class_name());
+      delta.packets = element->packets();
+      delta.bytes = element->bytes();
+      delta.drops = element->drops();
+      delta.proc_ns = element->proc_ns();
+      elements.push_back(std::move(delta));
+    }
+    flight_.NotePeriodicElements("vm:" + std::to_string(id), std::move(elements));
+  }
 }
 
 }  // namespace innet::platform

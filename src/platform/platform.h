@@ -237,6 +237,13 @@ class InNetPlatform {
   // watchdog give-up and migration aborts call it explicitly.
   void TakePostmortem(obs::EventKind trigger, Vm::VmId vm_id, const std::string& detail);
 
+  // Captures every live graph's per-element counters into the flight
+  // recorder's periodic store (FlightRecorder::NotePeriodicElements). The
+  // watchdog calls this each sweep, so a postmortem taken after a guest's
+  // graph is destroyed — even one that never snapshotted a bundle before —
+  // can still report counters from the last sweep instead of nothing.
+  void SnapshotElementCounters();
+
  private:
   struct OnDemandEntry {
     std::string config_text;

@@ -65,6 +65,10 @@ void Watchdog::Sweep() {
   if (!running_) {
     return;
   }
+  // Capture every live graph's element counters first, so a postmortem taken
+  // later this sweep (or any time after a graph is torn down) can fall back
+  // to counters at most one sweep interval stale.
+  platform_->SnapshotElementCounters();
   // Recover the least-healthy tenants' guests first: crashed ids come back
   // ascending, then a stable sort moves higher health severity (violated >
   // degraded > ok/unattributed) to the front — deterministic either way.

@@ -1,0 +1,150 @@
+// Tests for the direction-aware bench diffing library behind
+// tools/innet_benchdiff and the CI perf-regression gate.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/benchdiff.h"
+#include "src/obs/json.h"
+
+namespace innet::obs {
+namespace {
+
+json::Value MakeDoc(const std::string& bench, std::vector<BenchSeriesEntry> series) {
+  json::Value arr = json::Value::Array();
+  for (const BenchSeriesEntry& entry : series) {
+    arr.Push(BenchSeriesEntryJson(entry));
+  }
+  json::Value results = json::Value::Object();
+  results.Set("series", std::move(arr));
+  json::Value doc = json::Value::Object();
+  doc.Set("bench", bench);
+  doc.Set("results", std::move(results));
+  return doc;
+}
+
+BenchSeriesEntry Higher(const std::string& m, double v, double tol) {
+  return {m, v, "higher_is_better", tol, "x"};
+}
+BenchSeriesEntry Lower(const std::string& m, double v, double tol) {
+  return {m, v, "lower_is_better", tol, "x"};
+}
+
+TEST(BenchDiff, SeriesRoundTripsThroughJson) {
+  json::Value doc = MakeDoc("demo", {Higher("rate", 100.0, 5.0), Lower("lat", 2.5, 10.0)});
+  std::string bench;
+  std::vector<BenchSeriesEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBenchSeries(doc, &bench, &parsed, &error)) << error;
+  EXPECT_EQ(bench, "demo");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].metric, "rate");
+  EXPECT_DOUBLE_EQ(parsed[0].value, 100.0);
+  EXPECT_EQ(parsed[0].direction, "higher_is_better");
+  EXPECT_DOUBLE_EQ(parsed[1].tolerance_pct, 10.0);
+  EXPECT_EQ(parsed[1].unit, "x");
+}
+
+TEST(BenchDiff, RejectsMalformedDocs) {
+  std::string bench;
+  std::vector<BenchSeriesEntry> parsed;
+  std::string error;
+  EXPECT_FALSE(ParseBenchSeries(json::Value::Object(), &bench, &parsed, &error));
+  EXPECT_FALSE(ParseBenchSeries(json::Value("text"), &bench, &parsed, &error));
+
+  // Unknown direction.
+  json::Value doc = MakeDoc("demo", {{"m", 1.0, "sideways_is_better", 0.0, ""}});
+  EXPECT_FALSE(ParseBenchSeries(doc, &bench, &parsed, &error));
+  EXPECT_NE(error.find("sideways_is_better"), std::string::npos);
+
+  // Duplicate metric names.
+  doc = MakeDoc("demo", {Lower("m", 1.0, 0.0), Lower("m", 2.0, 0.0)});
+  EXPECT_FALSE(ParseBenchSeries(doc, &bench, &parsed, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(BenchDiff, IdenticalDumpsHaveNoRegressions) {
+  json::Value doc = MakeDoc("demo", {Higher("rate", 100.0, 0.0), Lower("lat", 2.5, 0.0)});
+  BenchDiffReport report;
+  std::string error;
+  ASSERT_TRUE(DiffBenchJson(doc, doc, &report, &error)) << error;
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0].status, "ok");
+  EXPECT_EQ(report.entries[1].status, "ok");
+}
+
+TEST(BenchDiff, DirectionDecidesWhichWayRegresses) {
+  json::Value base = MakeDoc("demo", {Higher("rate", 100.0, 5.0), Lower("lat", 10.0, 5.0)});
+  // Both metrics move UP 20%: rate improves, latency regresses.
+  json::Value cand = MakeDoc("demo", {Higher("rate", 120.0, 5.0), Lower("lat", 12.0, 5.0)});
+  BenchDiffReport report;
+  std::string error;
+  ASSERT_TRUE(DiffBenchJson(base, cand, &report, &error)) << error;
+  EXPECT_EQ(report.entries[0].status, "improved");
+  EXPECT_EQ(report.entries[1].status, "regressed");
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NEAR(report.entries[1].change_pct, 20.0, 1e-9);
+}
+
+TEST(BenchDiff, ToleranceComesFromTheBaseline) {
+  json::Value base = MakeDoc("demo", {Lower("lat", 10.0, 5.0)});
+  // Candidate claims a huge tolerance; the baseline's 5% gate must win.
+  json::Value cand = MakeDoc("demo", {Lower("lat", 12.0, 90.0)});
+  BenchDiffReport report;
+  std::string error;
+  ASSERT_TRUE(DiffBenchJson(base, cand, &report, &error)) << error;
+  EXPECT_EQ(report.entries[0].status, "regressed");
+  EXPECT_DOUBLE_EQ(report.entries[0].tolerance_pct, 5.0);
+}
+
+TEST(BenchDiff, ZeroBaselineCounterFlagsAnyAppearance) {
+  json::Value base = MakeDoc("demo", {Lower("giveups", 0.0, 10.0)});
+  json::Value cand = MakeDoc("demo", {Lower("giveups", 1.0, 10.0)});
+  BenchDiffReport report;
+  std::string error;
+  ASSERT_TRUE(DiffBenchJson(base, cand, &report, &error)) << error;
+  EXPECT_EQ(report.entries[0].status, "regressed");
+}
+
+TEST(BenchDiff, MissingMetricRegressesNewMetricDoesNot) {
+  json::Value base = MakeDoc("demo", {Lower("a", 1.0, 0.0), Lower("b", 2.0, 0.0)});
+  json::Value cand = MakeDoc("demo", {Lower("a", 1.0, 0.0), Lower("c", 3.0, 0.0)});
+  BenchDiffReport report;
+  std::string error;
+  ASSERT_TRUE(DiffBenchJson(base, cand, &report, &error)) << error;
+  ASSERT_EQ(report.entries.size(), 3u);
+  EXPECT_EQ(report.entries[1].metric, "b");
+  EXPECT_EQ(report.entries[1].status, "missing");
+  EXPECT_EQ(report.entries[2].metric, "c");
+  EXPECT_EQ(report.entries[2].status, "new");
+  EXPECT_EQ(report.regressions, 1u);
+}
+
+TEST(BenchDiff, BenchNameMismatchIsAnError) {
+  json::Value base = MakeDoc("alpha", {Lower("a", 1.0, 0.0)});
+  json::Value cand = MakeDoc("beta", {Lower("a", 1.0, 0.0)});
+  BenchDiffReport report;
+  std::string error;
+  EXPECT_FALSE(DiffBenchJson(base, cand, &report, &error));
+  EXPECT_NE(error.find("mismatch"), std::string::npos);
+}
+
+TEST(BenchDiff, ReportJsonCarriesTheVerdict) {
+  json::Value base = MakeDoc("demo", {Lower("lat", 10.0, 5.0)});
+  json::Value cand = MakeDoc("demo", {Lower("lat", 20.0, 5.0)});
+  BenchDiffReport report;
+  std::string error;
+  ASSERT_TRUE(DiffBenchJson(base, cand, &report, &error)) << error;
+  json::Value out = report.ToJson();
+  EXPECT_EQ(out.Find("bench")->string_value(), "demo");
+  EXPECT_EQ(out.Find("regressions")->int_number(), 1);
+  const json::Value* entries = out.Find("entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->at(0).Find("status")->string_value(), "regressed");
+}
+
+}  // namespace
+}  // namespace innet::obs

@@ -350,6 +350,76 @@ TEST(FlightRecorder, WatchdogGiveUpReusesLastSnapshotAfterGraphIsGone) {
   EXPECT_EQ(give_up.events.back().kind, obs::EventKind::kWatchdogGiveUp);
 }
 
+TEST(FlightRecorder, PeriodicCaptureBackfillsTargetsWithoutBundles) {
+  obs::FlightRecorder recorder;
+  EXPECT_EQ(recorder.LastElementsFor("vm:7"), nullptr);
+
+  // An empty capture is ignored — it would shadow nothing useful.
+  recorder.NotePeriodicElements("vm:7", {});
+  EXPECT_EQ(recorder.LastElementsFor("vm:7"), nullptr);
+
+  obs::ElementCounterDelta delta;
+  delta.element = "IPFilter@1";
+  delta.element_class = "IPFilter";
+  delta.packets = 5;
+  recorder.NotePeriodicElements("vm:7", {delta});
+  const std::vector<obs::ElementCounterDelta>* periodic = recorder.LastElementsFor("vm:7");
+  ASSERT_NE(periodic, nullptr);
+  EXPECT_EQ(periodic->at(0).packets, 5u);
+
+  // A bundle that actually captured elements takes precedence over the
+  // periodic store; a newer capture replaces the old one for other targets.
+  obs::PostmortemBundle bundle;
+  bundle.target = "vm:7";
+  delta.packets = 9;
+  bundle.elements.push_back(delta);
+  recorder.SnapshotPostmortem(std::move(bundle));
+  ASSERT_NE(recorder.LastElementsFor("vm:7"), nullptr);
+  EXPECT_EQ(recorder.LastElementsFor("vm:7")->at(0).packets, 9u);
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.LastElementsFor("vm:7"), nullptr);
+}
+
+// The regression this guards: a postmortem taken after the graph is torn down
+// AND after the guest's crash bundle was evicted (crash storm) used to report
+// zero elements. The watchdog sweep now captures every live graph's counters
+// periodically, and TakePostmortem falls back to that capture.
+TEST(FlightRecorder, PostmortemAfterTeardownServesPeriodicSweepCounters) {
+  sim::EventQueue clock;
+  InNetPlatform box(&clock);
+  WatchdogConfig config;
+  box.EnableWatchdog(config);  // sweeps every 25ms -> periodic captures
+  std::string error;
+  Vm::VmId id = box.Install(Ipv4Address::MustParse("172.16.3.10"), kChainConfig, &error);
+  ASSERT_NE(id, 0u) << error;
+  box.SetVmOwner(id, "172.16.3.10");
+  clock.RunUntil(sim::FromSeconds(1));
+  for (int i = 0; i < 3; ++i) {
+    Packet p = Udp("9.9.9.9", "172.16.3.10");
+    box.HandlePacket(p);
+  }
+  // Let at least one watchdog sweep observe the post-traffic counters.
+  clock.RunUntil(sim::FromSeconds(2));
+
+  // Keep exactly one bundle so the crash storm below evicts this guest's
+  // crash-time snapshot, as a real storm would.
+  box.flight_recorder().set_max_postmortems(1);
+  ASSERT_TRUE(box.vms().Crash(id));  // graph torn down after the crash bundle
+  box.TakePostmortem(obs::EventKind::kVmCrash, 999, "unrelated guest in the storm");
+  ASSERT_EQ(box.flight_recorder().postmortems().size(), 1u);
+  ASSERT_EQ(box.flight_recorder().postmortems().front().target, "vm:999")
+      << "precondition: the crash bundle must be evicted for this test to bite";
+
+  box.TakePostmortem(obs::EventKind::kWatchdogGiveUp, id, "gave up after storm");
+  const obs::PostmortemBundle& give_up = box.flight_recorder().postmortems().back();
+  EXPECT_EQ(give_up.trigger, obs::EventKind::kWatchdogGiveUp);
+  ASSERT_EQ(give_up.elements.size(), 4u)
+      << "give-up bundle must serve counters from the last periodic sweep, not empty";
+  EXPECT_EQ(give_up.elements[1].element_class, "IPFilter");
+  EXPECT_EQ(give_up.elements[1].packets, 3u);
+}
+
 TEST(FlightRecorder, JsonRoundTripCarriesBundles) {
   obs::FlightRecorder recorder;
   recorder.Record(5, obs::EventKind::kPacketIngress, "vm:1", "", 64);

@@ -2,10 +2,14 @@
 // bucketing, tracer bounds, JSON round-trips, and the sim::Samples cache.
 #include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/controller/orchestrator.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/health.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -538,6 +542,106 @@ TEST(Samples, PercentilesSurviveInterleavedAdds) {
   EXPECT_DOUBLE_EQ(samples.Max(), 50.0);
   EXPECT_DOUBLE_EQ(samples.Min(), 10.0);
   EXPECT_DOUBLE_EQ(samples.Percentile(50), 30.0);
+}
+
+// Tenant names come from config files and the control channel, so every dump
+// that embeds one must escape it: a name with a quote in it that reaches a
+// dump unescaped silently corrupts the whole JSON document. Round-trip the
+// metrics, trace, health, and flight-recorder dumps through the parser with
+// a battery of hostile names (hand-picked plus LCG-generated from a hostile
+// alphabet) and check each name survives byte-for-byte.
+TEST(Json, HostileTenantNamesSurviveEveryDump) {
+  std::vector<std::string> names = {
+      "quote\"inside",
+      "back\\slash",
+      "new\nline",
+      "tab\there",
+      "ctrl\x01\x02\x1f",
+      "braces{}and[]",
+      "comma,colon:",
+      "\"\\\"",  // quote backslash quote
+      "trailing backslash\\",
+  };
+  // Deterministic "fuzz" tail: 16 names drawn from an alphabet that is all
+  // sharp edges (LCG, fixed seed — no wall-clock randomness in tests).
+  const std::string alphabet = "\"\\\n\t\x01\x1f{}[]:,/abc ";
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "t";
+    for (int j = 0; j < 8; ++j) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      name += alphabet[(state >> 33) % alphabet.size()];
+    }
+    names.push_back(std::move(name));
+  }
+
+  for (const std::string& name : names) {
+    // Metrics: the name lands in a label value (and the sorted label text).
+    MetricsRegistry registry;
+    registry.GetCounter("innet_fuzz_drops_total", {{"tenant", name}})->Increment();
+    // Trace: target and detail both carry it.
+    EventTracer tracer;
+    tracer.Enable();
+    tracer.Record(1, EventKind::kVmCrash, name, name);
+    // Health: tenant key in the per-tenant table.
+    HealthMonitor health(&registry);
+    health.Enable();
+    health.CountDrop(name);
+    health.EvaluateAll();
+    // Flight recorder: bundle tenant/target/detail and element names.
+    FlightRecorder flight;
+    flight.Record(2, EventKind::kVmCrash, name, name);
+    PostmortemBundle bundle;
+    bundle.target = name;
+    bundle.tenant = name;
+    bundle.detail = name;
+    ElementCounterDelta delta;
+    delta.element = name;
+    delta.element_class = name;
+    bundle.elements.push_back(std::move(delta));
+    flight.SnapshotPostmortem(std::move(bundle));
+
+    struct Dump {
+      const char* which;
+      json::Value doc;
+    };
+    Dump dumps[] = {{"metrics", registry.ToJson()},
+                    {"trace", tracer.ToJson()},
+                    {"health", health.ToJson()},
+                    {"flight", flight.ToJson()}};
+    for (Dump& dump : dumps) {
+      std::string text = dump.doc.ToString(2);
+      json::Value parsed;
+      std::string error;
+      ASSERT_TRUE(json::Value::Parse(text, &parsed, &error))
+          << dump.which << " dump corrupted by name "
+          << json::Escape(name) << ": " << error;
+      // Byte-stable too: serializing the parse reproduces the dump.
+      EXPECT_EQ(parsed.ToString(2), text) << dump.which;
+    }
+    // The name itself round-trips exactly where it matters most.
+    json::Value parsed;
+    std::string error;
+    ASSERT_TRUE(json::Value::Parse(health.ToJson().ToString(2), &parsed, &error)) << error;
+    ASSERT_EQ(parsed.Find("tenants")->size(), 1u);
+    EXPECT_EQ(parsed.Find("tenants")->at(0).Find("tenant")->string_value(), name);
+    json::Value metrics_parsed;
+    ASSERT_TRUE(
+        json::Value::Parse(registry.ToJson().ToString(2), &metrics_parsed, &error)) << error;
+    bool found = false;
+    const json::Value* metrics = metrics_parsed.Find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    for (size_t i = 0; i < metrics->size(); ++i) {
+      const json::Value* labels = metrics->at(i).Find("labels");
+      if (labels == nullptr || labels->Find("tenant") == nullptr) {
+        continue;
+      }
+      if (labels->Find("tenant")->string_value() == name) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "tenant label lost from metrics dump: " << json::Escape(name);
+  }
 }
 
 TEST(Samples, ToHistogramReplaysEveryValue) {

@@ -1,0 +1,329 @@
+// Tests for the time-series sampler (windowed counter rates, gauge samples,
+// histogram delta quantiles, bounded rings) and the EWMA anomaly detector
+// (warmup, sustain, baseline freeze, health/trace integration).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/health.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+#include "src/obs/trace.h"
+
+namespace innet::obs {
+namespace {
+
+constexpr uint64_t kWindow = 100'000'000;  // 100 ms
+
+TEST(TimeSeries, CounterBecomesPerWindowRate) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  Counter* c = registry.GetCounter("innet_demo_total");
+
+  c->Increment(10);
+  sampler.SampleWindow(kWindow);
+  c->Increment(30);
+  sampler.SampleWindow(2 * kWindow);
+
+  const Series* series = sampler.FindSeries("innet_demo_total");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->kind(), SeriesKind::kCounterRate);
+  std::vector<SeriesPoint> points = series->Points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t_ns, kWindow);
+  EXPECT_EQ(points[0].count, 10u);          // first window delta
+  EXPECT_DOUBLE_EQ(points[0].value, 100.0); // 10 / 0.1 s
+  EXPECT_EQ(points[1].count, 30u);          // delta, not cumulative
+  EXPECT_DOUBLE_EQ(points[1].value, 300.0);
+}
+
+TEST(TimeSeries, CounterResetIsTreatedAsRestartNotNegativeDelta) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  Counter* c = registry.GetCounter("innet_demo_total");
+
+  c->Increment(50);
+  sampler.SampleWindow(kWindow);
+  registry.ResetValues();  // bench-style between-scenario reset
+  c->Increment(5);
+  sampler.SampleWindow(2 * kWindow);
+
+  const Series* series = sampler.FindSeries("innet_demo_total");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->Points()[1].count, 5u);  // counted from zero, no wrap
+}
+
+TEST(TimeSeries, GaugeSamplesTheWindowEdgeValue) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  Gauge* g = registry.GetGauge("innet_demo_inflight");
+
+  g->Set(3);
+  sampler.SampleWindow(kWindow);
+  g->Set(7);
+  sampler.SampleWindow(2 * kWindow);
+
+  const Series* series = sampler.FindSeries("innet_demo_inflight");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->kind(), SeriesKind::kGauge);
+  EXPECT_DOUBLE_EQ(series->Points()[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(series->Last().value, 7.0);
+}
+
+TEST(TimeSeries, HistogramQuantilesComeFromWindowDeltasOnly) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  Histogram* h =
+      registry.GetHistogram("innet_demo_latency_ms", {}, ExponentialBuckets(1.0, 2.0, 10));
+
+  // Window 1: all fast observations.
+  for (int i = 0; i < 100; ++i) {
+    h->Observe(1.5);
+  }
+  sampler.SampleWindow(kWindow);
+  // Window 2: all slow. The run-to-date aggregate p50 would still be fast;
+  // the window p50 must see only the new observations.
+  for (int i = 0; i < 100; ++i) {
+    h->Observe(100.0);
+  }
+  sampler.SampleWindow(2 * kWindow);
+
+  const Series* series = sampler.FindSeries("innet_demo_latency_ms");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->kind(), SeriesKind::kHistogramWindow);
+  std::vector<SeriesPoint> points = series->Points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].count, 100u);
+  EXPECT_LT(points[0].p50, 4.0);
+  EXPECT_EQ(points[1].count, 100u);
+  EXPECT_GT(points[1].p50, 50.0);  // the aggregate would answer ~2 ms here
+}
+
+TEST(TimeSeries, RingEvictsOldestAndCountsEvictions) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  sampler.set_ring_capacity(4);
+  Counter* c = registry.GetCounter("innet_demo_total");
+
+  for (uint64_t w = 1; w <= 10; ++w) {
+    c->Increment(w);
+    sampler.SampleWindow(w * kWindow);
+  }
+
+  const Series* series = sampler.FindSeries("innet_demo_total");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->total_points(), 10u);
+  EXPECT_EQ(series->evicted_points(), 6u);
+  std::vector<SeriesPoint> points = series->Points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points.front().t_ns, 7 * kWindow);  // oldest surviving window
+  EXPECT_EQ(points.back().t_ns, 10 * kWindow);
+  EXPECT_EQ(points.back().count, 10u);
+}
+
+TEST(TimeSeries, NonAdvancingSampleIsIgnored) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  registry.GetCounter("innet_demo_total")->Increment();
+
+  sampler.SampleWindow(kWindow);
+  sampler.SampleWindow(kWindow);  // same instant: a window cannot end twice
+  sampler.SampleWindow(kWindow - 1);
+
+  EXPECT_EQ(sampler.windows_sampled(), 1u);
+  EXPECT_EQ(sampler.FindSeries("innet_demo_total")->size(), 1u);
+}
+
+TEST(TimeSeries, LabeledVariantsGetIndependentSeries) {
+  MetricsRegistry registry;
+  TimeSeriesSampler sampler(&registry);
+  registry.GetCounter("innet_demo_total", {{"tenant", "a"}})->Increment(2);
+  registry.GetCounter("innet_demo_total", {{"tenant", "b"}})->Increment(9);
+  sampler.SampleWindow(kWindow);
+
+  const Series* a = sampler.FindSeries("innet_demo_total", {{"tenant", "a"}});
+  const Series* b = sampler.FindSeries("innet_demo_total", {{"tenant", "b"}});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->Last().count, 2u);
+  EXPECT_EQ(b->Last().count, 9u);
+  EXPECT_EQ(sampler.FindSeries("innet_demo_total", {{"tenant", "c"}}), nullptr);
+}
+
+TEST(TimeSeries, DumpIsDeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    MetricsRegistry registry;
+    TimeSeriesSampler sampler(&registry);
+    Counter* c = registry.GetCounter("innet_demo_total", {{"tenant", "t1"}});
+    Gauge* g = registry.GetGauge("innet_demo_inflight");
+    for (uint64_t w = 1; w <= 20; ++w) {
+      c->Increment(w % 5);
+      g->Set(static_cast<double>(w % 3));
+      sampler.SampleWindow(w * kWindow);
+    }
+    return sampler.ToJson().ToString(2);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- AnomalyDetector --------------------------------------------------------
+
+// One rule watching one metric; helper drives N quiet windows then a spike.
+struct DetectorHarness {
+  MetricsRegistry registry;
+  EventTracer tracer;
+  HealthMonitor health{&registry};
+  AnomalyDetector detector{&tracer, &health, &registry};
+  TimeSeriesSampler sampler{&registry};
+  Counter* counter = nullptr;
+  uint64_t window = 0;
+
+  explicit DetectorHarness(AnomalyRule rule, Labels labels = {{"tenant", "t1"}}) {
+    tracer.Enable();
+    health.Enable();
+    detector.AddRule(std::move(rule));
+    sampler.AttachDetector(&detector);
+    counter = registry.GetCounter("innet_demo_total", labels);
+  }
+
+  void Window(uint64_t delta) {
+    counter->Increment(delta);
+    window += 1;
+    sampler.SampleWindow(window * kWindow);
+  }
+};
+
+AnomalyRule DemoRule() {
+  AnomalyRule rule;
+  rule.signal = "drop_rate_spike";
+  rule.metric = "innet_demo_total";
+  rule.tenant_label = "tenant";
+  rule.factor = 3.0;
+  rule.min_delta = 1.0;
+  rule.sustain_windows = 2;
+  rule.warmup_windows = 3;
+  return rule;
+}
+
+TEST(Anomaly, SustainedSpikeFlagsOncePerEpisode) {
+  DetectorHarness h(DemoRule());
+  for (int i = 0; i < 5; ++i) {
+    h.Window(10);  // steady baseline ~100/s
+  }
+  EXPECT_TRUE(h.detector.flags().empty());
+
+  h.Window(100);  // deviant window 1: not yet sustained
+  EXPECT_TRUE(h.detector.flags().empty());
+  h.Window(100);  // deviant window 2: flag
+  ASSERT_EQ(h.detector.flags().size(), 1u);
+  h.Window(100);  // still deviant: same episode, no second flag
+  EXPECT_EQ(h.detector.flags().size(), 1u);
+
+  const AnomalyDetector::Flag& flag = h.detector.flags()[0];
+  EXPECT_EQ(flag.signal, "drop_rate_spike");
+  EXPECT_EQ(flag.metric, "innet_demo_total");
+  EXPECT_EQ(flag.tenant, "t1");
+  EXPECT_EQ(flag.target, "tenant:t1");
+  EXPECT_GT(flag.value, flag.baseline * 3.0);
+}
+
+TEST(Anomaly, WarmupWindowsNeverFlag) {
+  AnomalyRule rule = DemoRule();
+  rule.warmup_windows = 10;
+  DetectorHarness h(rule);
+  for (int i = 0; i < 9; ++i) {
+    h.Window(i == 0 ? 1 : 500);  // wild swings, all inside warmup
+  }
+  EXPECT_TRUE(h.detector.flags().empty());
+}
+
+TEST(Anomaly, BaselineFreezesDuringDeviationAndRecoversAfter) {
+  DetectorHarness h(DemoRule());
+  for (int i = 0; i < 5; ++i) {
+    h.Window(10);
+  }
+  // A long storm: if the EWMA kept absorbing these, the storm would become
+  // the new normal and a second storm would pass unflagged.
+  for (int i = 0; i < 10; ++i) {
+    h.Window(100);
+  }
+  ASSERT_EQ(h.detector.flags().size(), 1u);
+
+  // Recovery re-arms the episode; the next sustained storm flags again.
+  for (int i = 0; i < 5; ++i) {
+    h.Window(10);
+  }
+  h.Window(100);
+  h.Window(100);
+  EXPECT_EQ(h.detector.flags().size(), 2u);
+}
+
+TEST(Anomaly, FlagRecordsTraceEventMetricAndHealthAnomaly) {
+  DetectorHarness h(DemoRule());
+  for (int i = 0; i < 5; ++i) {
+    h.Window(10);
+  }
+  h.Window(100);
+  h.Window(100);
+  ASSERT_EQ(h.detector.flags().size(), 1u);
+
+  // Trace: one `anomaly` event targeted at the tenant.
+  bool traced = false;
+  for (const TraceEvent& event : h.tracer.events()) {
+    if (event.kind == EventKind::kAnomaly) {
+      traced = true;
+      EXPECT_EQ(event.target, "tenant:t1");
+      EXPECT_EQ(event.detail, "drop_rate_spike");
+    }
+  }
+  EXPECT_TRUE(traced);
+
+  // Metric: the flag counter carries the signal label.
+  EXPECT_EQ(
+      h.registry.GetCounter("innet_anomaly_flags_total", {{"signal", "drop_rate_spike"}})->value(),
+      1u);
+
+  // Health: one anomaly degrades the tenant (anomalies_degraded defaults 1).
+  h.health.EvaluateAll();
+  EXPECT_EQ(h.health.CurrentState("t1"), HealthState::kDegraded);
+}
+
+TEST(Anomaly, FleetRuleWithoutTenantLabelDoesNotTouchHealth) {
+  AnomalyRule rule = DemoRule();
+  rule.tenant_label = "";
+  DetectorHarness h(rule, /*labels=*/{});
+  for (int i = 0; i < 5; ++i) {
+    h.Window(10);
+  }
+  h.Window(100);
+  h.Window(100);
+  ASSERT_EQ(h.detector.flags().size(), 1u);
+  EXPECT_EQ(h.detector.flags()[0].target, "metric:innet_demo_total");
+  EXPECT_TRUE(h.detector.flags()[0].tenant.empty());
+  EXPECT_EQ(h.health.tenant_count(), 0u);
+}
+
+TEST(Anomaly, DefaultRulesCoverTheAdvertisedSignals) {
+  AnomalyDetector detector;
+  detector.UseDefaultRules();
+  EXPECT_GE(detector.rule_count(), 5u);
+}
+
+TEST(Anomaly, FlagsAppearInTheSamplerDump) {
+  DetectorHarness h(DemoRule());
+  for (int i = 0; i < 5; ++i) {
+    h.Window(10);
+  }
+  h.Window(100);
+  h.Window(100);
+  json::Value dump = h.sampler.ToJson();
+  const json::Value* anomalies = dump.Find("anomalies");
+  ASSERT_NE(anomalies, nullptr);
+  ASSERT_EQ(anomalies->size(), 1u);
+  EXPECT_EQ(anomalies->at(0).Find("signal")->string_value(), "drop_rate_spike");
+  EXPECT_EQ(anomalies->at(0).Find("target")->string_value(), "tenant:t1");
+}
+
+}  // namespace
+}  // namespace innet::obs

@@ -1,0 +1,206 @@
+// innet_benchdiff: compare two bench telemetry snapshots under per-metric
+// direction-aware tolerance rules — the perf-regression gate for CI.
+//
+// Usage:
+//   innet_benchdiff BASELINE.json CANDIDATE.json [--json]
+//   innet_benchdiff --self-test
+//
+// Both files are BENCH_*.json dumps whose results carry a `series` section
+// (see src/obs/benchdiff.h for the format). Each metric declares its own
+// direction (higher_is_better / lower_is_better) and tolerance; the rules are
+// read from the BASELINE so a candidate cannot loosen its own gate. A metric
+// missing from the candidate is a regression; a metric new in the candidate
+// is reported but never fails.
+//
+// Exit codes: 0 = no regressions, 1 = at least one regression, 2 = bad
+// usage / unreadable or malformed input. --json prints the full report as
+// JSON instead of the table (the exit code is the contract either way).
+//
+// --self-test runs the built-in scenario suite (identical dumps pass, an
+// injected slowdown fails, improvements pass, a dropped metric fails) and
+// exits 0 only if every scenario behaves; CI runs it before trusting the
+// gate.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/benchdiff.h"
+#include "src/obs/json.h"
+
+namespace {
+
+using innet::obs::BenchDiffEntry;
+using innet::obs::BenchDiffReport;
+using innet::obs::BenchSeriesEntry;
+using innet::obs::BenchSeriesEntryJson;
+using innet::obs::DiffBenchJson;
+namespace json = innet::obs::json;
+
+bool LoadJson(const std::string& path, json::Value* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return json::Value::Parse(buf.str(), out, error);
+}
+
+void PrintReport(const BenchDiffReport& report) {
+  std::printf("bench: %s\n", report.bench.c_str());
+  std::printf("%-28s %-10s %14s %14s %9s %7s  %s\n", "metric", "status", "baseline",
+              "candidate", "change%", "tol%", "direction");
+  std::printf("--------------------------------------------------------------------------------"
+              "-------------\n");
+  for (const BenchDiffEntry& entry : report.entries) {
+    std::printf("%-28s %-10s %14.6g %14.6g %+9.2f %7.2g  %s\n", entry.metric.c_str(),
+                entry.status.c_str(), entry.baseline, entry.candidate, entry.change_pct,
+                entry.tolerance_pct, entry.direction.c_str());
+  }
+  std::printf("%zu regression%s\n", report.regressions, report.regressions == 1 ? "" : "s");
+}
+
+// --- self-test --------------------------------------------------------------
+
+json::Value MakeDoc(const std::string& bench, std::vector<BenchSeriesEntry> series) {
+  json::Value arr = json::Value::Array();
+  for (const BenchSeriesEntry& entry : series) {
+    arr.Push(BenchSeriesEntryJson(entry));
+  }
+  json::Value results = json::Value::Object();
+  results.Set("series", std::move(arr));
+  json::Value doc = json::Value::Object();
+  doc.Set("bench", bench);
+  doc.Set("results", std::move(results));
+  return doc;
+}
+
+bool Expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "self-test FAILED: %s\n", what);
+  }
+  return ok;
+}
+
+int SelfTest() {
+  bool ok = true;
+  std::string error;
+  BenchDiffReport report;
+
+  BenchSeriesEntry rate{"throughput_pps", 1000.0, "higher_is_better", 5.0, "pps"};
+  BenchSeriesEntry latency{"verify_p99_ms", 20.0, "lower_is_better", 10.0, "ms"};
+  BenchSeriesEntry giveups{"giveups", 0.0, "lower_is_better", 0.0, "count"};
+  json::Value base = MakeDoc("demo", {rate, latency, giveups});
+
+  // 1. Identical dumps: zero regressions.
+  ok &= Expect(DiffBenchJson(base, base, &report, &error) && report.ok(),
+               "identical dumps must pass");
+
+  // 2. Injected slowdown: latency above tolerance must regress.
+  BenchSeriesEntry slow = latency;
+  slow.value = 30.0;  // +50% against a 10% gate
+  ok &= Expect(DiffBenchJson(base, MakeDoc("demo", {rate, slow, giveups}), &report, &error) &&
+                   report.regressions == 1 && report.entries[1].status == "regressed",
+               "a 50% slowdown against a 10% gate must regress");
+
+  // 3. Drift inside tolerance passes both directions.
+  BenchSeriesEntry rate_drift = rate;
+  rate_drift.value = 960.0;  // -4% against a 5% gate
+  BenchSeriesEntry lat_drift = latency;
+  lat_drift.value = 21.0;  // +5% against a 10% gate
+  ok &= Expect(
+      DiffBenchJson(base, MakeDoc("demo", {rate_drift, lat_drift, giveups}), &report, &error) &&
+          report.ok(),
+      "drift inside tolerance must pass");
+
+  // 4. Improvements never fail (and are labeled).
+  BenchSeriesEntry faster = latency;
+  faster.value = 10.0;
+  ok &= Expect(DiffBenchJson(base, MakeDoc("demo", {rate, faster, giveups}), &report, &error) &&
+                   report.ok() && report.entries[1].status == "improved",
+               "an improvement must pass and be labeled improved");
+
+  // 5. Throughput drop beyond tolerance regresses (higher_is_better side).
+  BenchSeriesEntry slower_rate = rate;
+  slower_rate.value = 900.0;  // -10% against a 5% gate
+  ok &= Expect(
+      DiffBenchJson(base, MakeDoc("demo", {slower_rate, latency, giveups}), &report, &error) &&
+          report.regressions == 1 && report.entries[0].status == "regressed",
+      "a throughput drop beyond tolerance must regress");
+
+  // 6. Zero-baseline counter: any appearance is a regression.
+  BenchSeriesEntry one_giveup = giveups;
+  one_giveup.value = 1.0;
+  ok &= Expect(
+      DiffBenchJson(base, MakeDoc("demo", {rate, latency, one_giveup}), &report, &error) &&
+          report.regressions == 1,
+      "0 -> 1 on a lower_is_better counter must regress");
+
+  // 7. A metric dropped from the candidate is a regression; a new one is not.
+  BenchSeriesEntry extra{"new_counter", 7.0, "lower_is_better", 0.0, "count"};
+  ok &= Expect(DiffBenchJson(base, MakeDoc("demo", {rate, latency, extra}), &report, &error) &&
+                   report.regressions == 1 && report.entries[2].status == "missing" &&
+                   report.entries[3].status == "new",
+               "dropped metric fails, new metric does not");
+
+  // 8. Bench name mismatch is a usage error, not a pass.
+  ok &= Expect(!DiffBenchJson(base, MakeDoc("other", {rate, latency, giveups}), &report, &error),
+               "bench name mismatch must be rejected");
+
+  // 9. Malformed docs are rejected.
+  json::Value empty = json::Value::Object();
+  ok &= Expect(!DiffBenchJson(base, empty, &report, &error), "doc without results is rejected");
+
+  std::printf("innet_benchdiff self-test: %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--self-test") {
+      return SelfTest();
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CANDIDATE.json [--json]\n"
+                 "       %s --self-test\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  json::Value baseline;
+  json::Value candidate;
+  if (!LoadJson(paths[0], &baseline, &error) || !LoadJson(paths[1], &candidate, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  BenchDiffReport report;
+  if (!DiffBenchJson(baseline, candidate, &report, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (as_json) {
+    std::printf("%s\n", report.ToJson().ToString(2).c_str());
+  } else {
+    PrintReport(report);
+  }
+  return report.ok() ? 0 : 1;
+}

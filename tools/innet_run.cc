@@ -5,6 +5,7 @@
 //   innet_run --config FILE [--packets FILE] [--clock-until SECONDS]
 //             [--metrics-out FILE] [--trace-out FILE] [--perfetto-out FILE]
 //             [--health-out FILE]
+//             [--timeseries-out FILE] [--timeseries-window-ms W]
 //             [--placement-policy first_fit|least_loaded|bin_pack]
 //             [--dataplane-sample-n N] [--dataplane-seed S]
 //             [--folded-out FILE] [--flight-recorder-depth K] [--flight-out FILE]
@@ -40,6 +41,14 @@
 // --flight-out dumps the ring + any post-mortem bundles as JSON
 // (render with innet_top --postmortem).
 //
+// Time-series telemetry: --timeseries-out samples every registry instrument
+// on a fixed sim-clock cadence (--timeseries-window-ms, default 100) into
+// bounded per-metric rings — counters become per-window rates, histograms
+// windowed p50/p99 — and dumps them with any anomaly flags the EWMA detector
+// raised (drop-rate spikes, verify-latency inflation, control retry storms).
+// Like every other dump, the file is byte-identical across repeat seeded
+// runs. Render with innet_top --timeseries.
+//
 // Control-plane chaos: any of --control-loss/--control-dup/--control-reorder/
 // --control-delay-ms routes the install over the lossy control channel
 // (seeded from --control-seed, default 42) instead of the fault-exempt direct
@@ -59,6 +68,7 @@
 #include "src/controller/orchestrator.h"
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/platform/platform.h"
 #include "src/sim/event_queue.h"
@@ -157,6 +167,20 @@ bool ParsePacketLine(const std::string& line, PacketSpec* spec, std::string* err
   return true;
 }
 
+// Recurring sampling tick: each firing closes the current window and
+// schedules the next. Stack-allocated in main; events only run inside
+// RunUntil windows, so the self-reschedule cannot spin.
+struct SamplerTicker {
+  sim::EventQueue* clock = nullptr;
+  obs::TimeSeriesSampler* sampler = nullptr;
+  void Schedule() {
+    clock->ScheduleAfter(sampler->window_ns(), [this] {
+      sampler->SampleWindow(clock->now());
+      Schedule();
+    });
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +193,8 @@ int main(int argc, char** argv) {
   std::string placement_policy;
   std::string folded_out;
   std::string flight_out;
+  std::string timeseries_out;
+  double timeseries_window_ms = 100;
   double clock_until = 1.0;
   uint32_t sample_n = 0;
   uint64_t dataplane_seed = 0;
@@ -194,6 +220,10 @@ int main(int argc, char** argv) {
       perfetto_out = argv[++i];
     } else if (arg == "--health-out" && i + 1 < argc) {
       health_out = argv[++i];
+    } else if (arg == "--timeseries-out" && i + 1 < argc) {
+      timeseries_out = argv[++i];
+    } else if (arg == "--timeseries-window-ms" && i + 1 < argc) {
+      timeseries_window_ms = std::atof(argv[++i]);
     } else if (arg == "--placement-policy" && i + 1 < argc) {
       placement_policy = argv[++i];
     } else if (arg == "--dataplane-sample-n" && i + 1 < argc) {
@@ -221,6 +251,7 @@ int main(int argc, char** argv) {
                    "usage: %s --config FILE [--packets FILE] [--clock-until SECONDS]\n"
                    "          [--metrics-out FILE] [--trace-out FILE] [--perfetto-out FILE]\n"
                    "          [--health-out FILE]\n"
+                   "          [--timeseries-out FILE] [--timeseries-window-ms W]\n"
                    "          [--placement-policy first_fit|least_loaded|bin_pack]\n"
                    "          [--dataplane-sample-n N] [--dataplane-seed S]\n"
                    "          [--folded-out FILE] [--flight-recorder-depth K] "
@@ -252,8 +283,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool want_profiling = sample_n > 0 || !folded_out.empty();
-  const bool want_obs =
-      !metrics_out.empty() || !trace_out.empty() || !perfetto_out.empty() || !health_out.empty();
+  const bool want_timeseries = !timeseries_out.empty();
+  const bool want_obs = !metrics_out.empty() || !trace_out.empty() || !perfetto_out.empty() ||
+                        !health_out.empty() || want_timeseries;
   const bool want_control_faults =
       control_loss > 0 || control_dup > 0 || control_reorder > 0 || control_delay_ms > 0;
   const bool want_stack = want_obs || !placement_policy.empty() || want_profiling ||
@@ -263,6 +295,22 @@ int main(int argc, char** argv) {
     obs::Tracer().Enable();
     obs::Tracer().SetTimeSource([&clock] { return clock.now(); });
     obs::Health().Enable();
+  }
+  // The sampler rides the sim clock: one tick per window, rescheduled from
+  // inside each tick, plus a final flush before the dump so the tail of the
+  // run (after the last whole window) still lands in the series.
+  obs::TimeSeriesSampler sampler;
+  obs::AnomalyDetector detector;
+  SamplerTicker ticker{&clock, &sampler};
+  if (want_timeseries) {
+    if (timeseries_window_ms <= 0) {
+      std::fprintf(stderr, "--timeseries-window-ms must be > 0\n");
+      return 2;
+    }
+    sampler.set_window_ns(static_cast<uint64_t>(timeseries_window_ms * 1e6));
+    detector.UseDefaultRules();
+    sampler.AttachDetector(&detector);
+    ticker.Schedule();
   }
   std::string error;
   auto graph = click::Graph::FromText(config_buf.str(), &error, &clock);
@@ -485,6 +533,17 @@ int main(int argc, char** argv) {
     }
     std::printf("health: %zu tenants -> %s\n", obs::Health().tenant_count(),
                 health_out.c_str());
+  }
+  if (want_timeseries) {
+    sampler.SampleWindow(clock.now());  // flush the partial tail window
+    if (!sampler.WriteJsonFile(timeseries_out)) {
+      std::fprintf(stderr, "cannot write %s\n", timeseries_out.c_str());
+      return 1;
+    }
+    std::printf("timeseries: %zu series over %llu windows, %zu anomalies -> %s\n",
+                sampler.series_count(),
+                static_cast<unsigned long long>(sampler.windows_sampled()),
+                detector.flags().size(), timeseries_out.c_str());
   }
   return 0;
 }

@@ -3,7 +3,9 @@
 //
 // Usage:
 //   innet_top --metrics FILE [--trace FILE] [--health FILE] [--postmortem FILE]
+//             [--timeseries FILE]
 //   innet_top --postmortem FILE
+//   innet_top --timeseries FILE
 //   innet_top --run CONFIG [--placement-policy first_fit|least_loaded|bin_pack]
 //
 // Offline mode reads a metrics dump (either the registry's native
@@ -17,6 +19,11 @@
 // one bench/dataplane_profile writes): per crash/give-up/abort bundle, the
 // dying graph's element counters and the last-K events leading up to it.
 //
+// --timeseries renders a TRENDS section from an innet_run --timeseries-out
+// dump: ASCII sparklines per tenant-labeled series (grouped by tenant), a
+// fleet row for the headline platform counters, and any anomaly flags the
+// EWMA detector raised during the run.
+//
 // Live mode (--run) performs one full-stack orchestrated deploy of CONFIG on
 // the Figure 3 topology — admission, placement, verification, ClickOS boot,
 // a few probe packets — and renders the same tables from the fresh registry.
@@ -25,6 +32,7 @@
 // mode): the same input always renders byte-identical tables. A missing,
 // truncated, or shape-mismatched dump degrades to a per-section "no data"
 // line — partial telemetry never turns into an error or garbage rows.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -472,8 +480,157 @@ void RenderPostmortems(const obs::json::Value& root) {
   std::printf("\n");
 }
 
+// --- TRENDS (timeseries dump) -----------------------------------------------
+
+// The value a sparkline plots for one point, by series kind.
+double PointValue(const obs::json::Value& point, const std::string& kind) {
+  const char* field = kind == "counter_rate" ? "rate_per_s"
+                      : kind == "gauge"      ? "value"
+                                             : "p99";
+  const obs::json::Value* value = point.Find(field);
+  return value != nullptr ? value->number() : 0.0;
+}
+
+// Renders up to the last `width` points as a fixed-alphabet ASCII sparkline,
+// scaled to the series' own min..max (a flat series renders as all '-').
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  constexpr size_t kLevelCount = sizeof(kLevels) - 2;  // index of highest level
+  size_t start = values.size() > width ? values.size() - width : 0;
+  double lo = values[start];
+  double hi = values[start];
+  for (size_t i = start; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (size_t i = start; i < values.size(); ++i) {
+    size_t level =
+        hi > lo ? static_cast<size_t>((values[i] - lo) / (hi - lo) * kLevelCount + 0.5)
+                : kLevelCount / 2;
+    out += kLevels[std::min(level, kLevelCount)];
+  }
+  return out;
+}
+
+struct TrendRow {
+  std::string metric;
+  std::string kind;
+  std::vector<double> values;
+  double last = 0;
+  double peak = 0;
+};
+
+TrendRow MakeTrendRow(const obs::json::Value& series) {
+  TrendRow row;
+  if (const auto* name = series.Find("name")) {
+    row.metric = name->string_value();
+  }
+  if (const auto* kind = series.Find("kind")) {
+    row.kind = kind->string_value();
+  }
+  const obs::json::Value* points = series.Find("points");
+  if (points != nullptr && points->is_array()) {
+    for (size_t i = 0; i < points->size(); ++i) {
+      double value = PointValue(points->at(i), row.kind);
+      row.values.push_back(value);
+      row.peak = std::max(row.peak, value);
+      row.last = value;
+    }
+  }
+  return row;
+}
+
+void PrintTrendRow(const TrendRow& row, size_t width) {
+  if (row.values.empty()) {
+    return;
+  }
+  const char* unit = row.kind == "counter_rate" ? "/s" : "";
+  std::printf("  %-36s |%s| last %.4g%s peak %.4g%s\n", row.metric.c_str(),
+              Sparkline(row.values, width).c_str(), row.last, unit, row.peak, unit);
+}
+
+void RenderTrends(const obs::json::Value& root) {
+  const obs::json::Value* series_list = root.Find("series");
+  if (series_list == nullptr || !series_list->is_array()) {
+    std::printf("TRENDS: no data (dump has no series array)\n\n");
+    return;
+  }
+  const obs::json::Value* window_ns = root.Find("window_ns");
+  const obs::json::Value* windows = root.Find("windows_sampled");
+  std::printf("TRENDS (window %.0f ms, %lld windows, %zu series)\n",
+              window_ns != nullptr ? window_ns->number() / 1e6 : 0.0,
+              windows != nullptr ? static_cast<long long>(windows->int_number()) : 0,
+              series_list->size());
+
+  constexpr size_t kSparkWidth = 40;
+  // Tenant-labeled series grouped per tenant; a short watchlist of fleet
+  // counters keeps the output a summary, not a dump of every instrument.
+  std::map<std::string, std::vector<TrendRow>> per_tenant;
+  std::vector<TrendRow> fleet;
+  const std::set<std::string> fleet_watch = {
+      "innet_platform_buffer_drops_total", "innet_switch_delivered_total",
+      "innet_control_retries_total",       "innet_control_giveups_total",
+      "innet_controller_verify_latency_ms", "innet_vm_running",
+  };
+  for (size_t i = 0; i < series_list->size(); ++i) {
+    const obs::json::Value& series = series_list->at(i);
+    const obs::json::Value* labels = series.Find("labels");
+    const obs::json::Value* tenant =
+        labels != nullptr ? labels->Find("tenant") : nullptr;
+    TrendRow row = MakeTrendRow(series);
+    if (row.values.empty()) {
+      continue;
+    }
+    if (tenant != nullptr && tenant->is_string()) {
+      per_tenant[tenant->string_value()].push_back(std::move(row));
+    } else if (fleet_watch.count(row.metric) > 0) {
+      fleet.push_back(std::move(row));
+    }
+  }
+
+  for (const auto& [tenant, rows] : per_tenant) {
+    std::printf(" tenant %s\n", tenant.c_str());
+    for (const TrendRow& row : rows) {
+      PrintTrendRow(row, kSparkWidth);
+    }
+  }
+  if (per_tenant.empty()) {
+    std::printf(" no tenant-labeled series (health monitor off for this run)\n");
+  }
+  if (!fleet.empty()) {
+    std::printf(" fleet\n");
+    for (const TrendRow& row : fleet) {
+      PrintTrendRow(row, kSparkWidth);
+    }
+  }
+
+  const obs::json::Value* anomalies = root.Find("anomalies");
+  if (anomalies != nullptr && anomalies->is_array() && anomalies->size() > 0) {
+    std::printf(" anomalies (%zu)\n", anomalies->size());
+    for (size_t i = 0; i < anomalies->size(); ++i) {
+      const obs::json::Value& flag = anomalies->at(i);
+      const auto* t_ns = flag.Find("t_ns");
+      const auto* signal = flag.Find("signal");
+      const auto* target = flag.Find("target");
+      const auto* value = flag.Find("value");
+      const auto* baseline = flag.Find("baseline");
+      std::printf("  t=%.3fs %-26s %-24s value %.4g vs baseline %.4g\n",
+                  t_ns != nullptr ? static_cast<double>(t_ns->int_number()) / 1e9 : 0.0,
+                  signal != nullptr ? signal->string_value().c_str() : "?",
+                  target != nullptr ? target->string_value().c_str() : "?",
+                  value != nullptr ? value->number() : 0.0,
+                  baseline != nullptr ? baseline->number() : 0.0);
+    }
+  } else if (anomalies != nullptr) {
+    std::printf(" anomalies: none flagged\n");
+  }
+  std::printf("\n");
+}
+
 int RenderFromFiles(const std::string& metrics_path, const std::string& trace_path,
-                    const std::string& health_path, const std::string& postmortem_path) {
+                    const std::string& health_path, const std::string& postmortem_path,
+                    const std::string& timeseries_path) {
   std::string text;
   std::string error;
 
@@ -553,6 +710,17 @@ int RenderFromFiles(const std::string& metrics_path, const std::string& trace_pa
       RenderPostmortems(flight_root);
     }
   }
+
+  if (!timeseries_path.empty()) {
+    obs::json::Value ts_root;
+    if (!ReadFile(timeseries_path, &text, &error)) {
+      std::printf("TRENDS: no data (%s)\n\n", error.c_str());
+    } else if (!obs::json::Value::Parse(text, &ts_root, &error)) {
+      std::printf("TRENDS: no data (%s: %s)\n\n", timeseries_path.c_str(), error.c_str());
+    } else {
+      RenderTrends(ts_root);
+    }
+  }
   return 0;
 }
 
@@ -621,6 +789,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string health_path;
   std::string postmortem_path;
+  std::string timeseries_path;
   std::string run_config;
   std::string placement_policy;
   for (int i = 1; i < argc; ++i) {
@@ -633,6 +802,8 @@ int main(int argc, char** argv) {
       health_path = argv[++i];
     } else if (arg == "--postmortem" && i + 1 < argc) {
       postmortem_path = argv[++i];
+    } else if (arg == "--timeseries" && i + 1 < argc) {
+      timeseries_path = argv[++i];
     } else if (arg == "--run" && i + 1 < argc) {
       run_config = argv[++i];
     } else if (arg == "--placement-policy" && i + 1 < argc) {
@@ -640,19 +811,21 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --metrics FILE [--trace FILE] [--health FILE] "
-                   "[--postmortem FILE]\n"
+                   "[--postmortem FILE] [--timeseries FILE]\n"
                    "       %s --postmortem FILE\n"
+                   "       %s --timeseries FILE\n"
                    "       %s --run CONFIG [--placement-policy POLICY]\n",
-                   argv[0], argv[0], argv[0]);
+                   argv[0], argv[0], argv[0], argv[0]);
       return 2;
     }
   }
   if (!run_config.empty()) {
     return RunLive(run_config, placement_policy);
   }
-  if (metrics_path.empty() && postmortem_path.empty()) {
-    std::fprintf(stderr, "one of --metrics, --postmortem, or --run is required\n");
+  if (metrics_path.empty() && postmortem_path.empty() && timeseries_path.empty()) {
+    std::fprintf(stderr, "one of --metrics, --postmortem, --timeseries, or --run is required\n");
     return 2;
   }
-  return RenderFromFiles(metrics_path, trace_path, health_path, postmortem_path);
+  return RenderFromFiles(metrics_path, trace_path, health_path, postmortem_path,
+                         timeseries_path);
 }
