@@ -17,4 +17,8 @@ ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 # ctest already ran bench_control_chaos as a fixture; run it once more
 # directly so a filtered ctest invocation can never silently skip it.
 (cd "${BUILD}/bench" && ./control_chaos >/dev/null)
-echo "check_asan: control_chaos clean under ASan+UBSan"
+# Same for the federation failover bench: rolling partitions + heal-time
+# reconciles are dense in scheduled continuations that must not outlive
+# their coordinator/region objects.
+(cd "${BUILD}/bench" && ./federation_failover >/dev/null)
+echo "check_asan: control_chaos + federation_failover clean under ASan+UBSan"

@@ -142,6 +142,30 @@ else
   fi
 fi
 
+step "federation failover bench (determinism: two runs must be byte-identical)"
+if [ ! -x build/bench/federation_failover ]; then
+  echo "ERROR: build/bench/federation_failover missing — build step failed?" >&2
+  fail=1
+else
+  fed_ok=1
+  (cd build/bench && ./federation_failover >/dev/null) || fed_ok=0
+  cp build/bench/BENCH_federation_failover.json build/bench/BENCH_federation_failover.run1.json 2>/dev/null
+  (cd build/bench && ./federation_failover >/dev/null) || fed_ok=0
+  if [ "$fed_ok" -ne 1 ]; then
+    echo "ERROR: federation_failover reported a convergence failure" >&2
+    fail=1
+  elif ! cmp -s build/bench/BENCH_federation_failover.json build/bench/BENCH_federation_failover.run1.json; then
+    echo "ERROR: BENCH_federation_failover.json differs between two runs at the same seed" >&2
+    fail=1
+  elif ! cmp -s build/bench/BENCH_federation_failover.json BENCH_federation_failover.json; then
+    echo "ERROR: regenerated BENCH_federation_failover.json differs from the committed snapshot" >&2
+    echo "       (if the change is intentional: cp build/bench/BENCH_federation_failover.json .)" >&2
+    fail=1
+  else
+    echo "ok: federation_failover converged, byte-identical across runs, snapshot current"
+  fi
+fi
+
 echo
 if [ "$fail" -ne 0 ]; then
   echo "ci: FAILED" >&2

@@ -28,6 +28,14 @@ const char* ControlOpName(ControlOp op) {
       return "cutover";
     case ControlOp::kHealthProbe:
       return "health_probe";
+    case ControlOp::kRegionDigest:
+      return "region_digest";
+    case ControlOp::kRegionDeploy:
+      return "region_deploy";
+    case ControlOp::kRegionExport:
+      return "region_export";
+    case ControlOp::kRegionImport:
+      return "region_import";
   }
   return "unknown";
 }
@@ -122,6 +130,33 @@ std::vector<std::string> ControlChannel::PartitionedPlatforms() const {
   return std::vector<std::string>(partitioned_.begin(), partitioned_.end());
 }
 
+bool ControlChannel::HasLinkFaults() const {
+  return scope_ == FaultScope::kRegion ? faults_->HasRegionFaults() : faults_->HasControlFaults();
+}
+
+bool ControlChannel::ShouldDropLink() {
+  return scope_ == FaultScope::kRegion ? faults_->ShouldDropRegion() : faults_->ShouldDropControl();
+}
+
+bool ControlChannel::ShouldDuplicateLink() {
+  return scope_ == FaultScope::kRegion ? faults_->ShouldDuplicateRegion()
+                                       : faults_->ShouldDuplicateControl();
+}
+
+bool ControlChannel::ShouldReorderLink() {
+  return scope_ == FaultScope::kRegion ? faults_->ShouldReorderRegion()
+                                       : faults_->ShouldReorderControl();
+}
+
+sim::TimeNs ControlChannel::LinkDelay() {
+  return scope_ == FaultScope::kRegion ? faults_->RegionDelay() : faults_->ControlDelay();
+}
+
+sim::TimeNs ControlChannel::LinkReorderPenalty() {
+  return scope_ == FaultScope::kRegion ? faults_->RegionReorderPenalty()
+                                       : faults_->ControlReorderPenalty();
+}
+
 uint64_t ControlChannel::deduped() const {
   uint64_t total = 0;
   for (const auto& [name, endpoint] : endpoints_) {
@@ -151,12 +186,12 @@ RespondFn ControlChannel::ReturnLeg(const std::string& platform, RespondFn on_re
       ctr_partition_dropped_->Increment();
       return;
     }
-    bool faulty = faults_ != nullptr && faults_->HasControlFaults();
+    bool faulty = faults_ != nullptr && HasLinkFaults();
     if (!faulty) {
       on_response(std::move(response));
       return;
     }
-    if (faults_->ShouldDropControl()) {
+    if (ShouldDropLink()) {
       ++dropped_;
       ctr_dropped_->Increment();
       if (obs::Tracer().enabled()) {
@@ -165,7 +200,7 @@ RespondFn ControlChannel::ReturnLeg(const std::string& platform, RespondFn on_re
       }
       return;
     }
-    sim::TimeNs delay = faults_->ControlDelay();
+    sim::TimeNs delay = LinkDelay();
     clock_->ScheduleAfter(delay == 0 ? 1 : delay,
                           [on_response, response = std::move(response)]() mutable {
                             on_response(std::move(response));
@@ -191,12 +226,12 @@ void ControlChannel::Send(const std::string& platform, const ControlRequest& req
     }
     return;
   }
-  bool faulty = faults_ != nullptr && faults_->HasControlFaults();
+  bool faulty = faults_ != nullptr && HasLinkFaults();
   if (!faulty) {
     DeliverNow(platform, request, ReturnLeg(platform, std::move(on_response)));
     return;
   }
-  if (faults_->ShouldDropControl()) {
+  if (ShouldDropLink()) {
     ++dropped_;
     ctr_dropped_->Increment();
     if (obs::Tracer().enabled()) {
@@ -206,15 +241,15 @@ void ControlChannel::Send(const std::string& platform, const ControlRequest& req
     return;
   }
   int copies = 1;
-  if (faults_->ShouldDuplicateControl()) {
+  if (ShouldDuplicateLink()) {
     copies = 2;
     ++duplicated_;
     ctr_duplicated_->Increment();
   }
   for (int copy = 0; copy < copies; ++copy) {
-    sim::TimeNs delay = faults_->ControlDelay();
-    if (faults_->ShouldReorderControl()) {
-      delay += faults_->ControlReorderPenalty();
+    sim::TimeNs delay = LinkDelay();
+    if (ShouldReorderLink()) {
+      delay += LinkReorderPenalty();
     }
     // Round up to a distinct later event so delivery is always asynchronous
     // under a fault plan (and duplicate copies are distinct events).

@@ -52,6 +52,12 @@ enum class ControlOp {
   kSnapshotImport,  // adopt a migrated guest at an address
   kCutover,         // replay re-addressed blackout traffic at the target
   kHealthProbe,     // read-only guest state query (idempotent, epoch 0)
+  // Federation ops (coordinator <-> region controller; payload_json carries
+  // the structured body so the channel stays payload-agnostic).
+  kRegionDigest,    // poll a region's gossip digest (idempotent, epoch 0)
+  kRegionDeploy,    // hand a verified-locally deploy to a region
+  kRegionExport,    // suspend + detach a tenant for cross-region migration
+  kRegionImport,    // adopt an exported tenant (snapshot rides `moved`)
 };
 
 // Stable wire name ("install", "health_probe", ...), used in traces/JSON.
@@ -79,6 +85,10 @@ struct ControlRequest {
   // blackout traffic. Shared so a cached (deduped) response and a retried
   // request refer to the same state instead of copying it.
   std::shared_ptr<platform::InNetPlatform::MigratedVm> moved;
+  // Federation ops: JSON-encoded body (a ClientRequest for kRegionDeploy /
+  // kRegionImport, empty otherwise). A string keeps src/controller free of
+  // any dependency on the federation layer's types.
+  std::string payload_json;
 };
 
 struct ControlResponse {
@@ -92,6 +102,10 @@ struct ControlResponse {
   platform::VmState vm_state = platform::VmState::kDestroyed;
   // kSnapshotExport payload.
   std::shared_ptr<platform::InNetPlatform::MigratedVm> moved;
+  // Federation ops: JSON-encoded result (a region digest for kRegionDigest,
+  // a deploy outcome for kRegionDeploy, the evicted tenant's ClientRequest
+  // for kRegionExport).
+  std::string payload_json;
 };
 
 using RespondFn = std::function<void(ControlResponse)>;
@@ -124,6 +138,12 @@ class ControlEndpoint {
   obs::Counter* ctr_deduped_ = nullptr;
 };
 
+// Which of the fault plan's channel classes a ControlChannel draws from:
+// the orchestrator <-> platform control plane (the default) or the
+// federation coordinator <-> region WAN links (a separate, independently
+// tunable fault class).
+enum class FaultScope { kPlatform, kRegion };
+
 // The channel itself: one endpoint per platform, a shared fault oracle, and
 // an explicit partition set. Owned by the PlatformFleet so endpoint dedup
 // memory and link statistics survive a controller crash (they live on the
@@ -141,10 +161,17 @@ class ControlChannel {
   void SetFaultInjector(sim::FaultInjector* injector) { faults_ = injector; }
   sim::FaultInjector* fault_injector() const { return faults_; }
 
-  // True when messages are delivered synchronously inline: no control fault
-  // plan and no active partitions.
+  // Selects the fault class this channel draws from (default: the
+  // orchestrator <-> platform control plane). The federation coordinator
+  // switches its channel to kRegion so inter-PoP links use the plan's
+  // region_* fields and counters.
+  void set_fault_scope(FaultScope scope) { scope_ = scope; }
+  FaultScope fault_scope() const { return scope_; }
+
+  // True when messages are delivered synchronously inline: no fault plan for
+  // this channel's scope and no active partitions.
   bool ideal() const {
-    return (faults_ == nullptr || !faults_->HasControlFaults()) && partitioned_.empty();
+    return (faults_ == nullptr || !HasLinkFaults()) && partitioned_.empty();
   }
 
   void SetPartitioned(const std::string& platform, bool partitioned);
@@ -177,8 +204,18 @@ class ControlChannel {
   // Wraps a response path with the return leg's faults and partition check.
   RespondFn ReturnLeg(const std::string& platform, RespondFn on_response);
 
+  // Scope dispatch: each fault draw goes to the injector's control_* or
+  // region_* method depending on this channel's scope.
+  bool HasLinkFaults() const;
+  bool ShouldDropLink();
+  bool ShouldDuplicateLink();
+  bool ShouldReorderLink();
+  sim::TimeNs LinkDelay();
+  sim::TimeNs LinkReorderPenalty();
+
   sim::EventQueue* clock_;
   sim::FaultInjector* faults_ = nullptr;
+  FaultScope scope_ = FaultScope::kPlatform;
   std::map<std::string, std::unique_ptr<ControlEndpoint>> endpoints_;
   std::set<std::string> partitioned_;
   uint64_t sent_ = 0;

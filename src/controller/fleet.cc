@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace innet::controller {
 
 using platform::InNetPlatform;
@@ -35,8 +38,16 @@ InNetPlatform* PlatformFleet::Get(const std::string& name) {
 }
 
 InNetPlatform* PlatformFleet::Replace(const std::string& name) {
+  // Replacing a node discards its endpoint's dedup memory by design: a
+  // pre-failure token retried against the fresh machine re-executes. Record
+  // the reset so dumps can explain the resulting double-execution.
   boxes_.erase(name);
   channel_.ResetEndpoint(name);
+  obs::Registry().GetCounter("innet_platform_replaced_total")->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(static_cast<uint64_t>(clock_->now()), obs::EventKind::kPlatformReplaced,
+                         "platform:" + name, "dedup_memory_reset");
+  }
   return AddPlatform(name);
 }
 
@@ -162,6 +173,15 @@ void PlatformFleet::Dispatch(const std::string& name, const ControlRequest& requ
       response.ok = true;
       break;
     }
+    case ControlOp::kRegionDigest:
+    case ControlOp::kRegionDeploy:
+    case ControlOp::kRegionExport:
+    case ControlOp::kRegionImport:
+      // Federation ops terminate at a RegionController endpoint, never at a
+      // platform's data-plane agent. Answering with an error (instead of
+      // aborting) keeps a misrouted message a clean failure.
+      response.error = "platform " + name + " does not speak federation ops";
+      break;
     case ControlOp::kHealthProbe: {
       Vm::VmId vm_id = request.vm_id;
       if (vm_id == 0 && request.addr.value() != 0) {

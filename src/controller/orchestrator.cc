@@ -1663,7 +1663,205 @@ ReconcileReport Orchestrator::ReconcilePlatform(const std::string& platform_name
       ++it;
     }
   }
+  const char* reconcile_outcome = report.lost == 0 ? "clean" : "divergent";
+  obs::Registry()
+      .GetCounter("innet_reconcile_total", {{"outcome", reconcile_outcome}})
+      ->Increment();
+  if (obs::Tracer().enabled()) {
+    obs::Tracer().Record(now, obs::EventKind::kReconcile, "platform:" + platform_name,
+                         std::string(reconcile_outcome) + " checked=" +
+                             std::to_string(report.checked) +
+                             " healthy=" + std::to_string(report.healthy) +
+                             " lost=" + std::to_string(report.lost) +
+                             " rearmed=" + std::to_string(report.rearmed) +
+                             " cleanups=" + std::to_string(report.cleanups),
+                         static_cast<int64_t>(report.lost));
+  }
   return report;
+}
+
+void Orchestrator::ExportTenant(const std::string& module_id, ExportCallback on_done) {
+  TenantExport out;
+  auto placement = placements_.find(module_id);
+  auto request_it = requests_.find(module_id);
+  if (placement == placements_.end() || request_it == requests_.end()) {
+    out.error = "unknown module id";
+    if (on_done) {
+      on_done(out);
+    }
+    return;
+  }
+  out.request = request_it->second;
+  out.request.pinned_platform.clear();
+  const std::string source = placement->second.first;
+  const Vm::VmId vm_id = placement->second.second;
+
+  if (vm_id == 0) {
+    // Consolidated (stateless): no guest state to carry — the adopting
+    // region redeploys from the request. Mark the journal entry superseded
+    // before Kill so the record reads "exported", not "killed".
+    journal_->MarkModuleTerminal(module_id, JournalState::kSuperseded, clock_->now(),
+                                 "exported to region coordinator");
+    Kill(module_id);
+    out.ok = true;
+    if (on_done) {
+      on_done(out);
+    }
+    return;
+  }
+
+  // Stateful: suspend over the channel (parks blackout traffic, acks when
+  // frozen), then detach the guest on the direct path.
+  ControlRequest req;
+  req.op = ControlOp::kSuspend;
+  req.tenant = module_id;
+  req.attempt_epoch = journal_->MintEpoch();
+  req.vm_id = vm_id;
+  std::weak_ptr<char> watch = alive_;
+  client_.Issue(
+      source, req,
+      [this, watch, module_id, source, vm_id, out, on_done](ControlResponse response) mutable {
+        if (watch.expired()) {
+          return;
+        }
+        auto cancel_source = [this, &module_id, &source, vm_id] {
+          ControlRequest cancel;
+          cancel.op = ControlOp::kCancelMigration;
+          cancel.tenant = module_id;
+          cancel.attempt_epoch = journal_->MintEpoch();
+          cancel.vm_id = vm_id;
+          client_.Issue(source, cancel, nullptr);
+        };
+        if (!response.ok) {
+          if (response.gave_up) {
+            RecordGiveUp(fleet_, clock_, source, "region_export:" + module_id);
+          }
+          cancel_source();
+          out.error = "suspend failed: " + response.error;
+          if (on_done) {
+            on_done(out);
+          }
+          return;
+        }
+        ControlRequest exp;
+        exp.op = ControlOp::kSnapshotExport;
+        exp.tenant = module_id;
+        exp.attempt_epoch = journal_->MintEpoch();
+        exp.vm_id = vm_id;
+        ControlResponse resp = fleet_->channel().DeliverDirect(source, exp);
+        if (!resp.ok || !resp.moved) {
+          cancel_source();
+          out.error = "detach failed: " + resp.error;
+          if (on_done) {
+            on_done(out);
+          }
+          return;
+        }
+        // The guest left this region: release belief and quota, retire the
+        // controller's deployment record, and journal the hand-off.
+        journal_->MarkModuleTerminal(module_id, JournalState::kSuperseded, clock_->now(),
+                                     "exported to region coordinator");
+        engine_.ReleasePlacement(out.request.client_id, ModuleMemoryBytes());
+        placements_.erase(module_id);
+        requests_.erase(module_id);
+        controller_.Kill(module_id);
+        out.ok = true;
+        out.moved = resp.moved;
+        if (on_done) {
+          on_done(out);
+        }
+      });
+}
+
+TenantAdopt Orchestrator::AdoptMigrated(
+    const ClientRequest& request, std::shared_ptr<platform::InNetPlatform::MigratedVm> moved) {
+  TenantAdopt out;
+  if (moved == nullptr) {
+    // Stateless hand-over: a plain redeploy through the full pipeline.
+    OrchestratedDeploy deploy = Deploy(request);
+    out.ok = deploy.outcome.accepted;
+    out.error = deploy.outcome.reason;
+    out.module_id = deploy.outcome.module_id;
+    out.platform = deploy.outcome.platform;
+    out.addr = deploy.outcome.module_addr;
+    return out;
+  }
+
+  // Stateful adopt: admission → verification → import the frozen guest →
+  // replay parked traffic. The target half of MigrationImportDone, with the
+  // snapshot arriving from the coordinator instead of a sibling platform.
+  uint64_t jid = journal_->Begin(JournalEntryKind::kMigration, request, clock_->now());
+  scheduler::PlacementRequest needs;
+  needs.memory_bytes = ModuleMemoryBytes();
+  needs.pinned_platform = request.pinned_platform;
+  scheduler::PlacementDecision decision = engine_.Decide(request.client_id, needs);
+  if (!decision.admitted) {
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(),
+                      "admission rejected: " + decision.reject_reason);
+    out.error = decision.reject_reason;
+    return out;
+  }
+  scheduler::ReservationGuard guard(&engine_, request.client_id, ModuleMemoryBytes());
+  DeployOutcome redo = controller_.Deploy(request, decision.candidates);
+  if (!redo.accepted) {
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(),
+                      "verification failed: " + redo.reason);
+    out.error = redo.reason;
+    return out;
+  }
+  if (platforms_.count(redo.platform) == 0) {
+    controller_.Kill(redo.module_id);
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(),
+                      "platform has no data-plane instance");
+    out.error = "platform has no data-plane instance";
+    return out;
+  }
+  JournalEntry* entry = journal_->Find(jid);
+  entry->module_id = redo.module_id;
+  entry->platform = redo.platform;
+  entry->addr = redo.module_addr.ToString();
+  entry->sandboxed = redo.sandboxed;
+  journal_->Advance(jid, JournalState::kVerified, clock_->now(), "adopting imported guest");
+
+  ControlRequest imp;
+  imp.op = ControlOp::kSnapshotImport;
+  imp.tenant = redo.module_id;
+  imp.attempt_epoch = journal_->MintEpoch();
+  imp.addr = redo.module_addr;
+  imp.moved = moved;
+  entry->op_epoch = imp.attempt_epoch;
+  ControlResponse resp = fleet_->channel().DeliverDirect(redo.platform, imp);
+  if (!resp.ok) {
+    controller_.Kill(redo.module_id);
+    journal_->Advance(jid, JournalState::kRolledBack, clock_->now(),
+                      "import failed: " + resp.error);
+    out.error = "import failed: " + resp.error;
+    return out;
+  }
+  ControlRequest cut;
+  cut.op = ControlOp::kCutover;
+  cut.tenant = redo.module_id;
+  cut.attempt_epoch = journal_->MintEpoch();
+  cut.addr = redo.module_addr;
+  cut.moved = moved;
+  fleet_->channel().DeliverDirect(redo.platform, cut);
+
+  InNetPlatform* box = fleet_->Get(redo.platform);
+  if (box != nullptr) {
+    box->SetVmOwner(resp.vm_id, request.client_id);
+  }
+  CommitPlacement(request, redo.module_id, redo.platform, resp.vm_id);
+  guard.Confirm();
+  if (JournalEntry* e = journal_->Find(jid)) {
+    e->vm_id = resp.vm_id;
+  }
+  journal_->Advance(jid, JournalState::kPlaced, clock_->now(), "synchronous ack");
+  journal_->Advance(jid, JournalState::kCutover, clock_->now());
+  out.ok = true;
+  out.module_id = redo.module_id;
+  out.platform = redo.platform;
+  out.addr = redo.module_addr;
+  return out;
 }
 
 }  // namespace innet::controller

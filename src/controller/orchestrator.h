@@ -126,6 +126,26 @@ struct ReconcileReport {
   size_t cleanups = 0;  // deferred uninstalls for unacked installs flushed
 };
 
+// Result of evicting a tenant for cross-region migration: the original
+// request always travels (the adopting region re-verifies from first
+// principles); stateful tenants additionally carry their frozen guest state.
+// Consolidated tenants have nothing to carry (`moved` stays null).
+struct TenantExport {
+  bool ok = false;
+  std::string error;
+  ClientRequest request;
+  std::shared_ptr<platform::InNetPlatform::MigratedVm> moved;
+};
+
+// Result of adopting a tenant exported by another region.
+struct TenantAdopt {
+  bool ok = false;
+  std::string error;
+  std::string module_id;
+  std::string platform;
+  Ipv4Address addr;
+};
+
 struct OrchestratorOptions {
   platform::VmCostModel cost_model;
   uint64_t platform_memory_bytes = 16ull << 30;
@@ -239,6 +259,23 @@ class Orchestrator {
   // and deferred cleanups (unacked installs that gave up mid-partition) are
   // flushed. Safe to call at any time; SetPartitioned(name, false) calls it.
   ReconcileReport ReconcilePlatform(const std::string& platform_name);
+
+  // --- Federation hooks ------------------------------------------------------
+
+  // Evicts a module for cross-region migration. Stateful tenants suspend and
+  // detach over the intra-region channel (loss applies), then leave with
+  // their frozen guest; consolidated tenants are simply retired (the
+  // adopting region redeploys from the request). `on_done` fires exactly
+  // once; on failure the guest resumes here and nothing is released.
+  using ExportCallback = std::function<void(const TenantExport&)>;
+  void ExportTenant(const std::string& module_id, ExportCallback on_done);
+
+  // Adopts a tenant handed over by the federation coordinator: admission →
+  // verification → snapshot import → parked-traffic replay, on the channel's
+  // direct path (the WAN hop's faults were already paid on the coordinator's
+  // kRegionImport leg). Null `moved` degenerates to a plain Deploy.
+  TenantAdopt AdoptMigrated(const ClientRequest& request,
+                            std::shared_ptr<platform::InNetPlatform::MigratedVm> moved);
 
   Controller& controller() { return controller_; }
   scheduler::PlacementEngine& engine() { return engine_; }

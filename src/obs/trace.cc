@@ -46,6 +46,13 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kJournalTransition: return "journal_transition";
     case EventKind::kRecoveryReplay: return "recovery_replay";
     case EventKind::kAnomaly: return "anomaly";
+    case EventKind::kReconcile: return "reconcile";
+    case EventKind::kPlatformReplaced: return "platform_replaced";
+    case EventKind::kRegionDigest: return "region_digest";
+    case EventKind::kRegionDeploy: return "region_deploy";
+    case EventKind::kRegionDegraded: return "region_degraded";
+    case EventKind::kRegionReconcile: return "region_reconcile";
+    case EventKind::kRegionMigrate: return "region_migrate";
     case EventKind::kSpanEnd: return "span_end";
   }
   return "unknown";

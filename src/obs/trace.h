@@ -69,6 +69,13 @@ enum class EventKind {
   kJournalTransition,
   kRecoveryReplay,
   kAnomaly,
+  kReconcile,
+  kPlatformReplaced,
+  kRegionDigest,
+  kRegionDeploy,
+  kRegionDegraded,
+  kRegionReconcile,
+  kRegionMigrate,
   kSpanEnd,
 };
 

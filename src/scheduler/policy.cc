@@ -61,4 +61,36 @@ std::vector<std::string> RankPlatforms(PlacementPolicyKind kind,
   return names;
 }
 
+std::vector<std::string> RankRegions(const std::vector<RegionCandidate>& regions) {
+  auto score = [](const RegionCandidate& r) { return r.rtt_ms + r.utilization * 50.0; };
+  std::vector<const RegionCandidate*> ranked;
+  ranked.reserve(regions.size());
+  for (const RegionCandidate& region : regions) {
+    ranked.push_back(&region);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&score](const RegionCandidate* a, const RegionCandidate* b) {
+                     // Healthy beliefs strictly precede suspect ones: a stale
+                     // or degraded region only receives tenants when every
+                     // fresh region rejected them.
+                     bool a_suspect = a->stale || a->degraded;
+                     bool b_suspect = b->stale || b->degraded;
+                     if (a_suspect != b_suspect) {
+                       return !a_suspect;
+                     }
+                     double sa = score(*a);
+                     double sb = score(*b);
+                     if (sa != sb) {
+                       return sa < sb;
+                     }
+                     return a->name < b->name;
+                   });
+  std::vector<std::string> names;
+  names.reserve(ranked.size());
+  for (const RegionCandidate* region : ranked) {
+    names.push_back(region->name);
+  }
+  return names;
+}
+
 }  // namespace innet::scheduler

@@ -39,6 +39,23 @@ std::vector<std::string> RankPlatforms(PlacementPolicyKind kind,
                                        const std::vector<PlatformResources>& platforms,
                                        const PlacementRequest& request);
 
+// One region as the federation coordinator sees it: modeled RTT from the
+// tenant's client population, load from the region's last gossip digest, and
+// the freshness/health of that belief.
+struct RegionCandidate {
+  std::string name;
+  double rtt_ms = 0.0;       // modeled coordinator RTT matrix, client -> region
+  double utilization = 0.0;  // memory utilization from the last digest
+  bool degraded = false;     // region self-reported degraded (partition) mode
+  bool stale = false;        // digest older than the coordinator's staleness window
+};
+
+// Latency-aware cross-region ranking: fresh, non-degraded regions first,
+// ordered by rtt_ms + utilization * 50 (a full region costs as much as 50 ms
+// of extra RTT); stale or degraded regions follow in the same score order as
+// a last resort. Ties break by name — deterministic for a given view.
+std::vector<std::string> RankRegions(const std::vector<RegionCandidate>& regions);
+
 }  // namespace innet::scheduler
 
 #endif  // SRC_SCHEDULER_POLICY_H_

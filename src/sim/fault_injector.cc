@@ -81,4 +81,43 @@ TimeNs FaultInjector::ControlReorderPenalty() {
   return penalty;
 }
 
+bool FaultInjector::ShouldDropRegion() {
+  if (plan_.region_loss_p <= 0.0 || !rng_.Bernoulli(plan_.region_loss_p)) {
+    return false;
+  }
+  ++region_dropped_;
+  return true;
+}
+
+bool FaultInjector::ShouldDuplicateRegion() {
+  if (plan_.region_dup_p <= 0.0 || !rng_.Bernoulli(plan_.region_dup_p)) {
+    return false;
+  }
+  ++region_duplicated_;
+  return true;
+}
+
+bool FaultInjector::ShouldReorderRegion() {
+  if (plan_.region_reorder_p <= 0.0 || !rng_.Bernoulli(plan_.region_reorder_p)) {
+    return false;
+  }
+  ++region_reordered_;
+  return true;
+}
+
+TimeNs FaultInjector::RegionDelay() {
+  if (plan_.region_delay_mean_ms <= 0.0) {
+    return 0;
+  }
+  return FromSeconds(rng_.Exponential(plan_.region_delay_mean_ms / 1e3));
+}
+
+TimeNs FaultInjector::RegionReorderPenalty() {
+  TimeNs penalty = kMillisecond;
+  for (int i = 0; i < 3; ++i) {
+    penalty += RegionDelay();
+  }
+  return penalty;
+}
+
 }  // namespace innet::sim

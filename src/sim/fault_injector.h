@@ -42,10 +42,23 @@ struct FaultPlan {
   double control_dup_p = 0.0;
   double control_reorder_p = 0.0;
   double control_delay_mean_ms = 0.0;
+  // Region-scoped channel faults (federation coordinator <-> region
+  // controller links). A separate fault class from the intra-region control
+  // plane: WAN links between PoPs are lossier and slower than the
+  // orchestrator's link to its own racks, and experiments tune them
+  // independently.
+  double region_loss_p = 0.0;
+  double region_dup_p = 0.0;
+  double region_reorder_p = 0.0;
+  double region_delay_mean_ms = 0.0;
 
   bool HasControlFaults() const {
     return control_loss_p > 0.0 || control_dup_p > 0.0 || control_reorder_p > 0.0 ||
            control_delay_mean_ms > 0.0;
+  }
+  bool HasRegionFaults() const {
+    return region_loss_p > 0.0 || region_dup_p > 0.0 || region_reorder_p > 0.0 ||
+           region_delay_mean_ms > 0.0;
   }
 };
 
@@ -86,6 +99,17 @@ class FaultInjector {
   // Extra hold-back applied to a reordered message: several delay draws plus
   // a fixed floor, so it demonstrably lands after messages sent later.
   TimeNs ControlReorderPenalty();
+
+  // --- Region (inter-PoP) channel faults ------------------------------------
+  // Same contract as the control-plane methods, driven by the region_* plan
+  // fields and counted separately.
+  bool HasRegionFaults() const { return plan_.HasRegionFaults(); }
+  bool ShouldDropRegion();
+  bool ShouldDuplicateRegion();
+  bool ShouldReorderRegion();
+  TimeNs RegionDelay();
+  TimeNs RegionReorderPenalty();
+
   // Where and how to flip a byte of a corrupted packet.
   size_t CorruptOffset(size_t len) { return len == 0 ? 0 : rng_.NextBelow(len); }
   uint8_t CorruptMask() { return static_cast<uint8_t>(1 + rng_.NextBelow(255)); }
@@ -97,6 +121,9 @@ class FaultInjector {
   uint64_t control_dropped() const { return control_dropped_; }
   uint64_t control_duplicated() const { return control_duplicated_; }
   uint64_t control_reordered() const { return control_reordered_; }
+  uint64_t region_dropped() const { return region_dropped_; }
+  uint64_t region_duplicated() const { return region_duplicated_; }
+  uint64_t region_reordered() const { return region_reordered_; }
 
  private:
   FaultPlan plan_;
@@ -108,6 +135,9 @@ class FaultInjector {
   uint64_t control_dropped_ = 0;
   uint64_t control_duplicated_ = 0;
   uint64_t control_reordered_ = 0;
+  uint64_t region_dropped_ = 0;
+  uint64_t region_duplicated_ = 0;
+  uint64_t region_reordered_ = 0;
 };
 
 }  // namespace innet::sim

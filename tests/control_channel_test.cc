@@ -15,6 +15,7 @@
 #include "src/controller/fleet.h"
 #include "src/controller/journal.h"
 #include "src/controller/orchestrator.h"
+#include "src/obs/metrics.h"
 #include "src/sim/fault_injector.h"
 #include "src/topology/network.h"
 
@@ -173,6 +174,48 @@ TEST(ControlClient, RetriesThenGivesUpAgainstPartition) {
   EXPECT_EQ(client.timeouts(), 3u);  // every attempt timed out
   EXPECT_EQ(client.giveups(), 1u);
   EXPECT_EQ(client.inflight(), 0u);
+}
+
+TEST(PlatformReplace, DedupMemoryResetLetsPreFailureTokenReexecute) {
+  sim::EventQueue clock;
+  PlatformFleet fleet(&clock, platform::VmCostModel{},
+                      OrchestratorOptions{}.platform_memory_bytes);
+  fleet.AddPlatform("box");
+  const uint64_t replaced_before =
+      obs::Registry().GetCounter("innet_platform_replaced_total")->value();
+
+  ControlRequest install;
+  install.op = ControlOp::kInstall;
+  install.tenant = "web";
+  install.attempt_epoch = 5;
+  install.addr = Ipv4Address::MustParse("172.16.10.2");
+  install.config_text =
+      "FromNetfront() -> IPFilter(allow udp dst port 1500) -> "
+      "IPRewriter(pattern - - 10.10.0.5 - 0 0) -> ToNetfront();";
+  install.whitelist = {Ipv4Address::MustParse("10.10.0.5")};
+
+  ControlResponse first = fleet.channel().DeliverDirect("box", install);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.duplicate);
+  EXPECT_EQ(fleet.Get("box")->vms().vm_count(), 1u);
+
+  // A retry of the same token against the same machine is absorbed.
+  ControlResponse replay = fleet.channel().DeliverDirect("box", install);
+  EXPECT_TRUE(replay.ok);
+  EXPECT_TRUE(replay.duplicate);
+  EXPECT_EQ(replay.vm_id, first.vm_id);
+  EXPECT_EQ(fleet.Get("box")->vms().vm_count(), 1u);
+
+  // Replace the node: the fresh machine has no dedup memory, so the same
+  // pre-failure token re-executes — counted as a fresh install, not silently
+  // answered from a cache the replacement cannot have.
+  fleet.Replace("box");
+  EXPECT_EQ(obs::Registry().GetCounter("innet_platform_replaced_total")->value(),
+            replaced_before + 1);
+  ControlResponse reexecuted = fleet.channel().DeliverDirect("box", install);
+  ASSERT_TRUE(reexecuted.ok) << reexecuted.error;
+  EXPECT_FALSE(reexecuted.duplicate);
+  EXPECT_EQ(fleet.Get("box")->vms().vm_count(), 1u);  // on the new instance
 }
 
 // --- Channel deploys under faults ------------------------------------------------------
@@ -390,6 +433,75 @@ TEST_F(CrashRecovery, RollsBackIntentAndRePlacesFresh) {
   EXPECT_EQ(report.resumed, 1u);  // re-placed from the journaled request
   clock_.RunUntil(clock_.now() + sim::FromSeconds(5));
   EXPECT_EQ(successor.placement_count(), 1u);
+  ExpectJournalConverged(journal_);
+}
+
+TEST_F(CrashRecovery, ReplayWithPartitionedPlatformConvergesOnHeal) {
+  std::string live_module;
+  std::string placed_module;
+  uint64_t placed_id = 0;
+  uint64_t stuck_id = 0;
+  ClientRequest stuck_request = MeterRequest("m3", "10.30.0.5", "10.30.0.0/24");
+  stuck_request.pinned_platform = "platform1";
+  {
+    Orchestrator orch(topology::Network::MakeFigure3(), &clock_, OrchestratorOptions{},
+                      &fleet_, &journal_);
+    // m1 reaches steady state before anything goes wrong.
+    auto done = orch.Deploy(MeterRequest("m1", "10.10.0.5", "10.10.0.0/24"));
+    ASSERT_TRUE(done.outcome.accepted) << done.outcome.reason;
+    live_module = done.outcome.module_id;
+    clock_.RunUntil(clock_.now() + sim::FromSeconds(1));
+    // m2 is placed on platform1 but its confirmation chain never runs.
+    ClientRequest placed_request = MeterRequest("m2", "10.20.0.5", "10.20.0.0/24");
+    placed_request.pinned_platform = "platform1";
+    std::optional<OrchestratedDeploy> placed;
+    orch.DeployViaChannel(placed_request, [&](const OrchestratedDeploy& r) { placed = r; });
+    ASSERT_TRUE(placed.has_value());
+    ASSERT_TRUE(placed->outcome.accepted) << placed->outcome.reason;
+    placed_module = placed->outcome.module_id;
+    placed_id = placed->journal_id;
+    EXPECT_EQ(journal_.Find(placed_id)->state, JournalState::kPlaced);
+    // platform1 partitions; m3's install leaves the controller but is never
+    // delivered — its entry is stuck at verified when the crash hits.
+    orch.SetPartitioned("platform1", true);
+    orch.DeployViaChannel(stuck_request, [](const OrchestratedDeploy&) {});
+    stuck_id = journal_.entries().back().id;
+    EXPECT_EQ(journal_.Find(stuck_id)->state, JournalState::kVerified);
+  }  // crash — the partition persists in the fleet's channel
+
+  // Replay runs with the partition still open: reachable state converges
+  // immediately, the partitioned remainder finishes at heal.
+  Orchestrator successor(topology::Network::MakeFigure3(), &clock_, OrchestratorOptions{},
+                         &fleet_, &journal_);
+  RecoveryReport report = successor.RecoverFromJournal();
+  EXPECT_EQ(report.adopted, 1u);    // m1
+  EXPECT_EQ(report.completed, 1u);  // m2: the guest exists, belief rebuilt
+  EXPECT_EQ(report.resumed, 1u);    // m3: re-sent under its original token
+  EXPECT_EQ(report.killed, 0u);
+  EXPECT_EQ(successor.placement_count(), 2u);
+
+  // Against the open partition, m3's re-send retries and gives up (entry
+  // rolled back, quota clean); m2's confirm chain parks at placed.
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(60));
+  EXPECT_EQ(journal_.Find(stuck_id)->state, JournalState::kRolledBack);
+  EXPECT_EQ(journal_.Find(placed_id)->state, JournalState::kPlaced);
+  EXPECT_EQ(successor.engine().admission().UsageFor("m3").modules, 0u);
+  EXPECT_EQ(successor.engine().admission().UsageFor("m2").modules, 1u);
+
+  // Heal: reconcile squares belief with actuality and re-arms the parked
+  // confirm chain, which walks m2 to steady state.
+  successor.SetPartitioned("platform1", false);
+  ReconcileReport heal = successor.ReconcilePlatform("platform1");
+  EXPECT_EQ(heal.lost, 0u);
+  EXPECT_GE(heal.rearmed, 1u);
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(5));
+  EXPECT_EQ(journal_.Find(placed_id)->state, JournalState::kCutover);
+  EXPECT_TRUE(successor.HasPlacement(placed_module));
+
+  // The rolled-back tenant can be re-deployed now that the platform is back.
+  auto redo = successor.Deploy(stuck_request);
+  EXPECT_TRUE(redo.outcome.accepted) << redo.outcome.reason;
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(5));
   ExpectJournalConverged(journal_);
 }
 

@@ -326,6 +326,67 @@ void RenderControlPlane(const std::vector<Instrument>& instruments) {
   std::printf("\n");
 }
 
+// Federated multi-PoP view: per-region fleet/degraded rows plus the
+// coordinator's digest, deploy, migration, and reconcile accounting. Dumps
+// that predate the federation layer have none of these instruments and
+// degrade to a one-line "no data" note.
+void RenderRegions(const std::vector<Instrument>& instruments) {
+  std::set<std::string> regions;
+  bool any = false;
+  for (const Instrument& inst : instruments) {
+    if (inst.name.rfind("innet_region_", 0) == 0 ||
+        inst.name.rfind("innet_federation_", 0) == 0) {
+      any = true;
+      const std::string* region = inst.Label("region");
+      if (region != nullptr) {
+        regions.insert(*region);
+      }
+    }
+  }
+  if (!any) {
+    std::printf("REGIONS: no data (dump predates the federation layer)\n\n");
+    return;
+  }
+  std::printf("REGIONS (%zu)\n", regions.size());
+  if (!regions.empty()) {
+    std::printf("  %-16s %10s %8s %9s %14s\n", "region", "platforms", "tenants", "degraded",
+                "queued_digests");
+    for (const std::string& region : regions) {
+      double degraded =
+          CounterValue(instruments, "innet_region_degraded", "region", region);
+      std::printf("  %-16s %10.0f %8.0f %9s %14.0f\n", region.c_str(),
+                  CounterValue(instruments, "innet_region_platforms", "region", region),
+                  CounterValue(instruments, "innet_region_tenants", "region", region),
+                  degraded > 0 ? "yes" : "no",
+                  CounterValue(instruments, "innet_region_queued_digests_total", "region",
+                               region));
+    }
+  }
+  std::printf("  digests: %.0f polled, %.0f received, %.0f lost, %.0f reordered\n",
+              CounterValue(instruments, "innet_federation_digests_total", "event", "polled"),
+              CounterValue(instruments, "innet_federation_digests_total", "event", "received"),
+              CounterValue(instruments, "innet_federation_digests_total", "event", "lost"),
+              CounterValue(instruments, "innet_federation_digests_total", "event", "reordered"));
+  std::printf("  deploys: %.0f accepted, %.0f failed over, %.0f unplaceable\n",
+              CounterValue(instruments, "innet_federation_deploys_total", "outcome", "accepted"),
+              CounterValue(instruments, "innet_federation_deploys_total", "outcome",
+                           "failed_over"),
+              CounterValue(instruments, "innet_federation_deploys_total", "outcome",
+                           "unplaceable"));
+  std::printf("  migrations: %.0f completed, %.0f aborted, %.0f lost\n",
+              CounterValue(instruments, "innet_federation_migrations_total", "outcome",
+                           "completed"),
+              CounterValue(instruments, "innet_federation_migrations_total", "outcome",
+                           "aborted"),
+              CounterValue(instruments, "innet_federation_migrations_total", "outcome", "lost"));
+  std::printf("  reconciles: %.0f stale beliefs dropped, %.0f modules discovered\n",
+              CounterValue(instruments, "innet_federation_reconcile_total", "outcome",
+                           "stale_dropped"),
+              CounterValue(instruments, "innet_federation_reconcile_total", "outcome",
+                           "discovered"));
+  std::printf("\n");
+}
+
 void RenderTotals(const std::vector<Instrument>& instruments) {
   std::printf("TOTALS\n");
   std::printf("  vms: %.0f running, %.0f suspended, %.0f crashed\n",
@@ -686,6 +747,7 @@ int RenderFromFiles(const std::string& metrics_path, const std::string& trace_pa
     RenderTenants(instruments, have_health ? &health_root : nullptr);
     RenderPlatforms(instruments);
     RenderControlPlane(instruments);
+    RenderRegions(instruments);
     RenderTotals(instruments);
   }
 
@@ -777,6 +839,7 @@ int RunLive(const std::string& config_path, const std::string& placement_policy)
   RenderTenants(instruments, nullptr);
   RenderPlatforms(instruments);
   RenderControlPlane(instruments);
+  RenderRegions(instruments);
   RenderTotals(instruments);
   RenderTraceSummary(obs::Tracer().ToJson());
   return 0;
