@@ -13,11 +13,17 @@
 // cross-region migration through the coordinator.
 //
 // The acceptance invariants: every deploy lands somewhere, the migration
-// completes, and after the final heal the coordinator holds zero stale
-// placement beliefs. Fixed seed, simulated clock: the JSON snapshot is
-// byte-identical across runs (scripts/ci.sh runs it twice and diffs).
+// completes as ONE connected span tree (the coordinator's root id propagates
+// through every WAN hop and region-local handler span — no orphans), and
+// after the final heal the coordinator holds zero stale placement beliefs.
+// Fixed seed, simulated clock: the JSON snapshot, the Perfetto trace, and
+// the fleet observability dump (--fleet-obs-out, default
+// BENCH_federation_failover_fleet.json) are byte-identical across runs
+// (scripts/ci.sh runs it twice and diffs all of them).
 #include <cstdio>
+#include <cstring>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,6 +31,7 @@
 #include "src/federation/coordinator.h"
 #include "src/federation/region.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault_injector.h"
 #include "src/topology/network.h"
 
@@ -74,7 +81,13 @@ obs::json::Value StatsJson(const DeployStats& stats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string fleet_out = "BENCH_federation_failover_fleet.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--fleet-obs-out") == 0) {
+      fleet_out = argv[i + 1];
+    }
+  }
   obs::Registry().ResetValues();
 
   sim::EventQueue clock;
@@ -83,6 +96,13 @@ int main() {
   plan.region_loss_p = 0.05;
   plan.region_delay_mean_ms = 1.0;
   sim::FaultInjector faults(plan);
+
+  // Tracing on for the whole run: the phase-3 acceptance check walks the
+  // migration's span tree, and the Perfetto export rides along as an
+  // artifact (sim-clock timestamps only, so it diffs clean across runs).
+  obs::Tracer().Clear();
+  obs::Tracer().Enable();
+  obs::Tracer().SetTimeSource([&clock] { return clock.now(); });
 
   std::vector<std::unique_ptr<RegionController>> regions;
   for (const char* name : kRegions) {
@@ -208,8 +228,46 @@ int main() {
     regions_degraded += region->degraded() ? 1 : 0;
     federation_tenants += region->orchestrator().placement_count();
   }
+  // --- Trace connectivity --------------------------------------------------
+  // The migration must render as ONE connected tree: every event reachable
+  // from the coordinator's root span via parent links, with no orphan parent
+  // references anywhere in the dump (a parent id that no recorded event
+  // owns would be a broken cross-region hand-off).
+  const std::vector<obs::TraceEvent>& events = obs::Tracer().events();
+  std::set<uint64_t> spans;
+  for (const obs::TraceEvent& event : events) {
+    spans.insert(event.span);
+  }
+  size_t orphan_spans = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (event.parent != 0 && spans.count(event.parent) == 0) {
+      ++orphan_spans;
+    }
+  }
+  size_t migration_tree_spans = 0;
+  if (migration.has_value() && migration->trace_id != 0) {
+    std::set<uint64_t> tree{migration->trace_id};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const obs::TraceEvent& event : events) {
+        if (event.parent != 0 && tree.count(event.parent) != 0 && tree.count(event.span) == 0) {
+          tree.insert(event.span);
+          grew = true;
+        }
+      }
+    }
+    migration_tree_spans = tree.size();
+  }
+  // Root + export hop + import hop + completion is the bare minimum; the
+  // region-local suspend/adopt spans push it well past that.
+  bool migration_trace_connected = migration_tree_spans >= 4 && orphan_spans == 0;
+  std::printf("trace: migration_tree_spans=%zu orphan_spans=%zu -> %s\n", migration_tree_spans,
+              orphan_spans, migration_trace_connected ? "connected" : "DISCONNECTED");
+
   bool converged = steady.rejected == 0 && dark.rejected == 0 && migrations_completed == 1 &&
-                   stale_beliefs == 0 && regions_degraded == 0 && reconcile_residual == 0;
+                   stale_beliefs == 0 && regions_degraded == 0 && reconcile_residual == 0 &&
+                   migration_trace_connected;
   std::printf("\nfinal: tenants=%zu stale_beliefs=%zu degraded_regions=%d -> %s\n",
               federation_tenants, stale_beliefs, regions_degraded,
               converged ? "CONVERGED" : "CONVERGENCE FAILURE");
@@ -227,6 +285,12 @@ int main() {
                 "beliefs");
   series.Higher("migrations_completed", migrations_completed, 0.0, "count");
   series.Higher("degraded_windows_observed", degraded_observed, 0.0, "regions");
+  series.Higher("migration_trace_connected", migration_trace_connected ? 1.0 : 0.0, 0.0, "bool");
+  series.Lower("trace_orphan_spans", static_cast<double>(orphan_spans), 0.0, "spans");
+  series.Higher("fleet_regions_tracked",
+                static_cast<double>(coordinator.fleet_view().region_count()), 0.0, "regions");
+  series.Lower("fleet_incidents_total",
+               static_cast<double>(coordinator.fleet_view().incidents().size()), 0.0, "incidents");
 
   obs::json::Value results = obs::json::Value::Object();
   results.Set("seed", kSeed);
@@ -242,8 +306,25 @@ int main() {
   results.Set("stale_beliefs", static_cast<uint64_t>(stale_beliefs));
   results.Set("federation_tenants", static_cast<uint64_t>(federation_tenants));
   results.Set("sim_end_ns", clock.now());
+  obs::json::Value trace_summary = obs::json::Value::Object();
+  trace_summary.Set("events", static_cast<uint64_t>(events.size()));
+  trace_summary.Set("orphan_spans", static_cast<uint64_t>(orphan_spans));
+  trace_summary.Set("migration_tree_spans", static_cast<uint64_t>(migration_tree_spans));
+  trace_summary.Set("migration_trace_id",
+                    migration.has_value() ? migration->trace_id : uint64_t{0});
+  results.Set("trace", std::move(trace_summary));
+  obs::Tracer().ExportMetrics(&obs::Registry());
   results.Set("metrics", obs::Registry().ToJson());
-  if (!bench::WriteBenchJson("federation_failover", std::move(results))) {
+
+  // Companion artifacts: the merged Perfetto trace (load the migration's
+  // tree in ui.perfetto.dev — see README) and the coordinator's fleet
+  // observability dump. Both deterministic; ci.sh diffs them across runs.
+  bool artifacts_ok =
+      obs::Tracer().WritePerfettoFile("BENCH_federation_failover_trace.json") &&
+      coordinator.fleet_view().WriteJsonFile(fleet_out, clock.now());
+  obs::Tracer().SetTimeSource(nullptr);  // clock dies before the global tracer
+  obs::Tracer().Enable(false);
+  if (!bench::WriteBenchJson("federation_failover", std::move(results)) || !artifacts_ok) {
     return 1;
   }
   return converged ? 0 : 1;

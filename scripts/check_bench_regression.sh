@@ -51,6 +51,14 @@ for name in "${benches[@]}"; do
     continue
   fi
   candidate="$workdir/BENCH_${name}.json"
+  # Benches that promise side artifacts must actually produce them — a bench
+  # that silently stopped writing its fleet dump would otherwise pass the
+  # series diff while breaking the innet_top --fleet pipeline.
+  if [ "$name" = "federation_failover" ] && [ ! -s "$workdir/BENCH_federation_failover_fleet.json" ]; then
+    echo "ERROR: $name did not write BENCH_federation_failover_fleet.json" >&2
+    fail=1
+    continue
+  fi
   if ./build/tools/innet_benchdiff "$baseline" "$candidate"; then
     echo "ok: $name matches its committed baseline"
   else

@@ -150,6 +150,7 @@ else
   fed_ok=1
   (cd build/bench && ./federation_failover >/dev/null) || fed_ok=0
   cp build/bench/BENCH_federation_failover.json build/bench/BENCH_federation_failover.run1.json 2>/dev/null
+  cp build/bench/BENCH_federation_failover_fleet.json build/bench/BENCH_federation_failover_fleet.run1.json 2>/dev/null
   (cd build/bench && ./federation_failover >/dev/null) || fed_ok=0
   if [ "$fed_ok" -ne 1 ]; then
     echo "ERROR: federation_failover reported a convergence failure" >&2
@@ -157,12 +158,15 @@ else
   elif ! cmp -s build/bench/BENCH_federation_failover.json build/bench/BENCH_federation_failover.run1.json; then
     echo "ERROR: BENCH_federation_failover.json differs between two runs at the same seed" >&2
     fail=1
+  elif ! cmp -s build/bench/BENCH_federation_failover_fleet.json build/bench/BENCH_federation_failover_fleet.run1.json; then
+    echo "ERROR: BENCH_federation_failover_fleet.json (fleet observability dump) differs between two runs at the same seed" >&2
+    fail=1
   elif ! cmp -s build/bench/BENCH_federation_failover.json BENCH_federation_failover.json; then
     echo "ERROR: regenerated BENCH_federation_failover.json differs from the committed snapshot" >&2
     echo "       (if the change is intentional: cp build/bench/BENCH_federation_failover.json .)" >&2
     fail=1
   else
-    echo "ok: federation_failover converged, byte-identical across runs, snapshot current"
+    echo "ok: federation_failover converged, byte-identical across runs (snapshot + fleet dump), snapshot current"
   fi
 fi
 

@@ -213,9 +213,11 @@ void ControlChannel::Send(const std::string& platform, const ControlRequest& req
   ++sent_;
   ctr_sent_->Increment();
   if (obs::Tracer().enabled()) {
+    // A request carrying a propagated trace context parents its channel-level
+    // send under that span, so WAN hops show up inside the federated tree.
     obs::Tracer().Record(clock_->now(), obs::EventKind::kControlSend, "platform:" + platform,
                          std::string(ControlOpName(request.op)) + ":" + request.tenant,
-                         static_cast<int64_t>(request.attempt_epoch));
+                         static_cast<int64_t>(request.attempt_epoch), request.parent_span);
   }
   if (IsPartitioned(platform)) {
     ++partition_dropped_;
@@ -272,7 +274,7 @@ ControlResponse ControlChannel::DeliverDirect(const std::string& platform,
   if (obs::Tracer().enabled()) {
     obs::Tracer().Record(clock_->now(), obs::EventKind::kControlSend, "platform:" + platform,
                          std::string(ControlOpName(request.op)) + ":" + request.tenant + ":direct",
-                         static_cast<int64_t>(request.attempt_epoch));
+                         static_cast<int64_t>(request.attempt_epoch), request.parent_span);
   }
   ControlResponse out;
   out.error = "control: operation did not complete synchronously";

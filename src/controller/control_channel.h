@@ -89,6 +89,18 @@ struct ControlRequest {
   // kRegionImport, empty otherwise). A string keeps src/controller free of
   // any dependency on the federation layer's types.
   std::string payload_json;
+  // Cross-region trace context (DESIGN.md §11). When trace_id is non-zero
+  // the sender is asking the receiving side to open its handler spans under
+  // parent_span, so a coordinator-routed operation (a federated deploy, a
+  // cross-region migration's export/import legs) renders as one connected
+  // span tree across regions instead of disconnected per-region fragments.
+  // trace_id names the tree's root span; origin_region names the minting
+  // side ("coordinator" for federation ops). Replays of a deduplicated
+  // request never re-run the handler, so a duplicate delivery can never emit
+  // duplicate child spans.
+  std::string origin_region;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 struct ControlResponse {

@@ -18,6 +18,7 @@ struct DeployAttempt {
   FederatedRequest request;
   std::vector<std::string> ranked;
   size_t index = 0;
+  uint64_t trace_id = 0;  // root span every hop of this deploy parents under
   FederationCoordinator::DeployCallback on_done;
 };
 
@@ -28,6 +29,7 @@ FederationCoordinator::FederationCoordinator(sim::EventQueue* clock, Coordinator
       client_(clock, &channel_, options.retry),
       alive_(std::make_shared<char>(0)) {
   channel_.set_fault_scope(controller::FaultScope::kRegion);
+  fleet_view_.set_staleness_window_ns(static_cast<uint64_t>(options_.staleness_window));
 }
 
 void FederationCoordinator::AddRegion(RegionController* region) {
@@ -144,6 +146,9 @@ void FederationCoordinator::AcceptDigest(const std::string& region, const Region
   state.digest = digest;
   state.received_ns = clock_->now();
   state.have_digest = true;
+  // Only *accepted* digests feed the fleet view: the seq guard above already
+  // discarded duplicates and reorders, so each delta counts exactly once.
+  fleet_view_.Ingest(region, digest.seq, clock_->now(), digest.degraded, digest.metric_samples);
   obs::Registry()
       .GetCounter("innet_federation_digests_total", {{"event", "received"}})
       ->Increment();
@@ -165,11 +170,13 @@ void FederationCoordinator::AcceptDigest(const std::string& region, const Region
 void FederationCoordinator::Deploy(const FederatedRequest& request, DeployCallback on_done) {
   std::vector<scheduler::RegionCandidate> candidates;
   const uint64_t now = clock_->now();
+  const std::vector<std::string> anomalous = fleet_view_.AnomalousRegions(now);
   candidates.reserve(regions_.size());
   for (const auto& [name, state] : regions_) {
     scheduler::RegionCandidate candidate;
     candidate.name = name;
     candidate.rtt_ms = ModelRtt(request.client_region, name);
+    candidate.anomalous = std::binary_search(anomalous.begin(), anomalous.end(), name);
     if (state.have_digest) {
       candidate.utilization = state.digest.utilization();
       candidate.degraded = state.digest.degraded;
@@ -183,6 +190,13 @@ void FederationCoordinator::Deploy(const FederatedRequest& request, DeployCallba
   attempt->request = request;
   attempt->ranked = scheduler::RankRegions(candidates);
   attempt->on_done = std::move(on_done);
+  if (obs::Tracer().enabled()) {
+    // Root of the federated operation: every WAN hop and every region-local
+    // handler span parents under this id via the propagated trace context.
+    attempt->trace_id = obs::Tracer().Record(
+        now, obs::EventKind::kRegionDeploy, "client:" + request.request.client_id,
+        "federated deploy from " + request.client_region);
+  }
   TryDeploy(std::move(attempt));
 }
 
@@ -194,6 +208,7 @@ void FederationCoordinator::TryDeploy(std::shared_ptr<DeployAttempt> attempt) {
     FederatedDeploy out;
     out.error = "federation: no region accepted " + attempt->request.request.client_id;
     out.attempts = attempt->index;
+    out.trace_id = attempt->trace_id;
     attempt->on_done(out);
     return;
   }
@@ -203,6 +218,9 @@ void FederationCoordinator::TryDeploy(std::shared_ptr<DeployAttempt> attempt) {
   request.tenant = attempt->request.request.client_id;
   request.attempt_epoch = MintEpoch();
   request.payload_json = ClientRequestToJson(attempt->request.request).ToString();
+  request.origin_region = "coordinator";
+  request.trace_id = attempt->trace_id;
+  request.parent_span = attempt->trace_id;
   std::weak_ptr<char> watch = alive_;
   client_.Issue(region, request, [this, watch, attempt, region](ControlResponse response) {
     if (watch.expired()) {
@@ -220,6 +238,7 @@ void FederationCoordinator::TryDeploy(std::shared_ptr<DeployAttempt> attempt) {
     out.region = region;
     out.attempts = attempt->index + 1;
     out.failed_over = attempt->index > 0;
+    out.trace_id = attempt->trace_id;
     obs::json::Value payload;
     std::string error;
     if (obs::json::Value::Parse(response.payload_json, &payload, &error)) {
@@ -242,7 +261,7 @@ void FederationCoordinator::TryDeploy(std::shared_ptr<DeployAttempt> attempt) {
                            "client:" + attempt->request.request.client_id,
                            "region=" + region + " module=" + out.module_id +
                                (out.failed_over ? " failed_over" : ""),
-                           static_cast<int64_t>(out.attempts));
+                           static_cast<int64_t>(out.attempts), attempt->trace_id);
     }
     attempt->on_done(out);
   });
@@ -254,6 +273,13 @@ void FederationCoordinator::Migrate(const std::string& module_id,
   FederatedMigration out;
   out.module_id = module_id;
   out.target_region = target_region;
+  if (obs::Tracer().enabled()) {
+    // Root span of the migration: export, import, and (on rollback) the
+    // source re-import all carry this id, so a cross-region move renders as
+    // one connected tree even though it touches two regions' tracers.
+    out.trace_id = obs::Tracer().Record(clock_->now(), obs::EventKind::kRegionMigrate,
+                                        "module:" + module_id, "requested -> " + target_region);
+  }
   auto belief = beliefs_.find(module_id);
   if (belief == beliefs_.end()) {
     out.error = "federation: no placement belief for " + module_id;
@@ -275,6 +301,9 @@ void FederationCoordinator::Migrate(const std::string& module_id,
   export_request.op = ControlOp::kRegionExport;
   export_request.tenant = module_id;
   export_request.attempt_epoch = MintEpoch();
+  export_request.origin_region = "coordinator";
+  export_request.trace_id = out.trace_id;
+  export_request.parent_span = out.trace_id;
   std::weak_ptr<char> watch = alive_;
   client_.Issue(out.source_region, export_request,
                 [this, watch, out, on_done](ControlResponse exported) mutable {
@@ -307,6 +336,9 @@ void FederationCoordinator::Migrate(const std::string& module_id,
     import_request.attempt_epoch = MintEpoch();
     import_request.payload_json = ClientRequestToJson(request).ToString();
     import_request.moved = moved;
+    import_request.origin_region = "coordinator";
+    import_request.trace_id = out.trace_id;
+    import_request.parent_span = out.trace_id;
     client_.Issue(out.target_region, import_request,
                   [this, watch, out, on_done, request, moved](ControlResponse imported) mutable {
       if (watch.expired()) {
@@ -336,6 +368,9 @@ void FederationCoordinator::Migrate(const std::string& module_id,
       undo.attempt_epoch = MintEpoch();
       undo.payload_json = ClientRequestToJson(request).ToString();
       undo.moved = moved;
+      undo.origin_region = "coordinator";
+      undo.trace_id = out.trace_id;
+      undo.parent_span = out.trace_id;
       client_.Issue(out.source_region, undo,
                     [this, watch, out, on_done, imported](ControlResponse restored) mutable {
         if (watch.expired()) {
@@ -378,7 +413,8 @@ void FederationCoordinator::FinishMigration(const FederatedMigration& result,
                          "module:" + result.module_id,
                          std::string(outcome) + " " + result.source_region + " -> " +
                              result.target_region +
-                             (result.new_module_id.empty() ? "" : " as " + result.new_module_id));
+                             (result.new_module_id.empty() ? "" : " as " + result.new_module_id),
+                         0, result.trace_id);
   }
   on_done(result);
 }

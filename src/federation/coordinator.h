@@ -25,6 +25,7 @@
 
 #include "src/controller/control_channel.h"
 #include "src/federation/region.h"
+#include "src/obs/fleetview.h"
 #include "src/scheduler/policy.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/fault_injector.h"
@@ -64,6 +65,10 @@ struct FederatedDeploy {
   std::string platform;
   size_t attempts = 0;     // regions tried (1 = first choice accepted)
   bool failed_over = false;
+  // Root span of the federated operation: every cross-region hop and every
+  // region-local child span parents under it, so the merged dump renders the
+  // whole deploy as one connected tree. 0 when tracing is disabled.
+  uint64_t trace_id = 0;
 };
 
 struct FederatedMigration {
@@ -74,6 +79,7 @@ struct FederatedMigration {
   std::string new_module_id;  // id in the adopting region (on success)
   std::string source_region;
   std::string target_region;
+  uint64_t trace_id = 0;  // root span of the migration (see FederatedDeploy)
 };
 
 class FederationCoordinator {
@@ -131,6 +137,13 @@ class FederationCoordinator {
   // Beliefs no region's last-known digest backs (0 after a full reconcile).
   size_t StaleBeliefCount() const;
 
+  // The fleet-wide observability view: every accepted digest's metrics
+  // snapshot lands here (deltas, EWMA anomaly flags, correlated incidents).
+  // Placement consults AnomalousRegions() so flagged regions rank last among
+  // their freshness class; benches dump it via WriteJsonFile.
+  obs::FleetView& fleet_view() { return fleet_view_; }
+  const obs::FleetView& fleet_view() const { return fleet_view_; }
+
   // Last digest received from `region`, or nullptr before the first one.
   const RegionDigest* ViewOf(const std::string& region) const;
   // Believed region of a module ("" when unknown).
@@ -159,6 +172,7 @@ class FederationCoordinator {
   controller::ControlClient client_;
   uint64_t epoch_seq_ = 0;
   bool polling_ = false;
+  obs::FleetView fleet_view_;
   std::map<std::string, RegionState> regions_;
   std::map<std::string, double> rtt_override_;      // "from|to" -> ms
   std::map<std::string, std::string> beliefs_;      // module id -> region

@@ -94,6 +94,11 @@ obs::json::Value RegionDigest::ToJson() const {
     modules.Push(module);
   }
   v.Set("live_modules", std::move(modules));
+  obs::json::Value metrics = obs::json::Value::Object();
+  for (const auto& [name, value] : metric_samples) {
+    metrics.Set(name, value);
+  }
+  v.Set("metrics", std::move(metrics));
   return v;
 }
 
@@ -127,6 +132,15 @@ bool RegionDigest::FromJson(const obs::json::Value& value, RegionDigest* out,
       modules != nullptr && modules->is_array()) {
     for (size_t i = 0; i < modules->size(); ++i) {
       out->live_modules.push_back(modules->at(i).string_value());
+    }
+  }
+  out->metric_samples.clear();
+  if (const obs::json::Value* metrics = value.Find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    for (const auto& [name, sample] : metrics->members()) {
+      if (sample.is_number()) {
+        out->metric_samples[name] = static_cast<uint64_t>(sample.int_number());
+      }
     }
   }
   return true;
@@ -164,11 +178,30 @@ RegionDigest RegionController::BuildDigest() {
   }
   std::sort(digest.live_modules.begin(), digest.live_modules.end());
   digest.tenants = digest.live_modules.size();
+  // The fleet-aggregation snapshot: cumulative counters from the region's
+  // own control plane (never the process-wide registry, which a simulated
+  // multi-region run shares). Keys are stable wire names, sorted by the map.
+  // Strictly cumulative counters only: FleetView's per-digest deltas treat a
+  // shrinking value as a counter reset, so a gauge (memory, live tenants —
+  // both already first-class digest fields) would read as a reset storm.
+  digest.metric_samples["control_giveups"] = orch_.control_client().giveups();
+  digest.metric_samples["control_retries"] = orch_.control_client().retries();
+  digest.metric_samples["control_timeouts"] = orch_.control_client().timeouts();
+  digest.metric_samples["deploys_served"] =
+      static_cast<uint64_t>(orch_.controller().deployments().size());
   return digest;
 }
 
 void RegionController::HandleRegionOp(const ControlRequest& request, RespondFn respond) {
   NoteCoordinatorContact();
+  // Propagated trace context: spans the handler opens (the orchestrator's
+  // deploy / import trees) parent under the coordinator's span, so a
+  // federated operation renders as one connected tree. Replays never reach
+  // this handler (the endpoint answers them from its dedup cache), so a
+  // WAN-duplicated request cannot emit duplicate child spans. A zero id is a
+  // no-op.
+  obs::ScopedParent trace_parent(obs::Tracer(),
+                                 request.trace_id != 0 ? request.parent_span : 0);
   ControlResponse response;
   switch (request.op) {
     case ControlOp::kRegionDigest: {

@@ -16,6 +16,7 @@
 #ifndef SRC_FEDERATION_REGION_H_
 #define SRC_FEDERATION_REGION_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,14 @@ struct RegionDigest {
   uint64_t memory_total = 0;
   uint64_t memory_used = 0;
   std::vector<std::string> live_modules;  // sorted module ids
+  // Compact cumulative metrics snapshot for fleet-level aggregation: counters
+  // the region reads off its own orchestrator (deploys served, control-plane
+  // retry economics, ...), merged coordinator-side by obs::FleetView. A
+  // sorted map so the wire encoding is deterministic. Cumulative values (not
+  // deltas) ride the wire: the coordinator's seq guard discards duplicated /
+  // reordered digests, so deltas are computed exactly once per accepted seq
+  // and a WAN duplicate can never double-count.
+  std::map<std::string, uint64_t> metric_samples;
 
   double utilization() const {
     return memory_total == 0 ? 0.0

@@ -78,6 +78,12 @@ std::vector<std::string> RankRegions(const std::vector<RegionCandidate>& regions
                      if (a_suspect != b_suspect) {
                        return !a_suspect;
                      }
+                     // Anomaly flags demote within the freshness class: a
+                     // region with a metric burst keeps serving, but only
+                     // after every quiet region had its chance.
+                     if (a->anomalous != b->anomalous) {
+                       return !a->anomalous;
+                     }
                      double sa = score(*a);
                      double sb = score(*b);
                      if (sa != sb) {

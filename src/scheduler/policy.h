@@ -48,12 +48,16 @@ struct RegionCandidate {
   double utilization = 0.0;  // memory utilization from the last digest
   bool degraded = false;     // region self-reported degraded (partition) mode
   bool stale = false;        // digest older than the coordinator's staleness window
+  bool anomalous = false;    // fleet view flagged a metric anomaly in this region
 };
 
 // Latency-aware cross-region ranking: fresh, non-degraded regions first,
 // ordered by rtt_ms + utilization * 50 (a full region costs as much as 50 ms
 // of extra RTT); stale or degraded regions follow in the same score order as
-// a last resort. Ties break by name — deterministic for a given view.
+// a last resort. Within each freshness class, regions carrying an active
+// anomaly flag rank after quiet ones — an anomalous region still serves, it
+// just stops being anyone's first choice. Ties break by name — deterministic
+// for a given view.
 std::vector<std::string> RankRegions(const std::vector<RegionCandidate>& regions);
 
 }  // namespace innet::scheduler

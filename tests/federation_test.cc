@@ -6,13 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "src/federation/coordinator.h"
 #include "src/federation/region.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/scheduler/policy.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault_injector.h"
 #include "src/topology/network.h"
 
 namespace innet::federation {
@@ -108,6 +112,24 @@ TEST(RankRegions, PrefersLowRttThenLoadAndDemotesSuspects) {
   // the best RTT; among themselves they keep score order (tie -> name).
   EXPECT_EQ(ranked[3], "nearest-degraded");
   EXPECT_EQ(ranked[4], "nearest-stale");
+}
+
+TEST(RankRegions, AnomalousRegionsDemoteWithinTheirFreshnessClass) {
+  std::vector<scheduler::RegionCandidate> candidates;
+  candidates.push_back({"quiet-far", 40.0, 0.0, false, false, false});
+  candidates.push_back({"anomalous-near", 5.0, 0.0, false, false, true});
+  candidates.push_back({"quiet-near", 10.0, 0.0, false, false, false});
+  candidates.push_back({"stale-quiet", 2.0, 0.0, false, true, false});
+
+  std::vector<std::string> ranked = scheduler::RankRegions(candidates);
+  ASSERT_EQ(ranked.size(), 4u);
+  // The anomaly flag demotes past every quiet fresh region (even with the
+  // best score) but not past the suspect class: a flagged fresh region is
+  // still a better bet than a stale belief.
+  EXPECT_EQ(ranked[0], "quiet-near");
+  EXPECT_EQ(ranked[1], "quiet-far");
+  EXPECT_EQ(ranked[2], "anomalous-near");
+  EXPECT_EQ(ranked[3], "stale-quiet");
 }
 
 // --- Digests and placement -------------------------------------------------------------
@@ -320,6 +342,148 @@ TEST(Federation, HealReconcilesBeliefsAgainstAutonomousRegionChanges) {
   FederationCoordinator::ReconcileOutcome again = coordinator.ReconcileRegion("east");
   EXPECT_EQ(again.stale_dropped, 0u);
   EXPECT_EQ(again.discovered, 0u);
+}
+
+// --- Cross-region trace propagation ----------------------------------------------------
+
+TEST(Federation, CrossRegionMigrationFormsOneConnectedSpanTree) {
+  sim::EventQueue clock;
+  obs::Tracer().Clear();
+  obs::Tracer().Enable();
+  obs::Tracer().SetTimeSource([&clock] { return clock.now(); });
+
+  RegionController east = MakeRegion("east", &clock);
+  RegionController west = MakeRegion("west", &clock);
+  FederationCoordinator coordinator(&clock);
+  coordinator.AddRegion(&east);
+  coordinator.AddRegion(&west);
+  coordinator.StartDigestPolling();
+
+  FederatedRequest federated;
+  federated.request = StatefulRequest("mover");
+  federated.client_region = "east";
+  std::optional<FederatedDeploy> deployed;
+  coordinator.Deploy(federated, [&](const FederatedDeploy& r) { deployed = r; });
+  ASSERT_TRUE(deployed.has_value() && deployed->ok);
+  EXPECT_NE(deployed->trace_id, 0u);
+  clock.RunUntil(clock.now() + sim::FromSeconds(2));
+
+  std::optional<FederatedMigration> migration;
+  coordinator.Migrate(deployed->module_id, "west",
+                      [&](const FederatedMigration& r) { migration = r; });
+  clock.RunUntil(clock.now() + sim::FromSeconds(10));
+
+  std::vector<obs::TraceEvent> events = obs::Tracer().events();
+  obs::Tracer().Clear();
+  obs::Tracer().Enable(false);
+  obs::Tracer().SetTimeSource(nullptr);
+
+  ASSERT_TRUE(migration.has_value());
+  ASSERT_TRUE(migration->ok) << migration->error;
+  ASSERT_NE(migration->trace_id, 0u);
+
+  // No orphans: every parented event points at a recorded span. This is the
+  // invariant trace propagation buys — the export leg in east and the import
+  // leg in west hang off the coordinator's root instead of floating free.
+  std::set<uint64_t> spans;
+  for (const obs::TraceEvent& event : events) spans.insert(event.span);
+  for (const obs::TraceEvent& event : events) {
+    EXPECT_TRUE(event.parent == 0 || spans.count(event.parent))
+        << "orphan parent on " << event.target;
+  }
+
+  // The migration root reaches a connected tree spanning both regions: grow
+  // the reachable set until fixpoint, then demand the cross-region legs.
+  std::set<uint64_t> tree = {migration->trace_id};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const obs::TraceEvent& event : events) {
+      if (tree.count(event.parent) && !tree.count(event.span)) {
+        tree.insert(event.span);
+        grew = true;
+      }
+    }
+  }
+  size_t in_tree = 0;
+  size_t control_sends = 0;
+  bool completion_in_tree = false;
+  for (const obs::TraceEvent& event : events) {
+    if (!tree.count(event.span)) continue;
+    ++in_tree;
+    if (event.kind == obs::EventKind::kControlSend) ++control_sends;
+    if (event.kind == obs::EventKind::kRegionMigrate && event.span != migration->trace_id) {
+      completion_in_tree = true;
+    }
+  }
+  EXPECT_GE(in_tree, 6u) << "migration tree too small to span export+import";
+  EXPECT_GE(control_sends, 2u) << "both WAN legs should be in the tree";
+  EXPECT_TRUE(completion_in_tree) << "completion event must parent to the root";
+}
+
+TEST(Federation, DuplicatedWanRequestsDoNotDuplicateSpansOrFleetDeltas) {
+  sim::EventQueue clock;
+  obs::Tracer().Clear();
+  obs::Tracer().Enable();
+  obs::Tracer().SetTimeSource([&clock] { return clock.now(); });
+
+  RegionController east = MakeRegion("east", &clock);
+  RegionController west = MakeRegion("west", &clock);
+  FederationCoordinator coordinator(&clock);
+  coordinator.AddRegion(&east);
+  coordinator.AddRegion(&west);
+
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.region_dup_p = 0.5;
+  plan.region_reorder_p = 0.3;
+  plan.region_delay_mean_ms = 2.0;
+  sim::FaultInjector faults(plan);
+  coordinator.SetFaultInjector(&faults);
+
+  uint64_t received_before = static_cast<uint64_t>(
+      obs::Registry()
+          .GetCounter("innet_federation_digests_total", {{"event", "received"}})
+          ->value());
+  coordinator.StartDigestPolling();
+
+  FederatedRequest federated;
+  federated.request = StatefulRequest("dup-tenant");
+  federated.client_region = "east";
+  std::optional<FederatedDeploy> result;
+  coordinator.Deploy(federated, [&](const FederatedDeploy& r) { result = r; });
+  clock.RunUntil(clock.now() + sim::FromSeconds(30));
+
+  std::vector<obs::TraceEvent> events = obs::Tracer().events();
+  obs::Tracer().Clear();
+  obs::Tracer().Enable(false);
+  obs::Tracer().SetTimeSource(nullptr);
+
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->ok) << result->error;
+  EXPECT_GT(faults.region_duplicated(), 0u) << "plan should have injected duplicates";
+
+  // Endpoint dedup answers WAN replays from the response cache without
+  // re-running the handler, so the handler-side deploy span exists exactly
+  // once no matter how many copies of the request arrived.
+  size_t deploy_requests = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (event.kind == obs::EventKind::kDeployRequest &&
+        event.target == "client:dup-tenant") {
+      ++deploy_requests;
+    }
+  }
+  EXPECT_EQ(deploy_requests, 1u);
+  EXPECT_EQ(east.orchestrator().placement_count() + west.orchestrator().placement_count(), 1u);
+
+  // FleetView ingestion stays in lockstep with the digests the coordinator
+  // actually accepted: duplicated/reordered WAN copies never double-count.
+  uint64_t received_after = static_cast<uint64_t>(
+      obs::Registry()
+          .GetCounter("innet_federation_digests_total", {{"event", "received"}})
+          ->value());
+  EXPECT_EQ(coordinator.fleet_view().ingests(), received_after - received_before);
+  EXPECT_EQ(coordinator.fleet_view().FleetTotal("deploys_served"), 1u);
 }
 
 }  // namespace

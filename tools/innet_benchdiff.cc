@@ -61,6 +61,16 @@ void PrintReport(const BenchDiffReport& report) {
                 entry.status.c_str(), entry.baseline, entry.candidate, entry.change_pct,
                 entry.tolerance_pct, entry.direction.c_str());
   }
+  // A series only the candidate carries is not a regression — the baseline
+  // simply predates it. Say so explicitly per series, so a gate run against
+  // an old baseline reads as "refresh the baseline", not as a bare failure.
+  for (const BenchDiffEntry& entry : report.entries) {
+    if (entry.status == "new") {
+      std::printf("note: %s is new in the candidate (baseline predates it; refresh the "
+                  "baseline to gate it)\n",
+                  entry.metric.c_str());
+    }
+  }
   std::printf("%zu regression%s\n", report.regressions, report.regressions == 1 ? "" : "s");
 }
 
@@ -154,6 +164,17 @@ int SelfTest() {
   // 9. Malformed docs are rejected.
   json::Value empty = json::Value::Object();
   ok &= Expect(!DiffBenchJson(base, empty, &report, &error), "doc without results is rejected");
+
+  // 10. A fleet-observability series added after the baseline was committed
+  // (the federated-metrics rollout case) is "new", never a regression: the
+  // gate must keep passing until the baseline is refreshed.
+  BenchSeriesEntry fleet_incidents{"fleet_incidents_total", 0.0, "lower_is_better", 0.0,
+                                   "incidents"};
+  ok &= Expect(
+      DiffBenchJson(base, MakeDoc("demo", {rate, latency, giveups, fleet_incidents}), &report,
+                    &error) &&
+          report.ok() && report.entries.size() == 4 && report.entries[3].status == "new",
+      "a candidate-only fleet series must report as new and keep the gate green");
 
   std::printf("innet_benchdiff self-test: %s\n", ok ? "PASSED" : "FAILED");
   return ok ? 0 : 2;

@@ -387,6 +387,105 @@ void RenderRegions(const std::vector<Instrument>& instruments) {
   std::printf("\n");
 }
 
+// Fleet observability dump (--fleet, the coordinator's FleetView written by
+// bench/federation_failover or any coordinator embedder): per-region
+// freshness/anomaly rows, the merged fleet series, and correlated incidents.
+// A dump without the top-level "fleet" key (truncated, or predates the
+// federated observability plane) degrades to a one-line "no data" note.
+void RenderFleet(const obs::json::Value& root) {
+  const obs::json::Value* fleet = root.Find("fleet");
+  if (fleet == nullptr || !fleet->is_object()) {
+    std::printf("FLEET: no data (dump has no fleet object)\n\n");
+    return;
+  }
+  const obs::json::Value* regions = fleet->Find("regions");
+  const obs::json::Value* ingests = fleet->Find("ingests");
+  std::printf("FLEET (%zu regions, %lld digests ingested)\n",
+              regions != nullptr && regions->is_array() ? regions->size() : 0,
+              ingests != nullptr ? static_cast<long long>(ingests->int_number()) : 0);
+  if (regions != nullptr && regions->is_array() && regions->size() > 0) {
+    std::printf("  %-16s %9s %8s %6s %9s %10s\n", "region", "last_seq", "ingests", "stale",
+                "degraded", "anomalous");
+    for (size_t i = 0; i < regions->size(); ++i) {
+      const obs::json::Value& region = regions->at(i);
+      const auto* name = region.Find("region");
+      const auto* last_seq = region.Find("last_seq");
+      const auto* region_ingests = region.Find("ingests");
+      const auto* stale = region.Find("stale");
+      const auto* degraded = region.Find("degraded");
+      const auto* anomalous = region.Find("anomalous");
+      std::printf("  %-16s %9lld %8lld %6s %9s %10s\n",
+                  name != nullptr ? name->string_value().c_str() : "?",
+                  last_seq != nullptr ? static_cast<long long>(last_seq->int_number()) : 0,
+                  region_ingests != nullptr
+                      ? static_cast<long long>(region_ingests->int_number())
+                      : 0,
+                  stale != nullptr && stale->bool_value() ? "yes" : "no",
+                  degraded != nullptr && degraded->bool_value() ? "yes" : "no",
+                  anomalous != nullptr && anomalous->bool_value() ? "yes" : "no");
+    }
+  }
+  const obs::json::Value* series = fleet->Find("series");
+  if (series != nullptr && series->is_array() && series->size() > 0) {
+    std::printf("  %-28s %12s %s\n", "series", "fleet_total", "flagged_regions");
+    for (size_t i = 0; i < series->size(); ++i) {
+      const obs::json::Value& entry = series->at(i);
+      const auto* metric = entry.Find("metric");
+      const auto* total = entry.Find("fleet_total");
+      std::string flagged;
+      const obs::json::Value* per_region = entry.Find("regions");
+      if (per_region != nullptr && per_region->is_array()) {
+        for (size_t r = 0; r < per_region->size(); ++r) {
+          const auto* flag = per_region->at(r).Find("flagged");
+          const auto* name = per_region->at(r).Find("region");
+          if (flag != nullptr && flag->bool_value() && name != nullptr) {
+            flagged += (flagged.empty() ? "" : " ") + name->string_value();
+          }
+        }
+      }
+      std::printf("  %-28s %12lld %s\n",
+                  metric != nullptr ? metric->string_value().c_str() : "?",
+                  total != nullptr ? static_cast<long long>(total->int_number()) : 0,
+                  flagged.empty() ? "-" : flagged.c_str());
+    }
+  }
+  const obs::json::Value* totals = fleet->Find("incident_totals");
+  if (totals != nullptr && totals->is_object()) {
+    const auto* fleet_scope = totals->Find("fleet");
+    const auto* regional_scope = totals->Find("regional");
+    std::printf("  incidents: %lld fleet-wide, %lld regional\n",
+                fleet_scope != nullptr ? static_cast<long long>(fleet_scope->int_number()) : 0,
+                regional_scope != nullptr
+                    ? static_cast<long long>(regional_scope->int_number())
+                    : 0);
+  }
+  const obs::json::Value* incidents = fleet->Find("incidents");
+  if (incidents != nullptr && incidents->is_array()) {
+    for (size_t i = 0; i < incidents->size(); ++i) {
+      const obs::json::Value& incident = incidents->at(i);
+      const auto* t_ns = incident.Find("t_ns");
+      const auto* metric = incident.Find("metric");
+      const auto* scope = incident.Find("scope");
+      const auto* value = incident.Find("value");
+      const auto* baseline = incident.Find("baseline");
+      std::string names;
+      const obs::json::Value* implicated = incident.Find("regions");
+      if (implicated != nullptr && implicated->is_array()) {
+        for (size_t r = 0; r < implicated->size(); ++r) {
+          names += (names.empty() ? "" : " ") + implicated->at(r).string_value();
+        }
+      }
+      std::printf("  t=%.3fs %-8s %-24s [%s] value %.4g vs baseline %.4g\n",
+                  t_ns != nullptr ? static_cast<double>(t_ns->int_number()) / 1e9 : 0.0,
+                  scope != nullptr ? scope->string_value().c_str() : "?",
+                  metric != nullptr ? metric->string_value().c_str() : "?", names.c_str(),
+                  value != nullptr ? value->number() : 0.0,
+                  baseline != nullptr ? baseline->number() : 0.0);
+    }
+  }
+  std::printf("\n");
+}
+
 void RenderTotals(const std::vector<Instrument>& instruments) {
   std::printf("TOTALS\n");
   std::printf("  vms: %.0f running, %.0f suspended, %.0f crashed\n",
@@ -691,7 +790,7 @@ void RenderTrends(const obs::json::Value& root) {
 
 int RenderFromFiles(const std::string& metrics_path, const std::string& trace_path,
                     const std::string& health_path, const std::string& postmortem_path,
-                    const std::string& timeseries_path) {
+                    const std::string& timeseries_path, const std::string& fleet_path) {
   std::string text;
   std::string error;
 
@@ -783,6 +882,17 @@ int RenderFromFiles(const std::string& metrics_path, const std::string& trace_pa
       RenderTrends(ts_root);
     }
   }
+
+  if (!fleet_path.empty()) {
+    obs::json::Value fleet_root;
+    if (!ReadFile(fleet_path, &text, &error)) {
+      std::printf("FLEET: no data (%s)\n\n", error.c_str());
+    } else if (!obs::json::Value::Parse(text, &fleet_root, &error)) {
+      std::printf("FLEET: no data (%s: %s)\n\n", fleet_path.c_str(), error.c_str());
+    } else {
+      RenderFleet(fleet_root);
+    }
+  }
   return 0;
 }
 
@@ -853,6 +963,7 @@ int main(int argc, char** argv) {
   std::string health_path;
   std::string postmortem_path;
   std::string timeseries_path;
+  std::string fleet_path;
   std::string run_config;
   std::string placement_policy;
   for (int i = 1; i < argc; ++i) {
@@ -867,6 +978,8 @@ int main(int argc, char** argv) {
       postmortem_path = argv[++i];
     } else if (arg == "--timeseries" && i + 1 < argc) {
       timeseries_path = argv[++i];
+    } else if (arg == "--fleet" && i + 1 < argc) {
+      fleet_path = argv[++i];
     } else if (arg == "--run" && i + 1 < argc) {
       run_config = argv[++i];
     } else if (arg == "--placement-policy" && i + 1 < argc) {
@@ -874,21 +987,24 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --metrics FILE [--trace FILE] [--health FILE] "
-                   "[--postmortem FILE] [--timeseries FILE]\n"
+                   "[--postmortem FILE] [--timeseries FILE] [--fleet FILE]\n"
                    "       %s --postmortem FILE\n"
                    "       %s --timeseries FILE\n"
+                   "       %s --fleet FILE\n"
                    "       %s --run CONFIG [--placement-policy POLICY]\n",
-                   argv[0], argv[0], argv[0], argv[0]);
+                   argv[0], argv[0], argv[0], argv[0], argv[0]);
       return 2;
     }
   }
   if (!run_config.empty()) {
     return RunLive(run_config, placement_policy);
   }
-  if (metrics_path.empty() && postmortem_path.empty() && timeseries_path.empty()) {
-    std::fprintf(stderr, "one of --metrics, --postmortem, --timeseries, or --run is required\n");
+  if (metrics_path.empty() && postmortem_path.empty() && timeseries_path.empty() &&
+      fleet_path.empty()) {
+    std::fprintf(stderr,
+                 "one of --metrics, --postmortem, --timeseries, --fleet, or --run is required\n");
     return 2;
   }
   return RenderFromFiles(metrics_path, trace_path, health_path, postmortem_path,
-                         timeseries_path);
+                         timeseries_path, fleet_path);
 }
