@@ -27,4 +27,8 @@ ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
   echo "check_asan: federation_failover did not write its fleet dump" >&2
   exit 1
 }
-echo "check_asan: control_chaos + federation_failover clean under ASan+UBSan"
+# And the INT conformance bench: packets carrying in-band hop stacks survive
+# queueing and deferred TimedUnqueue releases, so a stale-postcard completion
+# after graph mutation/teardown is exactly an ASan-shaped bug.
+(cd "${BUILD}/bench" && ./int_conformance >/dev/null)
+echo "check_asan: control_chaos + federation_failover + int_conformance clean under ASan+UBSan"

@@ -13,6 +13,11 @@
 # a wire name in EventKindName(): an unmapped kind serializes as "unknown",
 # which would silently corrupt trace dumps and flight-recorder postmortem
 # bundles (both reuse the same wire names).
+#
+# Both directions are linted: code→docs (a registered metric missing from
+# DESIGN.md) above, and docs→code (a documented `innet_*` metric no longer
+# registered anywhere — a stale row that would send an operator hunting for a
+# counter that does not exist) below.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -23,6 +28,20 @@ while IFS= read -r name; do
     missing=1
   fi
 done < <(grep -rhoE '"innet_[a-z0-9_]+"' src tools bench | tr -d '"' | sort -u)
+
+# Reverse direction: every backticked innet_* name DESIGN.md documents as a
+# metric must still be registered in code. Tool binaries share the prefix, so
+# they are allowlisted by name.
+tool_names='^innet_(run|top|check|benchdiff)$'
+while IFS= read -r name; do
+  if echo "$name" | grep -qE "$tool_names"; then
+    continue
+  fi
+  if ! grep -rqF "\"$name\"" src tools bench; then
+    echo "ERROR: metric $name is documented in DESIGN.md but registered nowhere in code" >&2
+    missing=1
+  fi
+done < <(grep -ohE '`innet_[a-z0-9_]+' DESIGN.md | tr -d '\`' | sort -u)
 
 while IFS= read -r kind; do
   if ! grep -q "\`$kind\`" DESIGN.md; then

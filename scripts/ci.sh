@@ -142,6 +142,30 @@ else
   fi
 fi
 
+step "INT conformance bench (determinism: two runs must be byte-identical)"
+if [ ! -x build/bench/int_conformance ]; then
+  echo "ERROR: build/bench/int_conformance missing — build step failed?" >&2
+  fail=1
+else
+  int_ok=1
+  (cd build/bench && ./int_conformance >/dev/null) || int_ok=0
+  cp build/bench/BENCH_int_conformance.json build/bench/BENCH_int_conformance.run1.json 2>/dev/null
+  (cd build/bench && ./int_conformance >/dev/null) || int_ok=0
+  if [ "$int_ok" -ne 1 ]; then
+    echo "ERROR: int_conformance reported an attestation failure" >&2
+    fail=1
+  elif ! cmp -s build/bench/BENCH_int_conformance.json build/bench/BENCH_int_conformance.run1.json; then
+    echo "ERROR: BENCH_int_conformance.json differs between two runs at the same seed" >&2
+    fail=1
+  elif ! cmp -s build/bench/BENCH_int_conformance.json BENCH_int_conformance.json; then
+    echo "ERROR: regenerated BENCH_int_conformance.json differs from the committed snapshot" >&2
+    echo "       (if the change is intentional: cp build/bench/BENCH_int_conformance.json .)" >&2
+    fail=1
+  else
+    echo "ok: int_conformance attested clean/violated phases, byte-identical across runs, snapshot current"
+  fi
+fi
+
 step "federation failover bench (determinism: two runs must be byte-identical)"
 if [ ! -x build/bench/federation_failover ]; then
   echo "ERROR: build/bench/federation_failover missing — build step failed?" >&2

@@ -75,7 +75,7 @@ void Element::SetPorts(int inputs, int outputs) {
 
 void Element::ForwardProfiled(const PortTarget& target, Packet& packet) {
   GraphProfiler* profiler = context_->profiler;
-  profiler->EnterElement(*target.element, packet);
+  profiler->EnterElement(*target.element, packet, target.port);
   target.element->Push(target.port, packet);
   profiler->ExitElement();
 }

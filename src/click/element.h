@@ -116,6 +116,11 @@ class Element {
     proc_ns_ += SimulatedCostNs(packet);
   }
 
+  // Current occupancy for queue-like elements (Queue, TimedUnqueue); 0 for
+  // everything else. Recorded into in-band telemetry hop records, so sampled
+  // packets carry the queue depth they actually saw at traversal.
+  virtual uint64_t queue_depth() const { return 0; }
+
  protected:
   void SetPorts(int inputs, int outputs);
 
@@ -123,6 +128,11 @@ class Element {
   void ForwardTo(int out_port, Packet& packet) {
     if (trace_enabled_) {
       Trace(out_port, packet);
+    }
+    if (packet.int_active()) {
+      // Complete this element's in-band hop record with the chosen exit port
+      // before the next element appends its own.
+      packet.SetLastIntEgressPort(static_cast<uint16_t>(out_port));
     }
     if (static_cast<size_t>(out_port) < port_packets_.size()) {
       ++port_packets_[static_cast<size_t>(out_port)];

@@ -81,7 +81,9 @@ void ToNetfront::Push(int /*port*/, Packet& packet) {
   ++packet_count_;
   byte_count_ += packet.length();
   if (profiler() != nullptr) {
-    profiler()->NoteEgress();  // the walk ends in egress, not a drop
+    // The walk ends in egress, not a drop; a carried in-band stack is
+    // completed into a delivered postcard here, at the graph boundary.
+    profiler()->NoteEgress(packet, clock() != nullptr ? clock()->now() : 0);
   }
   if (handler_) {
     handler_(packet);
@@ -355,6 +357,11 @@ void TimedUnqueue::Push(int /*port*/, Packet& packet) {
     return;
   }
   queue_.push_back(packet);
+  if (packet.int_active()) {
+    // The queued copy carries the in-band stack onward; park the original so
+    // the injecting walk does not close it as a drop when it unwinds.
+    packet.set_int_parked(true);
+  }
   if (!timer_armed_) {
     timer_armed_ = true;
     clock()->ScheduleAfter(static_cast<sim::TimeNs>(interval_sec_ * 1e9), [this] { Fire(); });
@@ -365,7 +372,13 @@ void TimedUnqueue::Fire() {
   for (int i = 0; i < burst_ && !queue_.empty(); ++i) {
     Packet packet = std::move(queue_.front());
     queue_.pop_front();
+    packet.set_int_parked(false);
     ForwardTo(0, packet);
+    if (profiler() != nullptr) {
+      // A deferred release runs outside any walk, so the drop-side postcard
+      // (for packets that did not reach a sink downstream) is emitted here.
+      profiler()->FinishWalkInt(packet, clock()->now());
+    }
   }
   // Once started, the release timer ticks periodically (Click's TimedUnqueue
   // behaviour): every INTERVAL the queued batch goes out, so no packet waits

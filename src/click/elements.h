@@ -192,6 +192,7 @@ class TimedUnqueue : public Element {
   double interval_sec() const { return interval_sec_; }
   int burst() const { return burst_; }
   size_t queued() const { return queue_.size(); }
+  uint64_t queue_depth() const override { return queue_.size(); }
 
  private:
   void Fire();
@@ -210,6 +211,7 @@ class Queue : public Element {
   std::string_view class_name() const override { return "Queue"; }
   bool Configure(const std::string& args, std::string* error) override;
   void Push(int port, Packet& packet) override;
+  uint64_t queue_depth() const override { return depth_; }
 
  private:
   size_t capacity_ = 1000;

@@ -79,11 +79,13 @@ void Graph::Inject(const std::string& name, Packet& packet) {
   }
   element->CountArrival(packet);
   if (profiler_ != nullptr) {
-    profiler_->BeginWalk(context_.clock != nullptr ? context_.clock->now() : 0, packet);
+    uint64_t now_ns = context_.clock != nullptr ? context_.clock->now() : 0;
+    profiler_->BeginWalk(now_ns, packet);
     profiler_->EnterElement(*element, packet);
     element->Push(0, packet);
     profiler_->ExitElement();
     profiler_->EndWalk();
+    profiler_->FinishWalkInt(packet, now_ns);
     return;
   }
   element->Push(0, packet);
@@ -95,11 +97,13 @@ void Graph::InjectAtSource(Packet& packet) {
   }
   default_source_->CountArrival(packet);
   if (profiler_ != nullptr) {
-    profiler_->BeginWalk(context_.clock != nullptr ? context_.clock->now() : 0, packet);
+    uint64_t now_ns = context_.clock != nullptr ? context_.clock->now() : 0;
+    profiler_->BeginWalk(now_ns, packet);
     profiler_->EnterElement(*default_source_, packet);
     default_source_->Push(0, packet);
     profiler_->ExitElement();
     profiler_->EndWalk();
+    profiler_->FinishWalkInt(packet, now_ns);
     return;
   }
   default_source_->Push(0, packet);

@@ -1,10 +1,45 @@
 #include "src/click/profiler.h"
 
+#include <string_view>
+#include <utility>
+
+#include "src/obs/int_telemetry.h"
 #include "src/obs/trace.h"
 
 namespace innet::click {
+namespace {
 
-void GraphProfiler::BeginWalk(uint64_t time_ns, const Packet& packet) {
+// Source/sink adapters sit outside the tenant's processing chain: they are
+// excluded from canonical chains on BOTH sides of attestation (the symexec
+// digest filters the same class set — see src/symexec/path_digest.cc), so
+// the two can never disagree about where a path starts. Discard belongs here
+// too: symbolically it never forwards, so it never appears in a path history.
+bool IsEndpointClass(std::string_view class_name) {
+  return class_name == "FromNetfront" || class_name == "ToNetfront" ||
+         class_name == "FromDevice" || class_name == "ToDevice" || class_name == "Discard";
+}
+
+// Parses a consolidated-tenant slot index from a "t<i>_" element-name
+// prefix; -1 when the name is not prefixed.
+int ParseTenantSlot(const std::string& element) {
+  if (element.size() < 3 || element[0] != 't') {
+    return -1;
+  }
+  size_t i = 1;
+  int slot = 0;
+  while (i < element.size() && element[i] >= '0' && element[i] <= '9') {
+    slot = slot * 10 + (element[i] - '0');
+    ++i;
+  }
+  if (i == 1 || i >= element.size() || element[i] != '_') {
+    return -1;
+  }
+  return slot;
+}
+
+}  // namespace
+
+void GraphProfiler::BeginWalk(uint64_t time_ns, Packet& packet) {
   ++walks_;
   egress_ = false;
   walk_sampled_ = false;
@@ -12,6 +47,16 @@ void GraphProfiler::BeginWalk(uint64_t time_ns, const Packet& packet) {
   // from an empty chain; a new walk always starts from a clean chain.
   chain_.clear();
   frames_.clear();
+  // INT activation is an independent sampling decision with the same
+  // deterministic ordinal contract. A reused Packet object may carry stale
+  // in-band state from an earlier walk, so the unsampled case clears it.
+  if (config_.int_sample_n != 0 && obs::Int().enabled() &&
+      walks_ % config_.int_sample_n == config_.seed % config_.int_sample_n) {
+    packet.ActivateInt(time_ns);
+    ++int_walks_;
+  } else {
+    packet.DeactivateInt();
+  }
   if (config_.sample_n == 0 || !obs::Tracer().enabled()) {
     return;
   }
@@ -30,8 +75,17 @@ void GraphProfiler::BeginWalk(uint64_t time_ns, const Packet& packet) {
   obs::Tracer().PushSpan(walk_span_);
 }
 
-void GraphProfiler::EnterElement(const Element& element, const Packet& packet) {
+void GraphProfiler::EnterElement(const Element& element, Packet& packet, int in_port) {
   uint64_t cost = element.SimulatedCostNs(packet);
+  if (packet.int_active() && !packet.int_done()) {
+    IntHop hop;
+    hop.element = element.name();
+    hop.ingress_port = static_cast<uint16_t>(in_port < 0 ? 0 : in_port);
+    hop.queue_depth = static_cast<uint32_t>(element.queue_depth());
+    hop.hop_ns = cost;
+    hop.endpoint = IsEndpointClass(element.class_name());
+    packet.AppendIntHop(std::move(hop));
+  }
   Frame frame;
   frame.chain_len = chain_.size();
   if (!chain_.empty()) {
@@ -62,6 +116,13 @@ void GraphProfiler::ExitElement() {
   }
 }
 
+void GraphProfiler::NoteEgress(Packet& packet, uint64_t now_ns) {
+  egress_ = true;
+  if (packet.int_active() && !packet.int_done()) {
+    EmitPostcard(packet, now_ns, /*egress=*/true);
+  }
+}
+
 void GraphProfiler::EndWalk() {
   if (!walk_sampled_) {
     return;
@@ -74,6 +135,73 @@ void GraphProfiler::EndWalk() {
   obs::Tracer().PopSpan();
   obs::Tracer().Record(cursor_ns_, obs::EventKind::kSpanEnd, walk_target_, "", 0, walk_span_);
   walk_sampled_ = false;
+}
+
+void GraphProfiler::FinishWalkInt(Packet& packet, uint64_t now_ns) {
+  if (!packet.int_active() || packet.int_done() || packet.int_parked()) {
+    return;
+  }
+  EmitPostcard(packet, now_ns, /*egress=*/false);
+  packet.DeactivateInt();
+}
+
+void GraphProfiler::EmitPostcard(Packet& packet, uint64_t now_ns, bool egress) {
+  obs::IntPostcard postcard;
+  postcard.vm = config_.walk_prefix;
+  postcard.egress = egress;
+  postcard.truncated_hops = packet.int_truncated();
+
+  uint64_t hop_sum = 0;
+  int tenant_slot = -1;
+  for (const IntHop& hop : packet.int_hops()) {
+    hop_sum += hop.hop_ns;
+    obs::IntPostcardHop out;
+    out.element = hop.element;
+    out.ingress_port = hop.ingress_port;
+    out.egress_port = hop.egress_port;
+    out.queue_depth = hop.queue_depth;
+    out.hop_ns = hop.hop_ns;
+    out.endpoint = hop.endpoint;
+    postcard.hops.push_back(std::move(out));
+    if (tenant_slot < 0 && !hop.endpoint) {
+      tenant_slot = ParseTenantSlot(hop.element);
+    }
+  }
+  // Path latency = time parked in timed elements (sim-clock delta) plus the
+  // summed deterministic processing cost of every hop.
+  postcard.path_ns = (now_ns >= packet.int_ingress_ns() ? now_ns - packet.int_ingress_ns() : 0) +
+                     hop_sum;
+
+  if (config_.int_tenant) {
+    if (tenant_slot >= 0) {
+      postcard.tenant = config_.int_tenant(tenant_slot);
+    }
+    if (postcard.tenant.empty()) {
+      postcard.tenant = config_.int_tenant(-1);
+    }
+  }
+
+  // Canonical chain: for a consolidated VM, the hops of the attributed
+  // tenant with the "t<i>_" prefix stripped (matching the tenant's original
+  // element names, which is what its digest was computed from); for a
+  // dedicated VM, every non-endpoint hop.
+  if (tenant_slot >= 0 && !postcard.tenant.empty()) {
+    std::string prefix = "t" + std::to_string(tenant_slot) + "_";
+    for (const IntHop& hop : packet.int_hops()) {
+      if (!hop.endpoint && hop.element.compare(0, prefix.size(), prefix) == 0) {
+        postcard.chain.push_back(hop.element.substr(prefix.size()));
+      }
+    }
+  } else {
+    for (const IntHop& hop : packet.int_hops()) {
+      if (!hop.endpoint) {
+        postcard.chain.push_back(hop.element);
+      }
+    }
+  }
+
+  packet.MarkIntDone();
+  obs::Int().Fold(postcard);
 }
 
 void GraphProfiler::WriteFolded(std::ostream& out) const {
@@ -89,6 +217,9 @@ void GraphProfiler::ExportMetrics(obs::MetricsRegistry* registry,
                                   const obs::Labels& base_labels) const {
   registry->GetCounter("innet_dataplane_walks_total", base_labels)->SetTo(walks_);
   registry->GetCounter("innet_dataplane_sampled_walks_total", base_labels)->SetTo(sampled_walks_);
+  if (config_.int_sample_n != 0) {
+    registry->GetCounter("innet_dataplane_int_walks_total", base_labels)->SetTo(int_walks_);
+  }
 }
 
 }  // namespace innet::click

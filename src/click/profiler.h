@@ -25,6 +25,7 @@
 #define SRC_CLICK_PROFILER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -43,6 +44,15 @@ struct GraphProfilerConfig {
   // Prefixes walk trace targets and folded chains, e.g. "vm:3" — this is how
   // chains from many graphs stay distinguishable in one merged folded file.
   std::string walk_prefix;
+  // In-band telemetry: independently sample 1-in-int_sample_n walks (same
+  // deterministic ordinal contract as sample_n) to carry a per-hop metadata
+  // stack on the packet itself, folded into the global IntCollector at
+  // egress/drop. 0 disables INT. Also requires obs::Int().Enable().
+  uint32_t int_sample_n = 0;
+  // Tenant attribution for postcards: called with -1 for the graph's owning
+  // tenant (dedicated VMs; may return "" for shared graphs) or with a
+  // consolidated slot index parsed from a "t<i>_" element-name prefix.
+  std::function<std::string(int)> int_tenant;
 };
 
 class GraphProfiler {
@@ -52,16 +62,28 @@ class GraphProfiler {
   GraphProfiler& operator=(const GraphProfiler&) = delete;
 
   // --- Walk lifecycle (called by Graph::Inject* and Element::ForwardTo) ----
-  void BeginWalk(uint64_t time_ns, const Packet& packet);
-  void EnterElement(const Element& element, const Packet& packet);
+  // BeginWalk also decides INT activation for this packet (and clears any
+  // stale in-band state a reused Packet object may carry).
+  void BeginWalk(uint64_t time_ns, Packet& packet);
+  // `in_port` is the input port the packet arrives on — recorded in the
+  // packet's in-band hop stack when INT is active for it.
+  void EnterElement(const Element& element, Packet& packet, int in_port = 0);
   void ExitElement();
   // Called by ToNetfront when the packet leaves the graph; decides whether
-  // the walk closes with kPacketEgress or kPacketDrop.
-  void NoteEgress() { egress_ = true; }
+  // the walk closes with kPacketEgress or kPacketDrop, and completes the
+  // packet's in-band stack into a delivered postcard.
+  void NoteEgress(Packet& packet, uint64_t now_ns);
   void EndWalk();
+  // Closes the in-band stack of a packet whose walk ended without egress: a
+  // drop postcard, unless the packet was parked by a timed element (the
+  // deferred release calls this again after its own ForwardTo) or already
+  // completed. Called by Graph::Inject* after EndWalk and by TimedUnqueue
+  // after each deferred release.
+  void FinishWalkInt(Packet& packet, uint64_t now_ns);
 
   uint64_t walks() const { return walks_; }
   uint64_t sampled_walks() const { return sampled_walks_; }
+  uint64_t int_walks() const { return int_walks_; }
 
   // chain -> accumulated simulated ns (self cost per frame, flame-graph
   // semantics). Sorted, so the folded dump is deterministic.
@@ -80,9 +102,14 @@ class GraphProfiler {
     uint64_t span = 0;     // open kElementProcess span id (0 = not sampled)
   };
 
+  // Builds the postcard from the packet's hop stack (tenant attribution,
+  // canonical chain, path latency) and folds it into the IntCollector.
+  void EmitPostcard(Packet& packet, uint64_t now_ns, bool egress);
+
   GraphProfilerConfig config_;
   uint64_t walks_ = 0;
   uint64_t sampled_walks_ = 0;
+  uint64_t int_walks_ = 0;
   std::map<std::string, uint64_t> folded_ns_;
   std::string chain_;          // incremental "a;b;c" of the live call chain
   std::vector<Frame> frames_;

@@ -8,6 +8,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/symexec/click_models.h"
+#include "src/symexec/path_digest.h"
 
 namespace innet::controller {
 
@@ -466,6 +467,7 @@ DeployOutcome Controller::Deploy(const ClientRequest& request,
 
     // Commit.
     trial.sandboxed = security.verdict == Verdict::kNeedsSandbox;
+    trial.path_digest = symexec::ComputePathDigest(trial.config).Encode();
     outcome.accepted = true;
     outcome.module_id = trial.module_id;
     outcome.platform = trial.platform;
@@ -539,6 +541,7 @@ bool Controller::RestoreDeployment(const ClientRequest& request, const std::stri
     return false;
   }
   trial.sandboxed = security.verdict == Verdict::kNeedsSandbox;
+  trial.path_digest = symexec::ComputePathDigest(trial.config).Encode();
 
   if (reverify) {
     std::vector<ReachSpec> client_specs;

@@ -47,6 +47,11 @@ struct Deployment {
   // Firewall pinholes installed with this deployment: inbound flows to the
   // client's registered addresses (explicit authorization, §2.1).
   std::vector<FlowSpec> pinholes;
+  // Encoded verify-time path digest (symexec/path_digest.h): the hash sets of
+  // every symbolically explored path through this config. Journaled and
+  // carried through migration so the INT collector can attest sampled
+  // packets against it at runtime.
+  std::string path_digest;
 };
 
 struct DeployOutcome {

@@ -167,6 +167,9 @@ obs::json::Value DeployJournal::ToJson() const {
     }
     row.Set("vm_id", static_cast<uint64_t>(entry.vm_id));
     row.Set("updated_ns", entry.updated_ns);
+    if (!entry.path_digest.empty()) {
+      row.Set("path_digest", entry.path_digest);
+    }
     if (!entry.note.empty()) {
       row.Set("note", entry.note);
     }

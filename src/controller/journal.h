@@ -67,6 +67,10 @@ struct JournalEntry {
   uint64_t op_epoch = 0;
   // Migrations: the journal id of the deploy entry being replaced.
   uint64_t supersedes = 0;
+  // Encoded verify-time path digest for INT conformance attestation; set at
+  // kVerified and re-exported on migration/recovery so restarts keep
+  // attesting against the exact paths that passed verification.
+  std::string path_digest;
   uint64_t updated_ns = 0;
   std::string note;
 };

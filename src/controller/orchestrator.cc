@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "src/obs/health.h"
+#include "src/obs/int_telemetry.h"
 #include "src/obs/trace.h"
 #include "src/platform/consolidation.h"
 
@@ -177,6 +178,47 @@ void Orchestrator::CommitPlacement(const ClientRequest& request, const std::stri
                                    const std::string& platform_name, Vm::VmId dedicated_vm) {
   placements_[module_id] = {platform_name, dedicated_vm};
   requests_[module_id] = request;
+  // Every placement path (deploy, migration cutover, recovery) funnels
+  // through here, so registering the digest here is what "carried through
+  // migration" means: the new placement re-attests under the same keys.
+  // Both keys matter: the control plane reports per client id, while
+  // consolidated data planes attribute sampled packets by module address.
+  for (const Deployment& dep : controller_.deployments()) {
+    if (dep.module_id == module_id) {
+      obs::IntPathDigest digest;
+      // An empty digest (config with no symbolic model) attests nothing:
+      // leave the tenant unattested rather than flag every walk.
+      if (obs::IntPathDigest::Decode(dep.path_digest, &digest) && !digest.empty()) {
+        obs::Int().SetTenantDigest(request.client_id, digest);
+        obs::Int().SetTenantDigest(dep.addr.ToString(), digest);
+      }
+      break;
+    }
+  }
+}
+
+void Orchestrator::ClearModuleDigest(const std::string& module_id) {
+  const Deployment* dead = nullptr;
+  for (const Deployment& dep : controller_.deployments()) {
+    if (dep.module_id == module_id) {
+      dead = &dep;
+      break;
+    }
+  }
+  if (dead == nullptr) {
+    return;
+  }
+  obs::Int().ClearTenantDigest(dead->addr.ToString());
+  bool client_has_other = false;
+  for (const Deployment& dep : controller_.deployments()) {
+    if (dep.module_id != module_id && dep.client_id == dead->client_id) {
+      client_has_other = true;
+      break;
+    }
+  }
+  if (!client_has_other) {
+    obs::Int().ClearTenantDigest(dead->client_id);
+  }
 }
 
 OrchestratedDeploy Orchestrator::Deploy(const ClientRequest& request) {
@@ -267,6 +309,7 @@ OrchestratedDeploy Orchestrator::DeployOn(const ClientRequest& request,
     entry->addr = result.outcome.module_addr.ToString();
     entry->sandboxed = result.outcome.sandboxed;
     entry->consolidated = stateless;
+    entry->path_digest = deployment.path_digest;
     journal_->Advance(journal_id, JournalState::kVerified, clock_->now());
   }
 
@@ -412,6 +455,7 @@ void Orchestrator::DeployViaChannel(const ClientRequest& request, DeployCallback
   entry->addr = result.outcome.module_addr.ToString();
   entry->sandboxed = result.outcome.sandboxed;
   entry->consolidated = stateless;
+  entry->path_digest = deployment.path_digest;
   journal_->Advance(jid, JournalState::kVerified, clock_->now());
   uint64_t epoch = journal_->MintEpoch();
   entry->op_epoch = epoch;
@@ -691,6 +735,7 @@ bool Orchestrator::Kill(const std::string& module_id) {
   }
   placements_.erase(placement);
   journal_->MarkModuleTerminal(module_id, JournalState::kKilled, clock_->now(), "killed");
+  ClearModuleDigest(module_id);
   return controller_.Kill(module_id);
 }
 
@@ -1081,6 +1126,7 @@ void Orchestrator::MigrationImportDone(const std::shared_ptr<MigrationCtx>& ctx,
       engine_.ReleasePlacement(ctx->request.client_id, ModuleMemoryBytes());
       placements_.erase(ctx->module_id);
       requests_.erase(ctx->module_id);
+      ClearModuleDigest(ctx->module_id);
       controller_.Kill(ctx->module_id);
       journal_->MarkModuleTerminal(ctx->module_id, JournalState::kKilled, clock_->now(),
                                    "guest lost in failed migration");
@@ -1105,6 +1151,9 @@ void Orchestrator::MigrationCutoverDone(const std::shared_ptr<MigrationCtx>& ctx
                                "migrated to " + ctx->target);
   placements_.erase(ctx->module_id);
   requests_.erase(ctx->module_id);
+  // Clear the old placement's address key first; CommitPlacement below
+  // re-registers the tenant under the new module's digest and address.
+  ClearModuleDigest(ctx->module_id);
   controller_.Kill(ctx->module_id);
   CommitPlacement(ctx->request, ctx->redo.module_id, ctx->target, ctx->new_vm_id);
   engine_.ReleasePlacement(ctx->request.client_id, ModuleMemoryBytes());  // the old share
@@ -1256,6 +1305,7 @@ FailoverReport Orchestrator::MarkPlatformFailed(const std::string& platform_name
   for (const auto& [module_id, request] : stranded) {
     journal_->MarkModuleTerminal(module_id, JournalState::kKilled, clock_->now(),
                                  "platform failed");
+    ClearModuleDigest(module_id);
     controller_.Kill(module_id);
     engine_.ReleasePlacement(request.client_id, ModuleMemoryBytes());
     placements_.erase(module_id);
@@ -1764,6 +1814,7 @@ void Orchestrator::ExportTenant(const std::string& module_id, ExportCallback on_
         engine_.ReleasePlacement(out.request.client_id, ModuleMemoryBytes());
         placements_.erase(module_id);
         requests_.erase(module_id);
+        ClearModuleDigest(module_id);
         controller_.Kill(module_id);
         out.ok = true;
         out.moved = resp.moved;

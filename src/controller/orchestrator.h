@@ -325,9 +325,16 @@ class Orchestrator {
   OrchestratedDeploy DeployOn(const ClientRequest& request,
                               const std::vector<std::string>& candidates, uint64_t journal_id);
 
-  // Shared bookkeeping once a platform acked a placement.
+  // Shared bookkeeping once a platform acked a placement. Also hands the
+  // module's verify-time path digest to the INT collector so the data plane
+  // starts attesting sampled packets against it.
   void CommitPlacement(const ClientRequest& request, const std::string& module_id,
                        const std::string& platform_name, platform::Vm::VmId dedicated_vm);
+
+  // Drops the module's INT attestation keys before its deployment record is
+  // erased. The client-id key survives while the client still has another
+  // live module (migration re-registers via CommitPlacement anyway).
+  void ClearModuleDigest(const std::string& module_id);
 
   // Ledger prober: fills *out from the named platform's live state.
   bool ProbePlatform(const std::string& name, scheduler::PlatformResources* out);

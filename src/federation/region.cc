@@ -1,8 +1,10 @@
 #include "src/federation/region.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
+#include "src/obs/int_telemetry.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -189,6 +191,20 @@ RegionDigest RegionController::BuildDigest() {
   digest.metric_samples["control_timeouts"] = orch_.control_client().timeouts();
   digest.metric_samples["deploys_served"] =
       static_cast<uint64_t>(orch_.controller().deployments().size());
+  // INT conformance, region-scoped the same way: sum the per-tenant
+  // violation counters only for clients with a live module in THIS region —
+  // the collector itself is shared across a simulated multi-region process.
+  uint64_t path_violations = 0;
+  std::set<std::string> region_clients;
+  for (const controller::Deployment& deployment : orch_.controller().deployments()) {
+    if (orch_.HasPlacement(deployment.module_id)) {
+      region_clients.insert(deployment.client_id);
+    }
+  }
+  for (const std::string& client : region_clients) {
+    path_violations += obs::Int().TenantViolations(client);
+  }
+  digest.metric_samples["path_violations"] = path_violations;
   return digest;
 }
 

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/netcore/headers.h"
 #include "src/netcore/ip.h"
@@ -25,6 +26,24 @@ namespace innet {
 inline constexpr size_t kMaxFrameLen = 1514;
 inline constexpr size_t kEthHeaderLen = sizeof(EthernetHeader);
 inline constexpr size_t kIpHeaderLen = sizeof(Ipv4Header);
+
+// One in-band telemetry (INT) hop record: appended by the profiler as a
+// sampled packet enters each element, completed with the egress port by the
+// forwarding element. Names are owned strings — a postcard must stay valid
+// after the graph that stamped it is torn down (migration, crash bundles).
+struct IntHop {
+  std::string element;
+  uint16_t ingress_port = 0;
+  uint16_t egress_port = 0;
+  uint32_t queue_depth = 0;  // occupancy of queue-like elements at traversal
+  uint64_t hop_ns = 0;       // simulated processing cost of this hop
+  bool endpoint = false;     // source/sink adapter, outside the tenant chain
+};
+
+// Bound on the in-band stack, like INT's hop-count budget on real switches:
+// beyond this, hops are counted but not recorded, and the postcard is marked
+// truncated (attestation skips it rather than flagging a false violation).
+inline constexpr size_t kMaxIntHops = 24;
 
 class Packet {
  public:
@@ -118,6 +137,56 @@ class Packet {
   uint8_t paint() const { return paint_; }
   void set_paint(uint8_t paint) { paint_ = paint; }
 
+  // --- In-band telemetry (soft metadata, survives queueing and copies) -------
+  // A sampled packet carries its own hop stack from ingress to egress/drop;
+  // the profiler activates it, elements append to it, and the IntCollector
+  // (src/obs/int_telemetry.h) folds the completed postcard. Packet-carried
+  // state is the point of INT: unlike the profiler's walk-scoped chain, it
+  // survives a TimedUnqueue parking the packet across sim-clock events.
+  bool int_active() const { return (int_flags_ & kIntActive) != 0; }
+  void ActivateInt(uint64_t now_ns) {
+    int_flags_ = kIntActive;
+    int_ingress_ns_ = now_ns;
+    int_truncated_ = 0;
+    int_hops_.clear();
+  }
+  void DeactivateInt() {
+    int_flags_ = 0;
+    int_hops_.clear();
+    int_truncated_ = 0;
+  }
+  // Parked: held by a timed element; the walk that injected it must not emit
+  // a drop postcard when the walk unwinds without reaching a sink.
+  bool int_parked() const { return (int_flags_ & kIntParked) != 0; }
+  void set_int_parked(bool parked) {
+    if (parked) {
+      int_flags_ |= kIntParked;
+    } else {
+      int_flags_ &= static_cast<uint8_t>(~kIntParked);
+    }
+  }
+  // Done: a postcard was already folded (egress); suppresses the drop path.
+  bool int_done() const { return (int_flags_ & kIntDone) != 0; }
+  void MarkIntDone() { int_flags_ |= kIntDone; }
+
+  uint64_t int_ingress_ns() const { return int_ingress_ns_; }
+  uint32_t int_truncated() const { return int_truncated_; }
+  const std::vector<IntHop>& int_hops() const { return int_hops_; }
+  void AppendIntHop(IntHop hop) {
+    if (int_hops_.size() >= kMaxIntHops) {
+      ++int_truncated_;
+      return;
+    }
+    int_hops_.push_back(std::move(hop));
+  }
+  // Stamped by the forwarding element just before handing the packet on, so
+  // the record for the hop being left carries the chosen output port.
+  void SetLastIntEgressPort(uint16_t port) {
+    if (!int_hops_.empty()) {
+      int_hops_.back().egress_port = port;
+    }
+  }
+
   // A hashable 5-tuple key for flow tables.
   uint64_t FlowKey() const;
   std::string Describe() const;
@@ -140,6 +209,10 @@ class Packet {
     firewall_tag_ = other.firewall_tag_;
     paint_ = other.paint_;
     timestamp_ns_ = other.timestamp_ns_;
+    int_flags_ = other.int_flags_;
+    int_ingress_ns_ = other.int_ingress_ns_;
+    int_truncated_ = other.int_truncated_;
+    int_hops_ = other.int_hops_;
   }
 
   alignas(8) std::array<uint8_t, kMaxFrameLen> buf_ = {};
@@ -157,6 +230,14 @@ class Packet {
   bool firewall_tag_ = false;
   uint8_t paint_ = 0;
   uint64_t timestamp_ns_ = 0;
+
+  static constexpr uint8_t kIntActive = 1;
+  static constexpr uint8_t kIntParked = 2;
+  static constexpr uint8_t kIntDone = 4;
+  uint8_t int_flags_ = 0;
+  uint64_t int_ingress_ns_ = 0;
+  uint32_t int_truncated_ = 0;
+  std::vector<IntHop> int_hops_;
 };
 
 }  // namespace innet

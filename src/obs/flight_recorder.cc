@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/int_telemetry.h"
 #include "src/obs/metrics.h"
 
 namespace innet::obs {
@@ -41,6 +42,9 @@ std::vector<FlightEvent> FlightRecorder::RecentEvents() const {
 
 void FlightRecorder::SnapshotPostmortem(PostmortemBundle bundle) {
   bundle.events = RecentEvents();
+  if (Int().enabled()) {
+    bundle.postcards = Int().RecentPostcards();
+  }
   last_snapshot_[bundle.target] = evicted_ + postmortems_.size();
   postmortems_.push_back(std::move(bundle));
   if (postmortems_.size() > max_postmortems_) {
@@ -123,6 +127,13 @@ json::Value FlightRecorder::ToJson() const {
       events.Push(std::move(item));
     }
     entry.Set("events", std::move(events));
+    if (!bundle.postcards.empty()) {
+      json::Value postcards = json::Value::Array();
+      for (const std::string& line : bundle.postcards) {
+        postcards.Push(line);
+      }
+      entry.Set("postcards", std::move(postcards));
+    }
     bundles.Push(std::move(entry));
   }
   json::Value root = json::Value::Object();

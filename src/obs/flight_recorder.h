@@ -61,6 +61,10 @@ struct PostmortemBundle {
   std::string health;  // tenant health state name at snapshot ("" = monitor off)
   std::vector<ElementCounterDelta> elements;
   std::vector<FlightEvent> events;  // filled from the ring by SnapshotPostmortem
+  // Last in-band telemetry postcards folded before the trigger (filled by
+  // SnapshotPostmortem from the global IntCollector when it is enabled), so
+  // a crash bundle shows the packet journeys that preceded it.
+  std::vector<std::string> postcards;
 };
 
 class FlightRecorder {

@@ -39,6 +39,7 @@ HealthMonitor::Tenant& HealthMonitor::Touch(const std::string& tenant) {
   t.drops = registry_->GetCounter("innet_tenant_buffer_drops_total", labels);
   t.restarts = registry_->GetCounter("innet_tenant_restarts_total", labels);
   t.anomalies = registry_->GetCounter("innet_tenant_anomalies_total", labels);
+  t.path_violations = registry_->GetCounter("innet_tenant_path_violations_total", labels);
   t.state_gauge = registry_->GetGauge("innet_tenant_health_state", labels);
   return tenants_.emplace(tenant, std::move(t)).first->second;
 }
@@ -85,6 +86,13 @@ void HealthMonitor::CountAnomaly(const std::string& tenant) {
   Touch(tenant).anomalies->Increment();
 }
 
+void HealthMonitor::CountPathViolation(const std::string& tenant) {
+  if (!enabled_ || tenant.empty()) {
+    return;
+  }
+  Touch(tenant).path_violations->Increment();
+}
+
 HealthState HealthMonitor::RawState(const Tenant& t) const {
   double boot_p99 = t.boot_ms->P99();
   double verify_p99 = t.verify_ms->P99();
@@ -93,14 +101,17 @@ HealthState HealthMonitor::RawState(const Tenant& t) const {
       offered == 0 ? 0.0 : static_cast<double>(t.drops->value()) / static_cast<double>(offered);
   uint64_t restarts = t.restarts->value();
   uint64_t anomalies = t.anomalies->value();
+  uint64_t path_violations = t.path_violations->value();
   if (boot_p99 > slo_.boot_p99_violated_ms || verify_p99 > slo_.verify_p99_violated_ms ||
       drop_rate > slo_.drop_rate_violated || restarts >= slo_.restarts_violated ||
-      anomalies >= slo_.anomalies_violated) {
+      anomalies >= slo_.anomalies_violated ||
+      path_violations >= slo_.path_violations_violated) {
     return HealthState::kViolated;
   }
   if (boot_p99 > slo_.boot_p99_degraded_ms || verify_p99 > slo_.verify_p99_degraded_ms ||
       drop_rate > slo_.drop_rate_degraded || restarts >= slo_.restarts_degraded ||
-      anomalies >= slo_.anomalies_degraded) {
+      anomalies >= slo_.anomalies_degraded ||
+      path_violations >= slo_.path_violations_degraded) {
     return HealthState::kDegraded;
   }
   return HealthState::kOk;
@@ -149,6 +160,7 @@ json::Value HealthMonitor::ToJson() const {
                                               static_cast<double>(offered));
     entry.Set("restarts", t.restarts->value());
     entry.Set("anomalies", t.anomalies->value());
+    entry.Set("path_violations", t.path_violations->value());
     list.Push(std::move(entry));
   }
   json::Value root = json::Value::Object();

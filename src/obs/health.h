@@ -55,6 +55,11 @@ struct SloSpec {
   // of them violates.
   uint64_t anomalies_degraded = 1;
   uint64_t anomalies_violated = 4;
+  // Path-conformance violations from the INT collector (obs/int_telemetry.h).
+  // A verified tenant should never leave its certified paths, so the ladder
+  // matches the anomaly clause: one deviation degrades, a pattern violates.
+  uint64_t path_violations_degraded = 1;
+  uint64_t path_violations_violated = 4;
   // Consecutive EvaluateAll() passes below the current state's threshold
   // before the state steps back down.
   int recover_evals = 3;
@@ -85,6 +90,9 @@ class HealthMonitor {
   // tenant: anomaly pressure steers Rebalance()/watchdog priority like any
   // other SLO clause.
   void CountAnomaly(const std::string& tenant);
+  // Fed by the IntCollector when an observed packet path fails attestation
+  // against the tenant's verified path digest.
+  void CountPathViolation(const std::string& tenant);
 
   // Re-evaluates every known tenant (in sorted order), applies hysteresis,
   // updates the innet_tenant_health_state gauge, and records a
@@ -121,6 +129,7 @@ class HealthMonitor {
     Counter* drops = nullptr;
     Counter* restarts = nullptr;
     Counter* anomalies = nullptr;
+    Counter* path_violations = nullptr;
     Gauge* state_gauge = nullptr;
   };
 

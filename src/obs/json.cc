@@ -159,10 +159,16 @@ void Value::WriteIndented(std::ostream& out, int indent, int depth) const {
 
 namespace {
 
+// Containers deeper than this are rejected. The parser recurses once per
+// nesting level, so without a bound a hostile dump ("[[[[...") can exhaust
+// the stack; our own dumps nest a handful of levels.
+constexpr int kMaxParseDepth = 256;
+
 struct Parser {
   const std::string& text;
   size_t pos = 0;
   std::string* error;
+  int depth = 0;
 
   bool Fail(const std::string& message) {
     *error = "at byte " + std::to_string(pos) + ": " + message;
@@ -292,10 +298,14 @@ struct Parser {
     }
     char c = text[pos];
     if (c == '{') {
+      if (++depth > kMaxParseDepth) {
+        return Fail("nesting too deep");
+      }
       ++pos;
       *out = Value::Object();
       SkipWs();
       if (Consume('}')) {
+        --depth;
         return true;
       }
       while (true) {
@@ -316,16 +326,21 @@ struct Parser {
           continue;
         }
         if (Consume('}')) {
+          --depth;
           return true;
         }
         return Fail("expected ',' or '}'");
       }
     }
     if (c == '[') {
+      if (++depth > kMaxParseDepth) {
+        return Fail("nesting too deep");
+      }
       ++pos;
       *out = Value::Array();
       SkipWs();
       if (Consume(']')) {
+        --depth;
         return true;
       }
       while (true) {
@@ -338,6 +353,7 @@ struct Parser {
           continue;
         }
         if (Consume(']')) {
+          --depth;
           return true;
         }
         return Fail("expected ',' or ']'");

@@ -54,6 +54,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRegionReconcile: return "region_reconcile";
     case EventKind::kRegionMigrate: return "region_migrate";
     case EventKind::kFleetIncident: return "fleet_incident";
+    case EventKind::kPathViolation: return "path_violation";
     case EventKind::kSpanEnd: return "span_end";
   }
   return "unknown";

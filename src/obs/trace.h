@@ -77,6 +77,7 @@ enum class EventKind {
   kRegionReconcile,
   kRegionMigrate,
   kFleetIncident,
+  kPathViolation,
   kSpanEnd,
 };
 

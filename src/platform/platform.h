@@ -217,9 +217,31 @@ class InNetPlatform {
   // --- Data-plane telemetry ------------------------------------------------------
   // Turns on per-graph profiling for every guest (see VmManager::
   // EnableProfiling): folded-stack attribution always, 1-in-`sample_n`
-  // deterministic packet-walk traces when the tracer is enabled.
-  void EnableDataplaneProfiling(uint32_t sample_n, uint64_t seed) {
-    vms_.EnableProfiling(sample_n, seed);
+  // deterministic packet-walk traces when the tracer is enabled. A non-zero
+  // `int_sample_n` additionally tags 1-in-N walks with in-band telemetry;
+  // their postcards are attributed to tenants through this platform's
+  // ownership and consolidation maps (dedicated guests by VM owner,
+  // consolidated guests by the t<i>_ prefix's merge-order address).
+  void EnableDataplaneProfiling(uint32_t sample_n, uint64_t seed, uint32_t int_sample_n = 0) {
+    if (int_sample_n != 0) {
+      vms_.SetIntTenantResolver([this](Vm::VmId vm_id, int slot) -> std::string {
+        auto consolidated = consolidated_tenants_.find(vm_id);
+        if (slot >= 0) {
+          if (consolidated != consolidated_tenants_.end() &&
+              static_cast<size_t>(slot) < consolidated->second.size()) {
+            return consolidated->second[static_cast<size_t>(slot)];
+          }
+          return "";
+        }
+        // Shared guest but no tenant-prefixed element on the walk: leave the
+        // postcard unattributed rather than guessing a tenant.
+        if (consolidated != consolidated_tenants_.end()) {
+          return "";
+        }
+        return OwnerOf(vm_id);
+      });
+    }
+    vms_.EnableProfiling(sample_n, seed, int_sample_n);
   }
   // Appends every profiled guest graph's folded chains ("vm:<id>;a;b;c ns")
   // to `out`, in ascending vm-id order.

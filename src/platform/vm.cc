@@ -122,12 +122,22 @@ void VmManager::NotifyCrash(Vm* vm) {
   }
 }
 
-void VmManager::EnableProfiling(uint32_t sample_n, uint64_t seed) {
+void VmManager::EnableProfiling(uint32_t sample_n, uint64_t seed, uint32_t int_sample_n) {
   profile_enabled_ = true;
   profile_sample_n_ = sample_n;
+  profile_int_sample_n_ = int_sample_n;
   profile_seed_ = seed;
   for (Vm::VmId id : AllIds()) {
     MaybeAttachProfiler(Find(id));
+  }
+}
+
+void VmManager::SetIntTenantResolver(IntTenantResolver resolver) {
+  int_tenant_resolver_ = std::move(resolver);
+  if (profile_enabled_) {
+    for (Vm::VmId id : AllIds()) {
+      MaybeAttachProfiler(Find(id));
+    }
   }
 }
 
@@ -137,8 +147,14 @@ void VmManager::MaybeAttachProfiler(Vm* vm) {
   }
   click::GraphProfilerConfig config;
   config.sample_n = profile_sample_n_;
+  config.int_sample_n = profile_int_sample_n_;
   config.seed = profile_seed_;
   config.walk_prefix = VmTarget(vm->id_);
+  if (int_tenant_resolver_) {
+    config.int_tenant = [resolver = int_tenant_resolver_, id = vm->id_](int slot) {
+      return resolver(id, slot);
+    };
+  }
   vm->graph_->EnableProfiling(std::move(config));
 }
 

@@ -182,9 +182,20 @@ class VmManager {
   // current and future (Create, Restart, ImportSnapshot re-attach it, since
   // each of those hands the guest a new or transplanted graph). Each graph
   // gets its own GraphProfiler with walk prefix "vm:<id>", so folded chains
-  // and sampled walks stay attributable per guest.
-  void EnableProfiling(uint32_t sample_n, uint64_t seed);
+  // and sampled walks stay attributable per guest. `int_sample_n` != 0
+  // additionally activates in-band telemetry on a deterministic 1-in-N of
+  // walks (same seeded contract as trace sampling, independent stream).
+  void EnableProfiling(uint32_t sample_n, uint64_t seed, uint32_t int_sample_n = 0);
   bool profiling_enabled() const { return profile_enabled_; }
+
+  // Maps (guest, tenant slot) to the tenant key INT postcards are attributed
+  // under. Slot >= 0 is a consolidated guest's "t<i>_" element prefix; -1
+  // means the whole graph belongs to one tenant (dedicated guests). The
+  // platform installs this so the resolver can consult VM ownership and the
+  // consolidation merge order. Applies to future profiler attachments and
+  // re-binds live ones.
+  using IntTenantResolver = std::function<std::string(Vm::VmId, int)>;
+  void SetIntTenantResolver(IntTenantResolver resolver);
 
   Vm* Find(Vm::VmId id);
   size_t vm_count() const { return vms_.size(); }
@@ -238,7 +249,9 @@ class VmManager {
   sim::FaultInjector* fault_ = nullptr;
   bool profile_enabled_ = false;
   uint32_t profile_sample_n_ = 0;
+  uint32_t profile_int_sample_n_ = 0;
   uint64_t profile_seed_ = 0;
+  IntTenantResolver int_tenant_resolver_;
 };
 
 }  // namespace innet::platform

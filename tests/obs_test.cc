@@ -53,6 +53,74 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_FALSE(json::Value::Parse("", &out, &error));
 }
 
+// The parser recurses once per nesting level; without the depth guard a
+// hostile dump ("[[[[...") walks straight off the stack. The guard must
+// reject past the limit without disturbing parses under it.
+TEST(Json, DepthGuardRejectsHostileNesting) {
+  auto nested_array = [](int depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  auto nested_object = [](int depth) {
+    std::string text;
+    for (int i = 0; i < depth; ++i) {
+      text += "{\"a\":";
+    }
+    text += "1";
+    text.append(depth, '}');
+    return text;
+  };
+
+  json::Value out;
+  std::string error;
+  // At the limit (256): fine. One past: rejected with the guard's message,
+  // for both container kinds.
+  EXPECT_TRUE(json::Value::Parse(nested_array(256), &out, &error)) << error;
+  EXPECT_FALSE(json::Value::Parse(nested_array(257), &out, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+  EXPECT_TRUE(json::Value::Parse(nested_object(256), &out, &error)) << error;
+  EXPECT_FALSE(json::Value::Parse(nested_object(257), &out, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+
+  // Depth counts nesting, not total containers: many siblings at one level
+  // must never trip the guard.
+  std::string siblings = "[";
+  for (int i = 0; i < 2000; ++i) {
+    siblings += "[],";
+  }
+  siblings += "[]]";
+  EXPECT_TRUE(json::Value::Parse(siblings, &out, &error)) << error;
+}
+
+// Fuzz-style regression: seeded LCG drives random nested documents near the
+// limit; the parser must accept/reject purely on depth and never crash.
+TEST(Json, DepthGuardFuzzNearTheLimit) {
+  uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int trial = 0; trial < 64; ++trial) {
+    int depth = 250 + static_cast<int>(next() % 14);  // 250..263
+    std::string text;
+    std::string closers;
+    for (int level = 0; level < depth; ++level) {
+      if (next() % 2 == 0) {
+        text += "[";
+        closers.insert(0, "]");
+      } else {
+        text += "{\"k\":";
+        closers.insert(0, "}");
+      }
+    }
+    text += "0";
+    text += closers;
+    json::Value out;
+    std::string error;
+    bool ok = json::Value::Parse(text, &out, &error);
+    EXPECT_EQ(ok, depth <= 256) << "depth " << depth << ": " << error;
+  }
+}
+
 TEST(Metrics, DumpIsDeterministicAcrossInsertionOrders) {
   // Two registries fed the same instruments in different orders (and with
   // label pairs given in different orders) must dump identical bytes.

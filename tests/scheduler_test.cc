@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/click/elements.h"
 #include "src/controller/orchestrator.h"
+#include "src/obs/int_telemetry.h"
 #include "src/scheduler/admission.h"
 #include "src/scheduler/engine.h"
 #include "src/scheduler/ledger.h"
@@ -426,6 +428,70 @@ TEST_F(Migration, LiveMigrationPreservesStatefulTenant) {
   EXPECT_EQ(moved->injected_count(), 7u);
   // The source forgot the guest entirely.
   EXPECT_EQ(orch_.platform(source)->vms().Find(deployed.vm_id), nullptr);
+}
+
+// Data-plane telemetry must follow the tenant across a live migration: after
+// cutover, folded-stack attribution charges the tenant's chains to the
+// target's new vm (no stale rows linger on the source), and the verify-time
+// path digest is re-registered under the tenant's new module address with
+// the old address cleared — so INT attestation keeps working seamlessly.
+TEST_F(Migration, ProfilerAttributionAndPathDigestFollowTheTenant) {
+  obs::Int().Clear();
+  auto deployed = orch_.Deploy(MeterRequest("meter", "10.10.0.5", "10.10.0.0/24"));
+  ASSERT_TRUE(deployed.outcome.accepted) << deployed.outcome.reason;
+  const std::string source = deployed.outcome.platform;
+  const std::string target = source == "platform2" ? "platform1" : "platform2";
+  orch_.platform(source)->EnableDataplaneProfiling(0, 0);
+  orch_.platform(target)->EnableDataplaneProfiling(0, 0);
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(1));
+
+  // The deploy registered the digest under both attribution keys.
+  EXPECT_TRUE(obs::Int().HasTenantDigest("meter"));
+  EXPECT_TRUE(obs::Int().HasTenantDigest(deployed.outcome.module_addr.ToString()));
+
+  auto send = [&](const std::string& platform, Ipv4Address dst, uint16_t port) {
+    Packet packet = Packet::MakeUdp(Ipv4Address::MustParse("8.8.8.8"), dst, port, 53, 64);
+    orch_.platform(platform)->HandlePacket(packet);
+  };
+  for (uint16_t port : {4000, 4001, 4002}) {
+    send(source, deployed.outcome.module_addr, port);
+  }
+  std::ostringstream before;
+  orch_.platform(source)->WriteFoldedStacks(before);
+  EXPECT_NE(before.str().find("FlowMeter"), std::string::npos) << before.str();
+
+  std::optional<MigrationReport> report;
+  MigrationStart start = orch_.MigrateTenant(
+      deployed.outcome.module_id, target,
+      [&](const MigrationReport& r) { report = r; });
+  ASSERT_TRUE(start.started) << start.reason;
+  clock_.RunUntil(clock_.now() + sim::FromSeconds(2));
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->ok) << report->reason;
+
+  for (uint16_t port : {4003, 4004}) {
+    send(target, report->new_addr, port);
+  }
+
+  // Post-cutover traffic is charged to the target's new vm id...
+  const auto* placement = orch_.FindPlacement(report->new_module_id);
+  ASSERT_NE(placement, nullptr);
+  std::ostringstream after_target;
+  orch_.platform(target)->WriteFoldedStacks(after_target);
+  const std::string vm_prefix = "vm:" + std::to_string(placement->second) + ";";
+  EXPECT_NE(after_target.str().find(vm_prefix), std::string::npos) << after_target.str();
+  EXPECT_NE(after_target.str().find("FlowMeter"), std::string::npos) << after_target.str();
+  // ...and the source kept no stale rows for the departed guest.
+  std::ostringstream after_source;
+  orch_.platform(source)->WriteFoldedStacks(after_source);
+  EXPECT_EQ(after_source.str().find("FlowMeter"), std::string::npos) << after_source.str();
+
+  // Digest carry-through: still keyed by client id, re-keyed to the new
+  // address (a different platform pool, so the old key must be gone).
+  EXPECT_TRUE(obs::Int().HasTenantDigest("meter"));
+  EXPECT_TRUE(obs::Int().HasTenantDigest(report->new_addr.ToString()));
+  EXPECT_FALSE(obs::Int().HasTenantDigest(deployed.outcome.module_addr.ToString()));
+  obs::Int().Clear();
 }
 
 // The target must re-pass the full verification pipeline; when it cannot,

@@ -8,6 +8,7 @@
 //             [--timeseries-out FILE] [--timeseries-window-ms W]
 //             [--placement-policy first_fit|least_loaded|bin_pack]
 //             [--dataplane-sample-n N] [--dataplane-seed S]
+//             [--int-sample-n N] [--int-out FILE]
 //             [--folded-out FILE] [--flight-recorder-depth K] [--flight-out FILE]
 //             [--control-loss P] [--control-dup P] [--control-reorder P]
 //             [--control-delay-ms D] [--control-seed S]
@@ -41,6 +42,15 @@
 // --flight-out dumps the ring + any post-mortem bundles as JSON
 // (render with innet_top --postmortem).
 //
+// In-band telemetry: --int-sample-n N tags 1 in N packet walks
+// (deterministic, seeded from --dataplane-seed) with an in-band hop stack;
+// each tagged packet carries per-element hop records to its egress or drop
+// point, where the collector folds them into per-tenant path latency and —
+// once the full-stack deploy has registered the verify-time path digest —
+// attests the observed element sequence against the SymNet-verified path
+// set, counting innet_path_conformance_violations_total on mismatch.
+// --int-out dumps the collector (render with innet_top --int).
+//
 // Time-series telemetry: --timeseries-out samples every registry instrument
 // on a fixed sim-clock cadence (--timeseries-window-ms, default 100) into
 // bounded per-metric rings — counters become per-window rates, histograms
@@ -67,6 +77,7 @@
 #include "src/controller/controller.h"
 #include "src/controller/orchestrator.h"
 #include "src/obs/health.h"
+#include "src/obs/int_telemetry.h"
 #include "src/obs/metrics.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
@@ -197,6 +208,8 @@ int main(int argc, char** argv) {
   double timeseries_window_ms = 100;
   double clock_until = 1.0;
   uint32_t sample_n = 0;
+  uint32_t int_sample_n = 0;
+  std::string int_out;
   uint64_t dataplane_seed = 0;
   size_t flight_depth = 0;  // 0 = keep the recorder's default
   double control_loss = 0;
@@ -230,6 +243,10 @@ int main(int argc, char** argv) {
       sample_n = static_cast<uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--dataplane-seed" && i + 1 < argc) {
       dataplane_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--int-sample-n" && i + 1 < argc) {
+      int_sample_n = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--int-out" && i + 1 < argc) {
+      int_out = argv[++i];
     } else if (arg == "--folded-out" && i + 1 < argc) {
       folded_out = argv[++i];
     } else if (arg == "--flight-recorder-depth" && i + 1 < argc) {
@@ -254,6 +271,7 @@ int main(int argc, char** argv) {
                    "          [--timeseries-out FILE] [--timeseries-window-ms W]\n"
                    "          [--placement-policy first_fit|least_loaded|bin_pack]\n"
                    "          [--dataplane-sample-n N] [--dataplane-seed S]\n"
+                   "          [--int-sample-n N] [--int-out FILE]\n"
                    "          [--folded-out FILE] [--flight-recorder-depth K] "
                    "[--flight-out FILE]\n"
                    "          [--control-loss P] [--control-dup P] [--control-reorder P]\n"
@@ -282,7 +300,14 @@ int main(int argc, char** argv) {
                  placement_policy.c_str());
     return 2;
   }
-  const bool want_profiling = sample_n > 0 || !folded_out.empty();
+  const bool want_int = int_sample_n > 0 || !int_out.empty();
+  if (want_int) {
+    if (int_sample_n == 0) {
+      int_sample_n = 1;  // --int-out alone means "tag every walk"
+    }
+    obs::Int().Enable();
+  }
+  const bool want_profiling = sample_n > 0 || !folded_out.empty() || want_int;
   const bool want_timeseries = !timeseries_out.empty();
   const bool want_obs = !metrics_out.empty() || !trace_out.empty() || !perfetto_out.empty() ||
                         !health_out.empty() || want_timeseries;
@@ -322,8 +347,12 @@ int main(int argc, char** argv) {
   if (want_profiling) {
     click::GraphProfilerConfig profile_config;
     profile_config.sample_n = sample_n;
+    profile_config.int_sample_n = int_sample_n;
     profile_config.seed = dataplane_seed;
     profile_config.walk_prefix = "run";
+    // The standalone graph belongs wholly to the "run" client — the same key
+    // the full-stack deploy below registers its path digest under.
+    profile_config.int_tenant = [](int) { return std::string("run"); };
     graph->EnableProfiling(profile_config);
   }
 
@@ -461,7 +490,7 @@ int main(int argc, char** argv) {
         box->flight_recorder().set_depth(flight_depth);
       }
       if (want_profiling) {
-        box->EnableDataplaneProfiling(sample_n, dataplane_seed);
+        box->EnableDataplaneProfiling(sample_n, dataplane_seed, int_sample_n);
       }
       for (const PacketSpec& spec : specs) {
         Packet p = spec.packet;
@@ -533,6 +562,15 @@ int main(int argc, char** argv) {
     }
     std::printf("health: %zu tenants -> %s\n", obs::Health().tenant_count(),
                 health_out.c_str());
+  }
+  if (!int_out.empty()) {
+    if (!obs::Int().WriteJsonFile(int_out)) {
+      std::fprintf(stderr, "cannot write %s\n", int_out.c_str());
+      return 1;
+    }
+    std::printf("int: %llu postcards, %llu violations -> %s\n",
+                static_cast<unsigned long long>(obs::Int().postcards()),
+                static_cast<unsigned long long>(obs::Int().violations()), int_out.c_str());
   }
   if (want_timeseries) {
     sampler.SampleWindow(clock.now());  // flush the partial tail window

@@ -3,9 +3,10 @@
 //
 // Usage:
 //   innet_top --metrics FILE [--trace FILE] [--health FILE] [--postmortem FILE]
-//             [--timeseries FILE]
+//             [--timeseries FILE] [--int FILE]
 //   innet_top --postmortem FILE
 //   innet_top --timeseries FILE
+//   innet_top --int FILE
 //   innet_top --run CONFIG [--placement-policy first_fit|least_loaded|bin_pack]
 //
 // Offline mode reads a metrics dump (either the registry's native
@@ -23,6 +24,12 @@
 // dump: ASCII sparklines per tenant-labeled series (grouped by tenant), a
 // fleet row for the headline platform counters, and any anomaly flags the
 // EWMA detector raised during the run.
+//
+// --int renders a PATHS section from an innet_run --int-out dump: per tenant,
+// every observed element chain with packet counts and hop latency, marked
+// against the verify-time path digest — ** PATH VIOLATION ** rows are chains
+// the symbolic engine never produced for that tenant's config. Degrades to a
+// "no data" note on missing, truncated, or pre-INT dumps.
 //
 // Live mode (--run) performs one full-stack orchestrated deploy of CONFIG on
 // the Figure 3 topology — admission, placement, verification, ClickOS boot,
@@ -788,9 +795,72 @@ void RenderTrends(const obs::json::Value& root) {
   std::printf("\n");
 }
 
+// PATHS: per-tenant observed element chains from an innet_run --int-out dump,
+// with attestation status against the verify-time path digest. Violations are
+// the headline — a chain the symbolic engine never produced means the data
+// plane diverged from what was verified at deploy time.
+void RenderPaths(const obs::json::Value& root) {
+  const obs::json::Value* tenants = root.Find("tenants");
+  if (tenants == nullptr || !tenants->is_array()) {
+    std::printf("PATHS: no data (dump has no tenants array — pre-INT dump?)\n\n");
+    return;
+  }
+  const obs::json::Value* postcards = root.Find("postcards");
+  const obs::json::Value* violations = root.Find("violations");
+  std::printf("PATHS (%lld postcards, %lld violations, %zu tenants)\n",
+              postcards != nullptr ? static_cast<long long>(postcards->int_number()) : 0,
+              violations != nullptr ? static_cast<long long>(violations->int_number()) : 0,
+              tenants->size());
+  for (size_t i = 0; i < tenants->size(); ++i) {
+    const obs::json::Value& tenant = tenants->at(i);
+    const obs::json::Value* name = tenant.Find("tenant");
+    const obs::json::Value* attested = tenant.Find("attested");
+    const obs::json::Value* digest_paths = tenant.Find("digest_paths");
+    const obs::json::Value* tenant_violations = tenant.Find("violations");
+    bool is_attested = attested != nullptr && attested->bool_value();
+    std::string name_text =
+        name != nullptr && !name->string_value().empty() ? name->string_value() : "(unattributed)";
+    if (is_attested) {
+      std::printf(" tenant %-20s attested against %lld verified paths, %lld violations\n",
+                  name_text.c_str(),
+                  digest_paths != nullptr ? static_cast<long long>(digest_paths->int_number())
+                                          : 0,
+                  tenant_violations != nullptr
+                      ? static_cast<long long>(tenant_violations->int_number())
+                      : 0);
+    } else {
+      std::printf(" tenant %-20s unattested (no path digest registered)\n", name_text.c_str());
+    }
+    const obs::json::Value* paths = tenant.Find("paths");
+    if (paths == nullptr || !paths->is_array()) {
+      continue;
+    }
+    for (size_t j = 0; j < paths->size(); ++j) {
+      const obs::json::Value& path = paths->at(j);
+      const obs::json::Value* chain = path.Find("chain");
+      const obs::json::Value* count = path.Find("count");
+      const obs::json::Value* avg_ns = path.Find("avg_ns");
+      const obs::json::Value* path_violations = path.Find("violations");
+      const obs::json::Value* delivered = path.Find("delivered");
+      long long bad =
+          path_violations != nullptr ? static_cast<long long>(path_violations->int_number()) : 0;
+      std::printf("  %-44s %6lld pkts  avg %8.0f ns  %s%s\n",
+                  chain != nullptr && !chain->string_value().empty()
+                      ? chain->string_value().c_str()
+                      : "(empty chain)",
+                  count != nullptr ? static_cast<long long>(count->int_number()) : 0,
+                  avg_ns != nullptr ? avg_ns->number() : 0.0,
+                  delivered != nullptr && delivered->bool_value() ? "delivered" : "dropped  ",
+                  bad > 0 ? "  ** PATH VIOLATION **" : "");
+    }
+  }
+  std::printf("\n");
+}
+
 int RenderFromFiles(const std::string& metrics_path, const std::string& trace_path,
                     const std::string& health_path, const std::string& postmortem_path,
-                    const std::string& timeseries_path, const std::string& fleet_path) {
+                    const std::string& timeseries_path, const std::string& fleet_path,
+                    const std::string& int_path) {
   std::string text;
   std::string error;
 
@@ -893,6 +963,17 @@ int RenderFromFiles(const std::string& metrics_path, const std::string& trace_pa
       RenderFleet(fleet_root);
     }
   }
+
+  if (!int_path.empty()) {
+    obs::json::Value int_root;
+    if (!ReadFile(int_path, &text, &error)) {
+      std::printf("PATHS: no data (%s)\n\n", error.c_str());
+    } else if (!obs::json::Value::Parse(text, &int_root, &error)) {
+      std::printf("PATHS: no data (%s: %s)\n\n", int_path.c_str(), error.c_str());
+    } else {
+      RenderPaths(int_root);
+    }
+  }
   return 0;
 }
 
@@ -964,6 +1045,7 @@ int main(int argc, char** argv) {
   std::string postmortem_path;
   std::string timeseries_path;
   std::string fleet_path;
+  std::string int_path;
   std::string run_config;
   std::string placement_policy;
   for (int i = 1; i < argc; ++i) {
@@ -980,6 +1062,8 @@ int main(int argc, char** argv) {
       timeseries_path = argv[++i];
     } else if (arg == "--fleet" && i + 1 < argc) {
       fleet_path = argv[++i];
+    } else if (arg == "--int" && i + 1 < argc) {
+      int_path = argv[++i];
     } else if (arg == "--run" && i + 1 < argc) {
       run_config = argv[++i];
     } else if (arg == "--placement-policy" && i + 1 < argc) {
@@ -987,12 +1071,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s --metrics FILE [--trace FILE] [--health FILE] "
-                   "[--postmortem FILE] [--timeseries FILE] [--fleet FILE]\n"
+                   "[--postmortem FILE] [--timeseries FILE] [--fleet FILE] [--int FILE]\n"
                    "       %s --postmortem FILE\n"
                    "       %s --timeseries FILE\n"
                    "       %s --fleet FILE\n"
+                   "       %s --int FILE\n"
                    "       %s --run CONFIG [--placement-policy POLICY]\n",
-                   argv[0], argv[0], argv[0], argv[0], argv[0]);
+                   argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
       return 2;
     }
   }
@@ -1000,11 +1085,12 @@ int main(int argc, char** argv) {
     return RunLive(run_config, placement_policy);
   }
   if (metrics_path.empty() && postmortem_path.empty() && timeseries_path.empty() &&
-      fleet_path.empty()) {
+      fleet_path.empty() && int_path.empty()) {
     std::fprintf(stderr,
-                 "one of --metrics, --postmortem, --timeseries, --fleet, or --run is required\n");
+                 "one of --metrics, --postmortem, --timeseries, --fleet, --int, or --run is "
+                 "required\n");
     return 2;
   }
   return RenderFromFiles(metrics_path, trace_path, health_path, postmortem_path,
-                         timeseries_path, fleet_path);
+                         timeseries_path, fleet_path, int_path);
 }
